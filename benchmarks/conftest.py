@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure: paper-bound bookkeeping.
+
+Every benchmark registers :class:`repro.analysis.BoundCheck` rows via the
+``record_bound`` fixture; the session summary prints them as the
+paper-vs-measured table that EXPERIMENTS.md mirrors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.analysis import BoundCheck
+
+_ROWS: List[BoundCheck] = []
+
+
+@pytest.fixture
+def record_bound():
+    """Register a BoundCheck for the end-of-session table (and assert it)."""
+
+    def _record(check: BoundCheck) -> None:
+        _ROWS.append(check)
+        assert check.satisfied, (
+            f"{check.experiment} n={check.n}: measured {check.measured} "
+            f"violates {check.kind} bound {check.bound}"
+        )
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    terminalreporter.write_sep("=", "paper bound vs measured")
+    terminalreporter.write_line(
+        "| experiment | n | measured | bound | kind | ratio | ok |"
+    )
+    terminalreporter.write_line("|---|---|---|---|---|---|---|")
+    for check in _ROWS:
+        terminalreporter.write_line(check.row())

@@ -1,0 +1,77 @@
+"""Ablation: the four input-distribution implementations head to head.
+
+DESIGN.md's design-decision table realized as measurements: the same
+problem (every processor learns the whole ring) solved by
+
+* the asynchronous flood (§4.1) run under the synchronizing schedule,
+* Figure 2 (bidirectional label election),
+* the unidirectional Peterson-style variant,
+* the universal orient-then-distribute pipeline (on scrambled rings),
+
+compared on messages, bits, and cycles.  The shape claims: the flood is
+the only quadratic-message column but the fastest; the three elections
+are all `Θ(n log n)` messages within constant factors of each other.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import (
+    distribute_inputs_general,
+    distribute_inputs_sync,
+    distribute_inputs_sync_uni,
+)
+from repro.algorithms.async_input_distribution import AsyncInputDistribution
+from repro.analysis import BoundCheck, growth_exponent
+from repro.asynch import run_async_synchronized
+from repro.core import RingConfiguration
+
+SIZES = (16, 32, 64, 128)
+
+
+def _rows(n: int):
+    oriented = RingConfiguration.random(n, random.Random(n), oriented=True)
+    scrambled = RingConfiguration.random(n, random.Random(n + 1), oriented=False)
+    flood = run_async_synchronized(
+        oriented, lambda value, size: AsyncInputDistribution(value, size)
+    )
+    fig2 = distribute_inputs_sync(oriented)
+    uni = distribute_inputs_sync_uni(oriented)
+    universal = distribute_inputs_general(scrambled)
+    return flood, fig2, uni, universal
+
+
+def test_ablation_message_shapes(record_bound, benchmark):
+    flood_counts, election_counts = [], []
+    for n in SIZES:
+        flood, fig2, uni, universal = _rows(n)
+        flood_counts.append(flood.stats.messages)
+        election_counts.append(fig2.stats.messages)
+        # elections beat the flood on messages from modest n on
+        if n >= 32:
+            record_bound(
+                BoundCheck("ABL fig2 < flood", n, fig2.stats.messages,
+                           float(flood.stats.messages), "upper")
+            )
+            record_bound(
+                BoundCheck("ABL uni < flood", n, uni.stats.messages,
+                           float(flood.stats.messages), "upper")
+            )
+        # the elections agree within constant factors
+        record_bound(
+            BoundCheck("ABL uni ≤ 3×fig2", n, uni.stats.messages,
+                       3.0 * fig2.stats.messages, "upper")
+        )
+        record_bound(
+            BoundCheck("ABL universal ≤ 6×fig2", n, universal.stats.messages,
+                       6.0 * fig2.stats.messages, "upper")
+        )
+        # the flood is the time champion
+        record_bound(
+            BoundCheck("ABL flood time ≤ n/2+2", n, flood.cycles,
+                       n / 2 + 2, "upper")
+        )
+    assert growth_exponent(SIZES, flood_counts) > 1.8
+    assert growth_exponent(SIZES, election_counts) < 1.5
+    benchmark(lambda: _rows(32))

@@ -1,0 +1,47 @@
+"""E1 (§4.1): asynchronous input distribution costs exactly n(n−1) messages.
+
+Paper claim: every problem solvable on an anonymous ring is solvable with
+``n(n−1)`` messages (odd n, or even oriented n with the refinement; ``n²``
+for even nonoriented rings), one-bit payloads for Boolean inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import distribute_inputs_async, expected_message_count
+from repro.analysis import BoundCheck, growth_exponent
+from repro.core import RingConfiguration
+
+
+SWEEP = (5, 9, 15, 21, 31, 45)
+
+
+def test_e1_exact_counts_sweep(record_bound, benchmark):
+    measured = []
+    for n in SWEEP:
+        config = RingConfiguration.random(n, random.Random(n), oriented=False)
+        result = distribute_inputs_async(config)
+        expected = expected_message_count(n, config.is_oriented)
+        record_bound(
+            BoundCheck("E1 messages==n(n-1)", n, result.stats.messages, expected, "upper")
+        )
+        record_bound(
+            BoundCheck("E1 messages==n(n-1)", n, result.stats.messages, expected, "lower")
+        )
+        measured.append(result.stats.messages)
+    assert growth_exponent(SWEEP, measured) == pytest.approx(2.0, abs=0.1)
+    config = RingConfiguration.random(25, random.Random(25), oriented=False)
+    benchmark(lambda: distribute_inputs_async(config))
+
+
+def test_e1_one_bit_messages(record_bound, benchmark):
+    n = 21
+    config = RingConfiguration.oriented([i % 2 for i in range(n)])
+    result = benchmark(lambda: distribute_inputs_async(config))
+    # (tag bit, value bit): 2 bits per message under our encoding.
+    record_bound(
+        BoundCheck("E1 bit cost", n, result.stats.bits, 2 * n * (n - 1), "upper")
+    )

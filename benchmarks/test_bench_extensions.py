@@ -1,0 +1,132 @@
+"""E16/E17/E18: the paper's remarks, implemented and measured.
+
+E16 (§4.2.4) — bit-efficient start synchronization: every message is one
+bit, the count is O(n log n), and the total bit cost beats Figure 5's.
+E17 (§4.2.1 remark) — the unidirectional Figure 2: all traffic one-sided
+at a constant-factor premium (log₂ vs log₁.₅ rounds).
+E18 (§4.2.1–§4.2.2 remarks) — unary time encoding (k subcycles, nil
+messages) and the alternating/universal distribution pipelines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import (
+    distribute_inputs_alternating,
+    distribute_inputs_general,
+    distribute_inputs_sync,
+    distribute_inputs_sync_uni,
+    quasi_orient,
+    run_time_encoded,
+    synchronize_start,
+    synchronize_start_bits,
+)
+from repro.algorithms import alternating as _alternating
+from repro.algorithms import combined as _combined
+from repro.algorithms import start_sync_bits as _bits
+from repro.algorithms import sync_input_distribution_uni as _uni
+from repro.algorithms.orientation import QuasiOrientation
+from repro.algorithms.start_sync import run_with_random_schedule
+from repro.algorithms.time_encoding import ORIENTATION_ALPHABET
+from repro.analysis import BoundCheck, best_shape
+from repro.core import RingConfiguration
+from repro.sync import WakeupSchedule
+
+
+def _zeros(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented((0,) * n)
+
+
+def test_e16_bit_start_sync(record_bound, benchmark):
+    for n in (16, 32, 64):
+        schedule, fig5 = run_with_random_schedule(_zeros(n), n * 5)
+        frugal = synchronize_start_bits(_zeros(n), schedule)
+        record_bound(
+            BoundCheck("E16 msgs", n, frugal.stats.messages,
+                       _bits.message_bound(n), "upper")
+        )
+        record_bound(
+            BoundCheck("E16 one bit each", n, frugal.stats.bits,
+                       float(frugal.stats.messages), "upper")
+        )
+        record_bound(
+            BoundCheck("E16 bits < Fig5 bits", n, frugal.stats.bits,
+                       float(fig5.stats.bits), "upper")
+        )
+        record_bound(
+            BoundCheck("E16 time premium", n, frugal.cycles,
+                       float(fig5.cycles), "lower")
+        )
+    benchmark(
+        lambda: synchronize_start_bits(_zeros(32), WakeupSchedule.simultaneous(32))
+    )
+
+
+def test_e17_unidirectional(record_bound, benchmark):
+    worst_counts, sizes = [], (16, 32, 64, 128)
+    for n in sizes:
+        worst = 0
+        for seed in range(3):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = distribute_inputs_sync_uni(config)
+            worst = max(worst, result.stats.messages)
+        record_bound(
+            BoundCheck("E17 uni msgs", n, worst, _uni.message_bound(n), "upper")
+        )
+        worst_counts.append(worst)
+    assert best_shape(sizes, worst_counts) in ("nlogn", "linear")
+    # premium over the bidirectional algorithm is a constant factor
+    n = 64
+    config = RingConfiguration.random(n, random.Random(1), oriented=True)
+    uni = distribute_inputs_sync_uni(config).stats.messages
+    bidi = distribute_inputs_sync(config).stats.messages
+    record_bound(BoundCheck("E17 premium ≤ 3×", n, uni, 3.0 * bidi, "upper"))
+    benchmark(lambda: distribute_inputs_sync_uni(config))
+
+
+def test_e18_alternating_and_universal(record_bound, benchmark):
+    for n in (16, 32, 64):
+        rng = random.Random(n)
+        alt_config = RingConfiguration.alternating(
+            tuple(rng.randrange(2) for _ in range(n))
+        )
+        alt = distribute_inputs_alternating(alt_config)
+        record_bound(
+            BoundCheck("E18 alternating", n, alt.stats.messages,
+                       _alternating.message_bound(n), "upper")
+        )
+        config = RingConfiguration.random(n, random.Random(n * 3))
+        universal = distribute_inputs_general(config)
+        record_bound(
+            BoundCheck("E18 universal", n, universal.stats.messages,
+                       _combined.message_bound(n), "upper")
+        )
+    benchmark(
+        lambda: distribute_inputs_general(
+            RingConfiguration.random(32, random.Random(9))
+        )
+    )
+
+
+def test_e18_time_encoding(record_bound, benchmark):
+    n = 27
+    config = RingConfiguration.random(n, random.Random(2))
+    plain = quasi_orient(config)
+    encoded = run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+    assert encoded.outputs == plain.outputs
+    record_bound(
+        BoundCheck("E18 encoded msgs == plain", n, encoded.stats.messages,
+                   float(plain.stats.messages), "upper")
+    )
+    record_bound(
+        BoundCheck("E18 encoded 1 bit each", n, encoded.stats.bits,
+                   float(encoded.stats.messages), "upper")
+    )
+    record_bound(
+        BoundCheck("E18 cycle multiplier", n, encoded.cycles,
+                   float(len(ORIENTATION_ALPHABET) * (plain.cycles + 1)), "upper")
+    )
+    benchmark(
+        lambda: run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+    )

@@ -1,0 +1,85 @@
+"""E15 (Corollary 5.2 + intro): the distinct/duplicate extrema crossover.
+
+Paper claims: with distinct inputs, extrema-finding is leader election —
+O(n log n) [5, 8, 12]; with possibly-equal inputs it needs ≥ n(n−1)
+messages, met exactly by §4.1.  The measured curves must cross: the
+general path grows quadratically, the distinct path quasi-linearly, with
+Chang–Roberts' worst case sitting in between.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.algorithms import (
+    elect_leader,
+    find_extremum_distinct,
+    find_extremum_general,
+    worst_case_labels,
+)
+from repro.analysis import BoundCheck, growth_exponent
+from repro.core import RingConfiguration
+
+SWEEP = (8, 16, 32, 64)
+
+
+def test_e15_crossover(record_bound, benchmark):
+    general, franklin = [], []
+    for n in SWEEP:
+        duplicates = RingConfiguration.oriented((1,) * n)
+        cost_general = find_extremum_general(duplicates).stats.messages
+        record_bound(
+            BoundCheck("E15 duplicates = n(n-1)", n, cost_general,
+                       float(n * (n - 1)), "lower")
+        )
+        record_bound(
+            BoundCheck("E15 duplicates = n(n-1)", n, cost_general,
+                       float(n * (n - 1)), "upper")
+        )
+        labels = RingConfiguration.oriented(worst_case_labels(n))
+        cost_franklin = find_extremum_distinct(labels, "franklin").stats.messages
+        record_bound(
+            BoundCheck("E15 Franklin ≤ 4n(log n+2)", n, cost_franklin,
+                       4 * n * (math.log2(n) + 2), "upper")
+        )
+        general.append(cost_general)
+        franklin.append(cost_franklin)
+    assert growth_exponent(SWEEP, general) > 1.8
+    assert growth_exponent(SWEEP, franklin) < 1.5
+    # who wins: by n = 64 the labeled path is at least 5× cheaper.
+    assert general[-1] > 5 * franklin[-1]
+    benchmark(lambda: find_extremum_general(RingConfiguration.oriented((1,) * 32)))
+
+
+def test_e15_chang_roberts_worst_case(record_bound, benchmark):
+    for n in SWEEP:
+        config = RingConfiguration.oriented(worst_case_labels(n))
+        cost = elect_leader(config, "chang-roberts").stats.messages
+        record_bound(
+            BoundCheck("E15 CR worst ≥ n(n+1)/2", n, cost,
+                       n * (n + 1) / 2, "lower")
+        )
+    config = RingConfiguration.oriented(worst_case_labels(32))
+    benchmark(lambda: elect_leader(config, "chang-roberts"))
+
+
+def test_e15_average_case_chang_roberts(record_bound, benchmark):
+    """Random labels: CR averages O(n log n) — the classical folklore."""
+    n = 64
+    total = 0
+    trials = 10
+    for seed in range(trials):
+        labels = list(range(n))
+        random.Random(seed).shuffle(labels)
+        total += elect_leader(
+            RingConfiguration.oriented(labels), "chang-roberts"
+        ).stats.messages
+    average = total / trials
+    record_bound(
+        BoundCheck("E15 CR average", n, average, 3 * n * math.log(n), "upper")
+    )
+    labels = list(range(n))
+    random.Random(0).shuffle(labels)
+    config = RingConfiguration.oriented(labels)
+    benchmark(lambda: elect_leader(config, "chang-roberts"))

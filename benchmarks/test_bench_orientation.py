@@ -1,0 +1,55 @@
+"""E4 (§4.2.2, Figure 4): quasi-orientation in O(n log n).
+
+Paper claim: ≤ 3.5·n(log₃ n + 1) messages, ≤ n(2·log₃ n + 4) cycles;
+odd rings end fully oriented, even rings at worst alternating.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import orient_ring, quasi_orient
+from repro.algorithms.orientation import cycle_bound, message_bound
+from repro.analysis import BoundCheck, best_shape
+from repro.core import RingConfiguration
+
+SWEEP = (9, 27, 81, 161, 243)
+
+
+def test_e4_message_bound_sweep(record_bound, benchmark):
+    worst_counts = []
+    for n in SWEEP:
+        worst = 0
+        for seed in range(3):
+            config = RingConfiguration.random(n, random.Random(seed))
+            switched, result = orient_ring(config)
+            assert switched.is_oriented  # odd sizes in the sweep
+            worst = max(worst, result.stats.messages)
+        record_bound(BoundCheck("E4 orient messages", n, worst, message_bound(n), "upper"))
+        worst_counts.append(worst)
+    assert best_shape(SWEEP, worst_counts) in ("nlogn", "linear")
+    config = RingConfiguration.random(81, random.Random(5))
+    benchmark(lambda: quasi_orient(config))
+
+
+def test_e4_cycle_bound(record_bound, benchmark):
+    n = 243
+    config = RingConfiguration.random(n, random.Random(9))
+    result = benchmark(lambda: quasi_orient(config))
+    record_bound(BoundCheck("E4 orient cycles", n, result.cycles, cycle_bound(n), "upper"))
+
+
+def test_e4_even_ring_quasi(record_bound, benchmark):
+    """Even rings: still within bounds; result may only alternate (Thm 3.5)."""
+    n = 128
+    config = RingConfiguration.random(n, random.Random(11))
+
+    def run():
+        switched, result = orient_ring(config)
+        assert switched.is_quasi_oriented
+        return result
+
+    result = benchmark(run)
+    record_bound(
+        BoundCheck("E4 even ring", n, result.stats.messages, message_bound(n), "upper")
+    )

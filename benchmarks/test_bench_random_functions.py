@@ -1,0 +1,47 @@
+"""E11 (Theorems 5.4, 6.7): almost all computable functions are expensive.
+
+Paper claims: a uniformly random computable Boolean function has
+asynchronous complexity > n²/4 with probability ≥ 1 − 2^{1−2^{n/2}/n}
+(Thm 5.4), and synchronous complexity ≥ (n/64)ln(n/64) with probability
+≥ 1 − 2^{1−2^{√n}/n} (Thm 6.7, n = 2^{2k}).  The Monte Carlo estimates
+must land under the closed-form bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import BoundCheck
+from repro.lowerbounds import (
+    estimate_theorem_54,
+    estimate_theorem_67,
+    theorem_54_probability_bound,
+    theorem_67_probability_bound,
+)
+
+
+def test_e11_theorem_54(record_bound, benchmark):
+    for n in (6, 8, 10, 12):
+        estimate = estimate_theorem_54(n, trials=400, seed=n)
+        record_bound(
+            BoundCheck(
+                "E11 P(cheap) Thm5.4",
+                n,
+                estimate.estimate,
+                min(1.0, theorem_54_probability_bound(n)),
+                "upper",
+            )
+        )
+    benchmark(lambda: estimate_theorem_54(10, trials=100, seed=0))
+
+
+def test_e11_theorem_67(record_bound, benchmark):
+    estimate = estimate_theorem_67(16, trials=400, seed=5)
+    record_bound(
+        BoundCheck(
+            "E11 P(cheap) Thm6.7",
+            16,
+            estimate.estimate,
+            min(1.0, theorem_67_probability_bound(16)),
+            "upper",
+        )
+    )
+    benchmark(lambda: estimate_theorem_67(16, trials=100, seed=1))

@@ -1,0 +1,56 @@
+"""E5 (§4.2.3, Figure 5): start synchronization in O(n log n) messages.
+
+Paper claim: ≤ 2n(1 + log₁.₅ n) messages; all processors halt at the same
+global cycle with identical counters.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import synchronize_start
+from repro.algorithms.start_sync import message_bound, run_with_random_schedule
+from repro.analysis import BoundCheck, best_shape
+from repro.core import RingConfiguration
+from repro.homomorphisms import start_sync_construction
+from repro.sync import WakeupSchedule
+
+SWEEP = (8, 16, 32, 64, 128)
+
+
+def ring(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented((0,) * n)
+
+
+def test_e5_message_bound_sweep(record_bound, benchmark):
+    worst_counts = []
+    for n in SWEEP:
+        worst = 0
+        for seed in range(3):
+            _schedule, result = run_with_random_schedule(ring(n), seed)
+            worst = max(worst, result.stats.messages)
+        record_bound(BoundCheck("E5 start-sync messages", n, worst, message_bound(n), "upper"))
+        worst_counts.append(worst)
+    assert best_shape(SWEEP, worst_counts) in ("nlogn", "linear")
+    benchmark(lambda: synchronize_start(ring(32), WakeupSchedule.simultaneous(32)))
+
+
+def test_e5_adversarial_schedule(record_bound, benchmark):
+    """Under the §7.2.2 two-stage adversary schedule (worst known input)."""
+    construction = start_sync_construction(108)
+    n = construction.n
+
+    def run():
+        return synchronize_start(ring(n), construction.schedule)
+
+    result = benchmark(run)
+    record_bound(
+        BoundCheck("E5 adversary schedule", n, result.stats.messages, message_bound(n), "upper")
+    )
+
+
+def test_e5_simultaneous_is_cheap(record_bound, benchmark):
+    """Simultaneous start: everyone ties in round one — 2n messages."""
+    n = 128
+    result = benchmark(
+        lambda: synchronize_start(ring(n), WakeupSchedule.simultaneous(n))
+    )
+    record_bound(BoundCheck("E5 simultaneous", n, result.stats.messages, 2 * n, "upper"))

@@ -1,0 +1,46 @@
+"""E2 (§4.2): synchronous AND in O(n) messages.
+
+Paper claim: AND costs at most ~2n messages synchronously — silence does
+the work — versus the Ω(n²) asynchronous floor (E6).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import compute_and_sync
+from repro.analysis import BoundCheck, growth_exponent
+from repro.core import RingConfiguration
+
+SWEEP = (8, 16, 32, 64, 128)
+
+
+def test_e2_linear_messages(record_bound, benchmark):
+    measured = []
+    for n in SWEEP:
+        worst = 0
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = compute_and_sync(config)
+            worst = max(worst, result.stats.messages)
+        record_bound(BoundCheck("E2 AND messages", n, worst, 2 * n, "upper"))
+        measured.append(max(worst, 1))
+    exponent = growth_exponent(SWEEP, measured)
+    assert exponent < 1.3  # linear, not n log n or n²
+    config = RingConfiguration.random(64, random.Random(0), oriented=True)
+    benchmark(lambda: compute_and_sync(config))
+
+
+def test_e2_all_zeros_exact(record_bound, benchmark):
+    n = 64
+    config = RingConfiguration.oriented([0] * n)
+    result = benchmark(lambda: compute_and_sync(config))
+    record_bound(BoundCheck("E2 all-zeros", n, result.stats.messages, 2 * n, "upper"))
+    record_bound(BoundCheck("E2 all-zeros", n, result.stats.messages, 2 * n, "lower"))
+
+
+def test_e2_time_is_half_ring(record_bound, benchmark):
+    n = 64
+    config = RingConfiguration.oriented([1] * n)
+    result = benchmark(lambda: compute_and_sync(config))
+    record_bound(BoundCheck("E2 cycles", n, result.cycles, n // 2 + 2, "upper"))

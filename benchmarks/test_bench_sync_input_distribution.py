@@ -1,0 +1,49 @@
+"""E3 (§4.2.1, Figure 2): synchronous input distribution in O(n log n).
+
+Paper claim: ≤ n(3·log₁.₅ n + 1) messages and ≤ n(2·log₁.₅ n + 1) cycles
+(our implementation adds the broadcast pass: +2 linear terms, see
+``message_bound``).  The measured curve must fit n·log n, not n².
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import distribute_inputs_sync
+from repro.algorithms.sync_input_distribution import cycle_bound, message_bound
+from repro.analysis import BoundCheck, best_shape
+from repro.core import RingConfiguration
+
+SWEEP = (8, 16, 32, 64, 128, 256)
+
+
+def test_e3_message_bound_sweep(record_bound, benchmark):
+    worst_counts = []
+    for n in SWEEP:
+        worst = 0
+        for seed in range(3):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = distribute_inputs_sync(config)
+            worst = max(worst, result.stats.messages)
+        record_bound(BoundCheck("E3 Fig2 messages", n, worst, message_bound(n), "upper"))
+        worst_counts.append(worst)
+    assert best_shape(SWEEP, worst_counts) in ("nlogn", "linear")
+    config = RingConfiguration.random(64, random.Random(1), oriented=True)
+    benchmark(lambda: distribute_inputs_sync(config))
+
+
+def test_e3_cycle_bound(record_bound, benchmark):
+    n = 128
+    config = RingConfiguration.random(n, random.Random(3), oriented=True)
+    result = benchmark(lambda: distribute_inputs_sync(config))
+    record_bound(BoundCheck("E3 Fig2 cycles", n, result.cycles, cycle_bound(n), "upper"))
+
+
+def test_e3_symmetric_input_deadlocks_cheaply(record_bound, benchmark):
+    """All-equal inputs: one round, deadlock detected, ~3n messages."""
+    n = 128
+    config = RingConfiguration.oriented([1] * n)
+    result = benchmark(lambda: distribute_inputs_sync(config))
+    record_bound(
+        BoundCheck("E3 symmetric input", n, result.stats.messages, 3 * n, "upper")
+    )

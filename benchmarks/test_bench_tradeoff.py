@@ -1,0 +1,78 @@
+"""E14 (§8): the time/bits trade-off for synchronous input distribution.
+
+Paper claims: any input-distribution algorithm with ``m`` bit-messages
+and time ``t`` obeys ``t ≥ (m/n)·2^{c·n²/m}``.  The two implemented
+algorithms sit at the bracket's ends — Figure 2 is message-frugal but
+ships long labels; §4.1 run in lock step is bit-heavy but time-optimal —
+and the measured points must respect the curve's *shape*: strictly fewer
+messages, strictly more time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import distribute_inputs_sync
+from repro.algorithms.async_input_distribution import AsyncInputDistribution
+from repro.analysis import BoundCheck, TradeoffPoint
+from repro.asynch import run_async_synchronized
+from repro.core import RingConfiguration
+
+
+def _points(n: int, seed: int):
+    config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+    fig2 = distribute_inputs_sync(config)
+    lockstep = run_async_synchronized(
+        config, lambda value, size: AsyncInputDistribution(value, size)
+    )
+    return (
+        TradeoffPoint("fig2", n, fig2.stats.messages, fig2.stats.bits, fig2.cycles),
+        TradeoffPoint(
+            "lockstep-n^2", n, lockstep.stats.messages, lockstep.stats.bits,
+            lockstep.cycles,
+        ),
+    )
+
+
+def test_e14_bracket(record_bound, benchmark):
+    rows = []
+    for n in (32, 64, 128):
+        fig2, lockstep = _points(n, n)
+        rows.append((fig2, lockstep))
+        # Message-frugal end: Fig.2 sends far fewer messages…
+        record_bound(
+            BoundCheck("E14 fig2 msgs < n² side", n, fig2.messages,
+                       lockstep.messages / 2, "upper")
+        )
+        # …but takes far longer…
+        record_bound(
+            BoundCheck("E14 fig2 time > n² side", n, fig2.cycles,
+                       4 * lockstep.cycles, "lower")
+        )
+        # …and the lockstep algorithm is time-optimal: ~n/2 cycles.
+        record_bound(
+            BoundCheck("E14 lockstep time ≈ n/2", n, lockstep.cycles,
+                       n // 2 + 2, "upper")
+        )
+    for fig2, lockstep in rows:
+        print(fig2.row())
+        print(lockstep.row())
+    benchmark(lambda: _points(32, 7))
+
+
+def test_e14_fig2_bits_are_quadratic(record_bound, benchmark):
+    """Fig.2's labels carry Θ(n) input bits each: its *bit* cost is ~n².
+
+    This is why the paper needs the unary time-encoding (§4.2.1) to claim
+    Θ(n log n) bits — at exponential time cost (the other end of the
+    curve).
+    """
+    n = 64
+    config = RingConfiguration.random(n, random.Random(3), oriented=True)
+    result = benchmark(lambda: distribute_inputs_sync(config))
+    record_bound(
+        BoundCheck("E14 fig2 bits", n, result.stats.bits, 8 * n * n, "upper")
+    )
+    record_bound(
+        BoundCheck("E14 fig2 bits", n, result.stats.bits, float(n * n) / 8, "lower")
+    )

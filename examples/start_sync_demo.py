@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: power-on alignment for a ring of identical controllers.
+
+A machine's controllers boot at slightly different moments (staggered
+power rails), but their crystal clocks tick in lockstep once up.  Every
+synchronous protocol in the paper assumes a *common* cycle zero — the
+Figure 5 start-synchronization algorithm manufactures one: all
+controllers halt at the same global cycle with identical counters, after
+O(n log n) messages.
+
+The demo runs it under increasingly adversarial boot schedules, including
+the D0L-generated schedule of §6.3.3 that the paper uses to prove the
+matching Ω(n log n) lower bound.
+
+Run:  python examples/start_sync_demo.py
+"""
+
+from repro import RingConfiguration, WakeupSchedule, synchronize_start
+from repro.algorithms.start_sync import message_bound
+from repro.homomorphisms import XOR_UNIFORM, start_sync_construction
+
+
+def run(title: str, n: int, schedule: WakeupSchedule) -> None:
+    ring = RingConfiguration.oriented((0,) * n)
+    result = synchronize_start(ring, schedule)
+    print(f"{title}  (n={n})")
+    print(f"  boot spread : {schedule.spread} cycles")
+    print(
+        f"  halted      : all at global cycle {result.halt_times[0]}, "
+        f"common counter {result.outputs[0]}"
+    )
+    print(
+        f"  cost        : {result.stats.messages} messages "
+        f"(paper bound {message_bound(n):.0f})"
+    )
+    print()
+
+
+def main() -> None:
+    run("Everyone boots together:", 12, WakeupSchedule.simultaneous(12))
+
+    run("A slow power rail delays one arc of the ring:",
+        12, WakeupSchedule((0, 1, 2, 3, 4, 4, 4, 4, 3, 2, 1, 0)))
+
+    omega = XOR_UNIFORM.iterate("0011", 3)  # §6.3.3, n = 108
+    run("The paper's adversarial D0L boot schedule (§6.3.3):",
+        len(omega), WakeupSchedule.from_bits(omega))
+
+    construction = start_sync_construction(200)  # §7.2.2, arbitrary even n
+    run("The arbitrary-n two-stage schedule (§7.2.2):",
+        construction.n, construction.schedule)
+
+    print("why it matters: prefix this algorithm to any simultaneous-start")
+    print("protocol (Figures 2 and 4) and the simultaneity assumption is gone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — executable reproduction of "Computing on an Anonymous Ring".
+
+Attiya, Snir & Warmuth, PODC 1985 / JACM 35(4), 1988.
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.core` — the §2 machine model: ring configurations,
+  k-neighborhoods, symmetry indices, message traces.
+* :mod:`repro.sync` / :mod:`repro.asynch` — the two execution models,
+  as instrumented simulators.
+* :mod:`repro.algorithms` — §4: input distribution (both models), AND,
+  quasi-orientation, start synchronization, plus labeled-ring baselines.
+* :mod:`repro.computability` — §3: what is computable at all.
+* :mod:`repro.lowerbounds` — §5/§6: fooling pairs and their bounds.
+* :mod:`repro.homomorphisms` — §6.2/§7: the D0L string factory.
+* :mod:`repro.analysis` — fitting measurements to the claimed shapes.
+
+Quickstart::
+
+    from repro import RingConfiguration, compute_sync, XOR
+    ring = RingConfiguration.from_string("1011011")
+    result = compute_sync(ring, XOR)
+    print(result.unanimous_output(), result.stats.messages)
+"""
+
+__version__ = "1.0.0"
+
+from .algorithms import (
+    AND,
+    MAJORITY,
+    MAX,
+    MIN,
+    OR,
+    SUM,
+    XOR,
+    RingFunction,
+    compute_and_sync,
+    compute_async,
+    compute_sync,
+    distribute_inputs_alternating,
+    distribute_inputs_async,
+    distribute_inputs_general,
+    distribute_inputs_sync,
+    distribute_inputs_sync_uni,
+    elect_leader,
+    find_extremum_distinct,
+    find_extremum_general,
+    orient_ring,
+    orient_ring_async,
+    quasi_orient,
+    synchronize_start,
+    synchronize_start_bits,
+)
+from .core.diagram import message_density, space_time_diagram
+from .asynch import (
+    AsyncProcess,
+    RandomScheduler,
+    RoundRobinScheduler,
+    run_async_synchronized,
+    run_asynchronous,
+)
+from .core import (
+    RingConfiguration,
+    RingView,
+    RunResult,
+    TraceStats,
+    symmetry_index,
+    symmetry_index_set,
+)
+from .sync import SyncProcess, WakeupSchedule, run_synchronous
+
+__all__ = [
+    "AND",
+    "AsyncProcess",
+    "MAJORITY",
+    "MAX",
+    "MIN",
+    "OR",
+    "RandomScheduler",
+    "RingConfiguration",
+    "RingFunction",
+    "RingView",
+    "RoundRobinScheduler",
+    "RunResult",
+    "SUM",
+    "SyncProcess",
+    "TraceStats",
+    "WakeupSchedule",
+    "XOR",
+    "compute_and_sync",
+    "compute_async",
+    "compute_sync",
+    "distribute_inputs_alternating",
+    "distribute_inputs_async",
+    "distribute_inputs_general",
+    "distribute_inputs_sync",
+    "distribute_inputs_sync_uni",
+    "elect_leader",
+    "find_extremum_distinct",
+    "find_extremum_general",
+    "message_density",
+    "orient_ring",
+    "orient_ring_async",
+    "quasi_orient",
+    "run_async_synchronized",
+    "run_asynchronous",
+    "run_synchronous",
+    "space_time_diagram",
+    "symmetry_index",
+    "symmetry_index_set",
+    "synchronize_start",
+    "synchronize_start_bits",
+]

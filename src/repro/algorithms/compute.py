@@ -1,0 +1,62 @@
+"""One-call function computation: pick the right algorithm for the ring.
+
+The decision tree the paper implies:
+
+* synchronous + oriented ring → Figure 2 (``O(n log n)``);
+* synchronous + nonoriented ring → quasi-orient first (§4.2.2), then
+  Figure 2 (oriented outcome) or the interleaved alternating variant
+  (even rings) — still ``O(n log n)``;
+* asynchronous → §4.1 input distribution (``O(n²)``).
+
+The function must be computable on the target ring class (Theorem 3.4);
+:func:`repro.computability.computable_on_general_ring` checks that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..core.views import RingView
+from .async_input_distribution import compute_function_async
+from .combined import distribute_inputs_general
+from .functions import RingFunction
+from .sync_input_distribution import distribute_inputs_sync
+
+
+def compute_sync(
+    config: RingConfiguration,
+    function: RingFunction,
+    max_cycles: Optional[int] = None,
+) -> RunResult:
+    """Compute ``function`` synchronously with ``O(n log n)`` messages.
+
+    Works on every ring of size ≥ 2 (size-2 nonoriented rings route
+    through the asynchronous algorithm, whose cost is the same 2 messages
+    there).  The function should be rotation-invariant, and reversal-
+    invariant too unless the ring is oriented (Theorem 3.4).
+    """
+    if config.is_oriented:
+        result = distribute_inputs_sync(config, max_cycles=max_cycles)
+        views = result.outputs
+    elif config.n == 2:
+        return compute_function_async(config, function.on_view)
+    else:
+        result = distribute_inputs_general(config, max_cycles=max_cycles)
+        views = tuple(view for _switch, view in result.outputs)
+    outputs = tuple(function.on_view(view) for view in views)
+    return RunResult(
+        outputs=outputs,
+        stats=result.stats,
+        cycles=result.cycles,
+        halt_times=result.halt_times,
+    )
+
+
+def compute_async(
+    config: RingConfiguration,
+    function: RingFunction,
+) -> RunResult:
+    """Compute ``function`` asynchronously with ``O(n²)`` messages, any ring."""
+    return compute_function_async(config, function.on_view)

@@ -1,0 +1,44 @@
+"""Extrema finding — the distinct/non-distinct crossover (Corollary 5.2).
+
+With distinct inputs, the minimum or maximum is leader election:
+``O(n log n)`` messages (:mod:`repro.algorithms.leader_election`).  With
+possibly-equal inputs, Corollary 5.2 proves ``n(n−1)`` messages are
+necessary — AND is minimum-finding over ``{0,1}`` — and §4.1's input
+distribution matches that exactly.  This module exposes both sides so the
+crossover can be measured (experiment E15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..asynch.schedulers import Scheduler
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from .async_input_distribution import compute_function_async
+from .functions import MAX, MIN
+from .leader_election import elect_leader
+
+
+def find_extremum_general(
+    config: RingConfiguration,
+    maximum: bool = False,
+    scheduler: Optional[Scheduler] = None,
+) -> RunResult:
+    """Extremum with possibly-equal inputs: ``Θ(n²)`` messages, any ring.
+
+    Uses §4.1 input distribution; works on nonoriented rings and with
+    duplicate values — the regime where Corollary 5.2's ``n(n−1)`` lower
+    bound applies, so this is optimal.
+    """
+    function = MAX if maximum else MIN
+    return compute_function_async(config, function.on_view, scheduler=scheduler)
+
+
+def find_extremum_distinct(
+    config: RingConfiguration,
+    algorithm: str = "franklin",
+    scheduler: Optional[Scheduler] = None,
+) -> RunResult:
+    """Maximum with distinct inputs: ``O(n log n)`` via leader election."""
+    return elect_leader(config, algorithm=algorithm, scheduler=scheduler)

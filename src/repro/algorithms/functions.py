@@ -1,0 +1,102 @@
+"""Ring functions: the problems the paper computes and bounds.
+
+A :class:`RingFunction` maps the tuple of ring inputs — read in a fixed
+direction from some starting processor — to an output value.  Whether it
+is *distributively computable* is exactly Theorem 3.4: on oriented rings
+it must be invariant under cyclic shifts; on general rings also under
+reversal (see :mod:`repro.computability`).
+
+The library includes every function the paper names (AND, OR, XOR, SUM,
+MIN/MAX = extrema with possibly non-distinct values) plus a
+rotation-invariant-but-chiral example (``pattern_count("0011")``) that is
+computable on oriented rings only — the witness separating parts (i) and
+(ii) of Theorem 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, Tuple
+
+from ..core.strings import rotate
+from ..core.views import RingView
+
+
+@dataclass(frozen=True)
+class RingFunction:
+    """A function of the cyclic input sequence.
+
+    Attributes:
+        name: display name.
+        fn: evaluator on the inputs read rightward from the evaluating
+            processor.
+    """
+
+    name: str
+    fn: Callable[[Tuple[Any, ...]], Any]
+
+    def on_inputs(self, inputs: Sequence[Any]) -> Any:
+        """Evaluate on a plain input sequence (centralized reference)."""
+        return self.fn(tuple(inputs))
+
+    def on_view(self, view: RingView) -> Any:
+        """Evaluate the way a processor would: on its own rightward reading."""
+        return self.fn(view.inputs_rightward())
+
+    def __call__(self, inputs: Sequence[Any]) -> Any:
+        return self.on_inputs(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RingFunction({self.name})"
+
+
+def _parity(xs: Tuple[Any, ...]) -> int:
+    return sum(int(x) for x in xs) % 2
+
+
+AND = RingFunction("AND", lambda xs: int(all(int(x) for x in xs)))
+OR = RingFunction("OR", lambda xs: int(any(int(x) for x in xs)))
+XOR = RingFunction("XOR", _parity)
+SUM = RingFunction("SUM", lambda xs: sum(xs))
+MIN = RingFunction("MIN", lambda xs: min(xs))
+MAX = RingFunction("MAX", lambda xs: max(xs))
+MAJORITY = RingFunction(
+    "MAJORITY", lambda xs: int(2 * sum(int(x) for x in xs) > len(xs))
+)
+
+
+def constant(value: Any) -> RingFunction:
+    """The constant function — the only functions with zero message cost."""
+    return RingFunction(f"CONST[{value!r}]", lambda _xs: value)
+
+
+def pattern_count(pattern: str) -> RingFunction:
+    """Cyclic occurrence count of a binary pattern, read rightward.
+
+    Rotation invariant always; for *chiral* patterns it is not reversal
+    invariant, hence computable on oriented rings only (Theorem 3.4(i) vs
+    (ii)).  Beware: short patterns are often secretly achiral on cycles —
+    ``COUNT[011]`` equals ``COUNT[110]`` (both count 1-runs of length ≥ 2).
+    The canonical chiral example is ``COUNT[0011]``: the cyclic word
+    ``001101`` contains it once, its reversal not at all.
+    """
+
+    def count(xs: Tuple[Any, ...]) -> int:
+        word = "".join(str(int(x)) for x in xs)
+        doubled = word + word[: len(pattern) - 1]
+        return sum(
+            1 for i in range(len(word)) if doubled[i : i + len(pattern)] == pattern
+        )
+
+    return RingFunction(f"COUNT[{pattern}]", count)
+
+
+def threshold(k: int) -> RingFunction:
+    """1 iff at least ``k`` inputs are 1 — AND and OR are the extremes."""
+    return RingFunction(
+        f"THRESH[{k}]", lambda xs: int(sum(int(x) for x in xs) >= k)
+    )
+
+
+#: The functions the paper's bounds are about, for sweeping in tests/benches.
+STANDARD_FUNCTIONS: Tuple[RingFunction, ...] = (AND, OR, XOR, SUM, MIN, MAX, MAJORITY)

@@ -1,0 +1,261 @@
+"""Leader election on labeled rings — the baselines the paper contrasts.
+
+The intro's anchor: with *distinct* labels a leader (the maximum) costs
+``O(n log n)`` messages [Hirschberg–Sinclair, Peterson, Dolev–Klawe–Rodeh],
+but Corollary 5.2 shows extrema-finding with possibly-equal inputs costs
+``Θ(n²)`` — symmetry is what you pay for.  Two classic algorithms provide
+the measured side of that contrast (experiment E15):
+
+* :class:`ChangRoberts` — unidirectional; ``O(n²)`` worst case (labels
+  decreasing along the travel direction), ``O(n log n)`` on average.
+* :class:`Franklin` — bidirectional rounds; each active compares with the
+  nearest actives on both sides, at most half survive a round:
+  ``O(n log n)`` worst case.  (Franklin's algorithm is the labeled
+  ancestor of Figure 2's label-creating election.)
+
+Both run in the asynchronous model on clockwise-oriented rings and
+require distinct, totally ordered inputs (the labels).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..asynch.process import AsyncProcess, Context
+from ..asynch.schedulers import Scheduler
+from ..asynch.simulator import run_asynchronous
+from ..core.errors import ConfigurationError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+
+_CAND = "cand"
+_LEADER = "leader"
+_PROBE = "probe"
+_REPLY = "reply"
+
+
+class ChangRoberts(AsyncProcess):
+    """Unidirectional max-election: candidates circulate, larger swallows.
+
+    Output: the elected leader's label (every processor agrees).
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send(Port.RIGHT, (_CAND, self.input))
+
+    def on_message(self, ctx: Context, port: Port, payload: Any) -> None:
+        kind, label = payload
+        if kind == _CAND:
+            if label > self.input:
+                ctx.send(Port.RIGHT, payload)
+            elif label == self.input:
+                # Own candidacy survived the full circle: I am the leader.
+                ctx.send(Port.RIGHT, (_LEADER, self.input))
+            # smaller labels are swallowed
+        else:  # _LEADER announcement
+            if label == self.input:
+                ctx.halt(label)
+            else:
+                ctx.send(Port.RIGHT, payload)
+                ctx.halt(label)
+
+
+class Franklin(AsyncProcess):
+    """Bidirectional round-based election (``O(n log n)`` worst case)."""
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        self.active = True
+        self.round_inbox: List[Any] = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send_both((_CAND, self.input))
+
+    def on_message(self, ctx: Context, port: Port, payload: Any) -> None:
+        kind, label = payload
+        if kind == _LEADER:
+            if label == self.input:
+                ctx.halt(label)
+            else:
+                ctx.send(port.opposite, payload)
+                ctx.halt(label)
+            return
+        if not self.active:
+            ctx.send(port.opposite, payload)
+            return
+        self.round_inbox.append(label)
+        if len(self.round_inbox) < 2:
+            return
+        a, b = self.round_inbox
+        self.round_inbox = []
+        best = max(a, b)
+        if best == self.input:
+            # Sole survivor: my own candidacy met itself around the ring.
+            ctx.send(Port.RIGHT, (_LEADER, self.input))
+        elif best < self.input:
+            ctx.send_both((_CAND, self.input))  # survived this round
+        else:
+            self.active = False  # beaten by a nearby candidate
+
+
+class HirschbergSinclair(AsyncProcess):
+    """The classic doubling-probe election [8]: O(n log n) worst case.
+
+    Phase ``k``: a still-hopeful candidate probes ``2^k`` hops in both
+    directions.  Relays swallow probes carrying a smaller label than
+    their own; a probe that exhausts its hop budget alive is answered
+    with a reply, and a candidate that collects both replies doubles its
+    radius.  A probe that returns to its originator circumnavigated the
+    ring unbeaten: leader.
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        self.replies_pending = 2
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send_both((_PROBE, self.input, 0, 1))
+
+    def on_message(self, ctx: Context, port: Port, payload: Any) -> None:
+        kind = payload[0]
+        if kind == _PROBE:
+            self._on_probe(ctx, port, payload)
+        elif kind == _REPLY:
+            self._on_reply(ctx, port, payload)
+        else:  # _LEADER
+            _kind, label = payload
+            if label == self.input:
+                ctx.halt(label)
+            else:
+                ctx.send(port.opposite, payload)
+                ctx.halt(label)
+
+    def _on_probe(self, ctx: Context, port: Port, payload: Any) -> None:
+        _kind, label, phase, hops = payload
+        if label == self.input:
+            # My probe circumnavigated the ring unbeaten: I am the leader.
+            ctx.send(Port.RIGHT, (_LEADER, self.input))
+            return
+        if label < self.input:
+            return  # swallowed: the candidate will never hear back
+        if hops < 2**phase:
+            ctx.send(port.opposite, (_PROBE, label, phase, hops + 1))
+        else:
+            ctx.send(port, (_REPLY, label, phase))
+
+    def _on_reply(self, ctx: Context, port: Port, payload: Any) -> None:
+        _kind, label, phase = payload
+        if label != self.input:
+            ctx.send(port.opposite, payload)
+            return
+        self.replies_pending -= 1
+        if self.replies_pending == 0:
+            self.replies_pending = 2
+            ctx.send_both((_PROBE, self.input, phase + 1, 1))
+
+
+class Peterson(AsyncProcess):
+    """Peterson's unidirectional election [12]: O(n log n), rightward only.
+
+    Actives carry *temporary* ids that hop rightward each round; an
+    active survives holding ``d₁`` iff ``d₁`` beats both its own tid and
+    the tid two actives back (``d₂``).  At most half the actives survive
+    a round, and a tid meeting itself has beaten everyone: leader.
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        self.active = True
+        self.announced = False
+        self.tid = input_value
+        self.d1: Optional[Any] = None
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send(Port.RIGHT, (_CAND, self.tid))
+
+    def on_message(self, ctx: Context, port: Port, payload: Any) -> None:
+        kind, label = payload
+        if kind == _LEADER:
+            # Temporary ids roam, so "my input == label" cannot identify
+            # the announcer; an explicit flag does.
+            if self.announced:
+                ctx.halt(label)
+            else:
+                ctx.send(Port.RIGHT, payload)
+                ctx.halt(label)
+            return
+        if self.announced:
+            return  # stale candidacies after announcing are noise
+        if not self.active:
+            ctx.send(Port.RIGHT, payload)
+            return
+        if label == self.tid:
+            # My temporary id came back to me: it beat every other active
+            # (only winners survive the max-relay), so it is the maximum.
+            self.announced = True
+            ctx.send(Port.RIGHT, (_LEADER, self.tid))
+            return
+        if self.d1 is None:
+            self.d1 = label
+            # Second wave carries max(own, d1): losing ids die in transit.
+            ctx.send(Port.RIGHT, (_CAND, max(self.tid, label)))
+            return
+        d1, d2 = self.d1, label
+        self.d1 = None
+        if d1 >= self.tid and d1 >= d2:
+            self.tid = d1
+            ctx.send(Port.RIGHT, (_CAND, self.tid))
+        else:
+            self.active = False
+
+
+def elect_leader(
+    config: RingConfiguration,
+    algorithm: str = "franklin",
+    scheduler: Optional[Scheduler] = None,
+) -> RunResult:
+    """Elect the maximum label on a clockwise-oriented labeled ring.
+
+    Raises :class:`ConfigurationError` for duplicate labels or nonoriented
+    rings — precisely the conditions under which the paper's Corollary 5.2
+    forces ``Ω(n²)`` instead.
+    """
+    if not config.is_clockwise:
+        raise ConfigurationError("election baselines assume a clockwise ring")
+    if len(set(config.inputs)) != config.n:
+        raise ConfigurationError(
+            "labels must be distinct; with duplicates use "
+            "repro.algorithms.extrema.find_extremum_general (Corollary 5.2)"
+        )
+    factories = {
+        "chang-roberts": ChangRoberts,
+        "franklin": Franklin,
+        "hirschberg-sinclair": HirschbergSinclair,
+        "peterson": Peterson,
+    }
+    try:
+        factory = factories[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(factories)}"
+        ) from None
+    result = run_asynchronous(config, factory, scheduler=scheduler)
+    expected = max(config.inputs)
+    if any(out != expected for out in result.outputs):
+        raise AssertionError(f"election elected {result.outputs}, not {expected}")
+    return result
+
+
+def worst_case_labels(n: int) -> Tuple[int, ...]:
+    """Labels making Chang–Roberts quadratic: decreasing along travel.
+
+    Each candidate ``i`` travels ``i+1`` hops before being swallowed by a
+    larger label, totalling ``Θ(n²)`` messages.
+    """
+    return tuple(range(n, 0, -1))
+
+
+def best_case_labels(n: int) -> Tuple[int, ...]:
+    """Labels making Chang–Roberts linear: increasing along travel."""
+    return tuple(range(1, n + 1))

@@ -1,0 +1,253 @@
+"""Quasi-orientation in O(n log n) messages (§4.2.2, Figure 4).
+
+Theorem 3.5 forbids orienting even rings, so the algorithm targets the
+weaker *quasi*-orientation: afterwards the ring is either oriented or
+perfectly alternating.  On odd rings quasi-oriented means oriented.
+
+Rounds of two n-cycle phases shrink the active set by ≥ 3× per round:
+
+* **endpoint detection** — actives send a LEFT-tagged message to their left
+  and a RIGHT-tagged one to their right (passives relay).  An active is an
+  *endpoint* — its nearest active to the left is oriented the other way —
+  exactly when a LEFT-tagged message arrives on its own left port.
+  Non-endpoints go passive.
+
+* **segment elimination** — endpoints launch a ``0`` to their right, which
+  runs into the segment between opposite-oriented endpoints.  In an
+  odd-length segment the two ``0``s collide *at* a processor, which
+  answers with a ``1`` toward one endpoint: that endpoint survives.  In an
+  even-length segment the ``0``s cross on a link and die one hop later
+  (a relay forwards only the first ``0`` it sees), so both endpoints die.
+
+The election stalls in exactly two ways, and each is detectable by a
+silent phase (synchrony again): *case A*, no endpoints — the surviving
+actives all share an orientation; *case B*, every segment even — the dead
+endpoints alternate orientation at odd distances.  The processors that
+died in the final round stay ``marked`` and become the anchors of a last
+token pass that orients everyone: each anchor floods a token both ways
+carrying (case, origin port, hop parity); a receiver learns its
+orientation relative to the anchor from the arrival port and switches so
+the ring ends uniform (case A) or alternating (case B).
+
+Figure 4 packs the final pass into a single alternating bit; we carry the
+case and origin explicitly (three bits per token) and flood both
+directions — without the flood, anchors whose right ports face each other
+would leave arcs no token enters.  Costs stay within the same O(n log n)
+envelope: at most ``2n`` extra messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..sync.process import In, Out, SyncProcess
+from ..sync.simulator import run_synchronous
+
+#: Phase-1 tags: the port the message left its (active) originator through.
+_TAG_LEFT = 0
+_TAG_RIGHT = 1
+
+#: Final-stage case bits.
+_CASE_UNIFORM = 0
+_CASE_ALTERNATING = 1
+
+
+class QuasiOrientation(SyncProcess):
+    """One processor of the Figure 4 quasi-orientation algorithm.
+
+    Output is the processor's *switch bit*: 1 means "swap my left and right
+    ports".  Applying the switch bits leaves the ring oriented or
+    alternating (:meth:`repro.core.ring.RingConfiguration.apply_switches`).
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 2:
+            raise ConfigurationError("orientation needs n >= 2")
+        #: After halting: 0 if the ring ended uniformly oriented (case A),
+        #: 1 if alternating (case B).  Every processor learns it from the
+        #: final token, so compositions (repro.algorithms.combined) can
+        #: branch on it without extra messages.
+        self.final_case: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def run(self):
+        n = self.n
+        active = True
+        marked = False
+        case = _CASE_UNIFORM
+
+        while True:
+            # ------------- phase 1: endpoint detection (n cycles) ------
+            if active:
+                inbox = yield from self.emit_then_sleep(
+                    Out(left=_TAG_LEFT, right=_TAG_RIGHT), n - 1
+                )
+                endpoint = any(
+                    got.via(Port.LEFT) == _TAG_LEFT for _, got in inbox
+                )
+                if not endpoint:
+                    active = False
+                    marked = True
+                    case = _CASE_UNIFORM
+                quiet = False  # actives sent, so the round was not silent
+            else:
+                quiet = yield from self._relay_phase1(n)
+                if not quiet:
+                    marked = False
+
+            # ------------- phase 2: segment elimination (n cycles) -----
+            if active:
+                inbox = yield from self.emit_then_sleep(Out(right=0), n - 1)
+                got_reply = any(
+                    payload == 1
+                    for _, got in inbox
+                    for _, payload in got.items()
+                )
+                if not got_reply:
+                    active = False
+                    marked = True
+                    case = _CASE_ALTERNATING
+            else:
+                cleared = yield from self._relay_phase2(n)
+                if cleared:
+                    marked = False
+                if quiet:
+                    break
+
+        # ------------- final stage: token flood ------------------------
+        return (yield from self._final_stage(marked, case))
+
+    # ------------------------------------------------------------------
+    def _relay_phase1(self, cycles: int):
+        """Passive phase-1 relay; returns True iff the phase was silent."""
+        quiet = True
+        pending = Out()
+        for _cycle in range(cycles):
+            got = yield pending
+            pending = Out()
+            for port, payload in got.items():
+                quiet = False
+                if port is Port.LEFT:
+                    pending.right = payload
+                else:
+                    pending.left = payload
+        if tuple(pending.sends()):
+            raise ProtocolError("phase-1 relay still pending at phase end")
+        return quiet
+
+    def _relay_phase2(self, cycles: int):
+        """Passive phase-2 relay; returns True iff anything arrived.
+
+        Rules of Figure 4: two ``0``s arriving simultaneously (the middle
+        of an odd segment) are answered with a ``1`` to the right; a ``1``
+        is always relayed; a ``0`` is relayed only if it is the first
+        message of the phase.
+        """
+        touched = False
+        seen_any = False
+        pending = Out()
+        for _cycle in range(cycles):
+            got = yield pending
+            pending = Out()
+            if not got.any():
+                continue
+            touched = True
+            if got.via(Port.LEFT) == 0 and got.via(Port.RIGHT) == 0:
+                # Segment midpoint: consume both, reply toward my right.
+                pending.right = 1
+                seen_any = True
+                continue
+            for port, payload in got.items():
+                if payload == 1 or not seen_any:
+                    if port is Port.LEFT:
+                        pending.right = payload
+                    else:
+                        pending.left = payload
+                seen_any = True
+        # A reply scheduled in the very last cycle would be lost; the
+        # timing analysis says relays always fit inside the phase.
+        if tuple(pending.sends()):
+            raise ProtocolError("phase-2 relay still pending at phase end")
+        return touched
+
+    # ------------------------------------------------------------------
+    def _final_stage(self, marked: bool, case: int):
+        """Token flood: anchors orient everyone, everyone halts."""
+        if marked:
+            # Anchor: flood both ways, never switch.  Halting immediately
+            # after the send makes incoming tokens drop — absorption.
+            self.final_case = case
+            yield Out(
+                left=(case, _TAG_LEFT, 1),
+                right=(case, _TAG_RIGHT, 1),
+            )
+            return 0
+        for _cycle in range(self.n + 1):
+            got = yield self._noop()
+            if not got.any():
+                continue
+            decisions = []
+            forwards = Out()
+            for port, payload in got.items():
+                token_case, origin, parity = payload
+                self.final_case = token_case
+                rel = 1 if (port is Port.LEFT) != (origin == _TAG_LEFT) else 0
+                if token_case == _CASE_UNIFORM:
+                    decisions.append(0 if rel == 1 else 1)
+                else:
+                    decisions.append(1 if (rel + parity) % 2 == 0 else 0)
+                onward = (token_case, origin, parity ^ 1)
+                if port is Port.LEFT:
+                    forwards.right = onward
+                else:
+                    forwards.left = onward
+            if len(set(decisions)) != 1:
+                raise ProtocolError(f"inconsistent token decisions: {decisions}")
+            yield forwards
+            return decisions[0]
+        raise ProtocolError("no orientation token arrived")
+
+    @staticmethod
+    def _noop() -> Out:
+        return Out()
+
+
+def quasi_orient(
+    config: RingConfiguration, max_cycles: Optional[int] = None
+) -> RunResult:
+    """Run Figure 4; outputs are per-processor switch bits."""
+    return run_synchronous(config, QuasiOrientation, max_cycles=max_cycles)
+
+
+def orient_ring(
+    config: RingConfiguration, max_cycles: Optional[int] = None
+) -> Tuple[RingConfiguration, RunResult]:
+    """Quasi-orient and apply the switches; returns (new ring, run result).
+
+    On odd rings the result is fully oriented (a quasi-oriented odd ring
+    cannot alternate); on even rings it may alternate, which Theorem 3.5
+    shows is unavoidable.
+    """
+    result = quasi_orient(config, max_cycles=max_cycles)
+    switched = config.apply_switches(result.outputs)
+    if not switched.is_quasi_oriented:
+        raise ProtocolError(
+            f"orientation algorithm failed: {switched.orientation_string()}"
+        )
+    return switched, result
+
+
+def message_bound(n: int) -> float:
+    """Message bound ``3.5·n(log₃ n + 1) + 2n`` (paper + our token flood)."""
+    return 3.5 * n * (math.log(n, 3) + 1) + 2 * n
+
+
+def cycle_bound(n: int) -> float:
+    """Cycle bound ``n(2·log₃ n + 4) + n + 2`` (paper + final flood)."""
+    return n * (2 * math.log(n, 3) + 4) + n + 2

@@ -1,0 +1,61 @@
+"""Asynchronous orientation of odd rings by majority vote (§4.1, remark).
+
+"If the ring length is odd, then this input distribution algorithm can be
+used to orient the ring: processors pick an orientation in accordance
+with the majority of individual orientations."
+
+Each processor's :class:`repro.core.views.RingView` already records every
+other processor's orientation *relative to its own*; with odd ``n`` the
+majority is strict, every processor in the minority class switches, and
+the ring ends uniformly oriented the majority's way.  Cost: one §4.1
+input distribution — ``n(n−1)`` messages, which Theorem 5.3 shows is the
+right order (``Ω(n²)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..asynch.schedulers import Scheduler
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..core.views import RingView
+from .async_input_distribution import distribute_inputs_async
+
+
+def majority_switch_bit(view: RingView) -> int:
+    """1 iff the viewer sits in the orientation minority of its ring."""
+    same = sum(1 for rel, _input in view.entries if rel == 1)
+    opposite = view.n - same
+    if same == opposite:
+        raise ProtocolError("orientation vote tied — even ring? (Theorem 3.5)")
+    return 1 if opposite > same else 0
+
+
+def orient_ring_async(
+    config: RingConfiguration,
+    scheduler: Optional[Scheduler] = None,
+) -> Tuple[RingConfiguration, RunResult]:
+    """Orient an odd ring asynchronously; returns (oriented ring, run).
+
+    Raises for even rings: the vote can tie there, and Theorem 3.5 rules
+    out any fix.
+    """
+    if config.n % 2 == 0:
+        raise ConfigurationError(
+            "even rings cannot be oriented (Theorem 3.5); "
+            "use quasi_orient for the synchronous alternating fallback"
+        )
+    distribution = distribute_inputs_async(config, scheduler=scheduler)
+    switches = tuple(majority_switch_bit(view) for view in distribution.outputs)
+    result = RunResult(
+        outputs=switches,
+        stats=distribution.stats,
+        cycles=distribution.cycles,
+        halt_times=distribution.halt_times,
+    )
+    oriented = config.apply_switches(switches)
+    if not oriented.is_oriented:
+        raise ProtocolError("majority vote failed to orient — construction bug")
+    return oriented, result

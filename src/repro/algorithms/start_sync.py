@@ -1,0 +1,150 @@
+"""Start synchronization in O(n log n) messages (§4.2.3, Figure 5).
+
+Processors wake at adversary-chosen times (or when a message arrives); all
+clocks tick at the same rate.  The goal: everyone halts *at the same
+global cycle*, having agreed on a common clock — prefixing this algorithm
+to any simultaneous-start algorithm removes the simultaneity assumption.
+
+The algorithm elects the earliest waker by tournament on clock counts.
+Spontaneous wakers are *active* and broadcast their count every ``2n``
+cycles of local time; relays increment the carried count each hop so a
+received value always names the originator's count *now* — time in transit
+is made visible, a purely synchronous trick.  An active that hears a
+count ahead of its own, or ties with both neighbors, goes passive (ties
+all around kill everyone, which is how the fully-symmetric schedule
+terminates).  Each exchange also drags every count up to the maximum via
+``count := max(count, received+1)``, so when the election goes quiet all
+clocks agree exactly, and "quiet" itself is detectable: a processor halts
+at the first ``2n``-boundary whose preceding ``2n`` cycles heard nothing.
+Everyone's final boundary is the same number, hence the same global
+cycle.
+
+At most ``2n`` messages per round and ``1 + log₁.₅ n`` rounds:
+``2n(1 + log₁.₅ n)`` messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..sync.process import Out, SyncProcess
+from ..sync.simulator import run_synchronous
+from ..sync.wakeup import WakeupSchedule
+
+
+class StartSynchronization(SyncProcess):
+    """One processor of the Figure 5 start-synchronization algorithm.
+
+    The output is the processor's final clock count; a correct run has all
+    outputs equal and all halt cycles equal (checked by
+    :func:`synchronize_start`).
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 2:
+            raise ConfigurationError("start synchronization needs n >= 2")
+
+    def run(self):
+        period = 2 * self.n
+        count = 0
+        active = self.woke_spontaneously
+        last_heard: Optional[int] = None
+        deltas: List[int] = []
+        pending = Out()
+
+        if active:
+            # Spontaneous wake: announce count 0 in both directions.
+            pending = Out(left=0, right=0)
+        else:
+            # Woken by a message that arrived last cycle: sync and relay.
+            for port, value in self.wake_inbox:
+                count = max(count, value + 1)
+                last_heard = count
+                self._schedule_forward(pending, port, value + 1)
+
+        while True:
+            got = yield pending
+            count += 1
+            pending = Out()
+
+            for port, value in got.items():
+                adjusted = value + 1  # originator's count at this very cycle
+                if active:
+                    deltas.append(adjusted - count)
+                    count = max(count, adjusted)
+                    last_heard = count
+                    if len(deltas) == 2:
+                        local_max = all(d <= 0 for d in deltas) and any(
+                            d < 0 for d in deltas
+                        )
+                        if not local_max:
+                            active = False
+                        deltas = []
+                else:
+                    count = max(count, adjusted)
+                    last_heard = count
+                    self._schedule_forward(pending, port, adjusted)
+
+            if count % period == 0:
+                if last_heard is None or last_heard <= count - period:
+                    return count
+                if active:
+                    pending = Out(left=count, right=count)
+
+    @staticmethod
+    def _schedule_forward(pending: Out, arrival_port: Port, value: int) -> None:
+        """Relay out the opposite port next cycle (one arrival per port, so
+        the two slots never collide)."""
+        if arrival_port is Port.LEFT:
+            pending.right = value
+        else:
+            pending.left = value
+
+
+def synchronize_start(
+    config: RingConfiguration,
+    wakeup: WakeupSchedule,
+    max_cycles: Optional[int] = None,
+) -> RunResult:
+    """Run Figure 5 under a wake-up schedule and check synchrony.
+
+    Raises :class:`repro.core.errors.ProtocolError` unless every processor
+    halts at the same global cycle with the same final count.
+    """
+    result = run_synchronous(
+        config, StartSynchronization, wakeup=wakeup, max_cycles=max_cycles
+    )
+    if len(set(result.outputs)) != 1:
+        raise ProtocolError(f"final counts disagree: {result.outputs}")
+    if result.halt_times is not None and len(set(result.halt_times)) != 1:
+        raise ProtocolError(f"halt cycles disagree: {result.halt_times}")
+    return result
+
+
+def message_bound(n: int) -> float:
+    """The paper's bound ``2n(1 + log₁.₅ n)``."""
+    return 2 * n * (1 + math.log(n, 1.5))
+
+
+def run_with_random_schedule(
+    config: RingConfiguration, seed: int
+) -> Tuple[WakeupSchedule, RunResult]:
+    """Convenience: random realizable schedule, then synchronize."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    times = [0]
+    for _ in range(config.n - 1):
+        step = rng.choice((-1, 0, 1))
+        times.append(times[-1] + step)
+    # Close the walk so the ring constraint holds between last and first.
+    while abs(times[-1] - times[0]) > 1:
+        times[-1] += 1 if times[-1] < times[0] else -1
+    schedule = WakeupSchedule.from_times(times)
+    return schedule, synchronize_start(config, schedule)

@@ -1,0 +1,186 @@
+"""Bit-efficient start synchronization (§4.2.4).
+
+Figure 5 ships clock counters as message payloads — Θ(log n) bits each.
+§4.2.4 removes the payload entirely: time itself carries the value.  Each
+active processor announces a round boundary with a *pair* of nil
+messages per direction: the originator emits them one cycle apart, the
+first travels at speed 1 (relays forward it the next cycle) and the
+second at speed ½ (relays hold it one extra cycle).  A receiver at hop
+distance ``j`` therefore sees the pair exactly ``j`` cycles apart — the
+gap *is* the distance.  Rounds live on a fixed ``3n``-cycle grid and all
+clocks stay within ``n`` of each other, so the round boundary ``C`` is
+the unique multiple of ``3n`` consistent with the receiver's own clock,
+and the originator's exact current count follows — no payload bits
+needed.
+
+Everything else mirrors Figure 5: spontaneous wakers are active and
+announce every round; an active that hears a strictly-ahead clock, or
+ties with both neighbors, goes passive; counts are dragged up to the
+maximum; a silent round window means agreement and everyone halts on the
+same boundary.  (A jump can never skip a boundary: in-round arrivals
+complete within ``2n`` cycles of a ``3n`` round and land on the same
+round's trajectory.)
+
+Costs (paper): Θ(n log n) single-bit messages over Θ(n log n) cycles —
+``message_bound``/``cycle_bound`` give our implementation's envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..sync.process import Out, SyncProcess
+from ..sync.simulator import run_synchronous
+from ..sync.wakeup import WakeupSchedule
+
+
+class BitStartSynchronization(SyncProcess):
+    """One processor of the §4.2.4 nil-message synchronizer.
+
+    Output: the final clock count; a correct run has all outputs and all
+    halt cycles equal (checked by :func:`synchronize_start_bits`).
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 2:
+            raise ConfigurationError("start synchronization needs n >= 2")
+
+    # ------------------------------------------------------------------
+    def run(self):
+        n = self.n
+        period = 3 * n
+        count = 0  # logical clock; jumps forward when syncing
+        ticks = 0  # physical cycles since wake; never jumps
+        active = self.woke_spontaneously
+        last_heard: Optional[int] = None
+        deltas: List[int] = []
+        # Per arrival port: (tick of the pending fast arrival, was it
+        # relayed); None when the next nil starts a new pair.
+        open_pair: Dict[Port, Optional[Tuple[int, bool]]] = {
+            Port.LEFT: None,
+            Port.RIGHT: None,
+        }
+        # Relay queue: (delay, port). An entry appended during arrival
+        # processing with delay d is emitted d+1 cycles after the arrival.
+        outbox: List[Tuple[int, Port]] = []
+
+        pending = Out()
+        if active:
+            # Round-0 announcement: fast both ways now, slow one cycle later.
+            pending = Out(left=None, right=None)
+            outbox.extend([(0, Port.LEFT), (0, Port.RIGHT)])
+        else:
+            for port, _payload in self.wake_inbox:
+                # A fast nil woke us (arrival = one tick before our first
+                # emission): relay it on our first cycle, speed 1.
+                self._emit(pending, port.opposite)
+                open_pair[port] = (0, True)
+
+        while True:
+            got = yield pending
+            count += 1
+            ticks += 1
+
+            # --- arrivals ----------------------------------------------
+            for port, _payload in got.items():
+                pair = open_pair[port]
+                if pair is None:
+                    # Fast copy: open the pair; relay next cycle if passive.
+                    if active:
+                        open_pair[port] = (ticks, False)
+                    else:
+                        outbox.append((0, port.opposite))
+                        open_pair[port] = (ticks, True)
+                    continue
+                # Slow copy: the tick gap is the hop distance.
+                fast_tick, fast_relayed = pair
+                open_pair[port] = None
+                hops = ticks - fast_tick
+                if hops < 1 or hops > n:
+                    raise ProtocolError(f"impossible pair gap {hops}")
+                origin_round = period * round((count - 2 * hops) / period)
+                origin_now = origin_round + 2 * hops
+                if active:
+                    deltas.append(origin_now - count)
+                    count = max(count, origin_now)
+                    if len(deltas) == 2:
+                        local_max = all(d <= 0 for d in deltas) and any(
+                            d < 0 for d in deltas
+                        )
+                        if not local_max:
+                            active = False
+                        deltas = []
+                else:
+                    count = max(count, origin_now)
+                    if fast_relayed:
+                        outbox.append((1, port.opposite))  # speed ½: hold one
+                last_heard = count
+
+            # --- flush relays due next cycle ---------------------------
+            pending = Out()
+            remaining: List[Tuple[int, Port]] = []
+            for delay, out_port in outbox:
+                if delay == 0:
+                    self._emit(pending, out_port)
+                else:
+                    remaining.append((delay - 1, out_port))
+            outbox = remaining
+
+            # --- round boundary ----------------------------------------
+            if count % period == 0:
+                if last_heard is None or last_heard <= count - period:
+                    return count
+                if active:
+                    self._emit(pending, Port.LEFT)
+                    self._emit(pending, Port.RIGHT)
+                    # Slow copies one cycle after the fast ones; entries
+                    # appended after the flush mature one iteration later.
+                    outbox.extend([(0, Port.LEFT), (0, Port.RIGHT)])
+
+    @staticmethod
+    def _emit(pending: Out, out_port: Port) -> None:
+        """Put a nil message in a pending slot, refusing collisions."""
+        if out_port is Port.LEFT:
+            if pending.left is None:
+                raise ProtocolError("relay collision on left port")
+            pending.left = None
+        else:
+            if pending.right is None:
+                raise ProtocolError("relay collision on right port")
+            pending.right = None
+
+
+def synchronize_start_bits(
+    config: RingConfiguration,
+    wakeup: WakeupSchedule,
+    max_cycles: Optional[int] = None,
+) -> RunResult:
+    """Run §4.2.4 under a wake-up schedule; assert synchrony and 1-bit costs."""
+    result = run_synchronous(
+        config, BitStartSynchronization, wakeup=wakeup, max_cycles=max_cycles
+    )
+    if len(set(result.halt_times)) != 1:
+        raise ProtocolError(f"halt cycles disagree: {result.halt_times}")
+    if len(set(result.outputs)) != 1:
+        raise ProtocolError(f"final counts disagree: {result.outputs}")
+    if result.stats.bits != result.stats.messages:
+        raise ProtocolError("a message cost more than one bit")
+    return result
+
+
+def message_bound(n: int) -> float:
+    """``4n·(log₁.₅ n + 1)`` messages — the paper's ``4n·log₁.₅ n`` plus the
+    startup round."""
+    return 4 * n * (math.log(n, 1.5) + 1)
+
+
+def cycle_bound(n: int) -> float:
+    """``3n·(log₁.₅ n + 4)`` cycles — the paper's ``3n·log₁.₅ n`` plus the
+    silent halting-detection rounds."""
+    return 3 * n * (math.log(n, 1.5) + 4)

@@ -1,0 +1,66 @@
+"""Synchronous AND with a linear number of messages (§4.2).
+
+The algorithm that separates the synchronous from the asynchronous model:
+silence carries information.  A processor holding 0 announces it in both
+directions and halts; a processor holding 1 listens for ``⌊n/2⌋`` cycles —
+if a zero-announcement reaches it, it forwards the announcement once and
+halts with 0; if the deadline passes silently, every processor must have
+input 1 and it halts with 1.
+
+At most two messages originate or are forwarded per processor, so the
+total is O(n); the same function costs ``Ω(n²)`` messages asynchronously
+(§5.2.1), which is experiment E6's contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..sync.process import Out, SyncProcess
+from ..sync.simulator import run_synchronous
+
+
+class SyncAnd(SyncProcess):
+    """One processor of the linear-message synchronous AND algorithm."""
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if input_value not in (0, 1):
+            raise ConfigurationError(f"AND needs 0/1 inputs, got {input_value!r}")
+        if n < 2:
+            raise ConfigurationError("AND needs n >= 2")
+
+    def run(self):
+        if self.input == 0:
+            # Announce and halt; the announcement itself is the output 0.
+            yield Out(left=None, right=None)
+            return 0
+        # Input 1: listen for floor(n/2) cycles.  A zero announced at cycle 0
+        # reaches distance d at cycle d-1, so distance floor(n/2) arrives by
+        # cycle floor(n/2) - 1; one extra cycle covers the forwarding wave.
+        deadline = self.n // 2
+        for _cycle in range(deadline):
+            received = yield Out()
+            if received.any():
+                # Forward the announcement onward (out the opposite port of
+                # each arrival) and halt with 0.
+                forwards = Out()
+                for port, _payload in received.items():
+                    if port is Port.LEFT:
+                        forwards.right = None
+                    else:
+                        forwards.left = None
+                yield forwards
+                return 0
+        return 1
+
+
+def compute_and_sync(
+    config: RingConfiguration, max_cycles: Optional[int] = None
+) -> RunResult:
+    """Run the linear synchronous AND on a 0/1 configuration."""
+    return run_synchronous(config, SyncAnd, max_cycles=max_cycles)

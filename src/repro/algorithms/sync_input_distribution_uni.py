@@ -1,0 +1,160 @@
+"""Unidirectional synchronous input distribution (§4.2.1, final remark).
+
+"It is easy to modify the last algorithm so as to use only one-sided
+communication" — here is that modification, worked out.  All messages
+travel rightward; the bidirectional neighbor comparison of Figure 2 is
+replaced by a Peterson-style two-hop comparison, adapted to tolerate the
+equal labels an anonymous ring produces:
+
+* phase A (n cycles): actives send their label right; each active
+  receives ``d₁``, the label of its nearest active to the left;
+* phase B (n cycles): actives relay that ``d₁`` right; each active
+  receives ``d₂``, the label two actives away;
+* an active survives iff ``d₁ > own`` **and** ``d₁ ≥ d₂``.
+
+The tie rule is what makes anonymity safe: if all labels are equal nobody
+survives (the deadlock signal, exactly as in Figure 2 — the ring is then
+periodic and everyone can reconstruct it), if labels differ somewhere at
+least one processor survives (the rightmost of a maximal block beats its
+non-maximal right neighbor), and no two *consecutive* actives can both
+survive (their conditions are contradictory), so at least half the
+actives die per round: at most ``log₂ n`` rounds.
+
+Phase C (label creation) and the final broadcast are Figure 2's own —
+they were already unidirectional.
+
+Cost: ≤ ``n(3·log₂ n + 4)`` messages; every message travels right.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..core.views import RingView
+from ..sync.process import In, Out, SyncProcess
+from ..sync.simulator import run_synchronous
+
+
+class SyncInputDistributionUni(SyncProcess):
+    """One processor of the unidirectional variant (oriented rings)."""
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 2:
+            raise ConfigurationError("input distribution needs n >= 2")
+
+    # ------------------------------------------------------------------
+    def run(self):
+        n = self.n
+        active = True
+        label: Tuple[Any, ...] = (self.input,)
+
+        while True:
+            if active:
+                d1 = yield from self._active_collect(Out(right=label), n)
+                d2 = yield from self._active_collect(Out(right=d1), n)
+                winner = d1 > label and d1 >= d2
+            else:
+                yield from self._relay_right(n)
+                yield from self._relay_right(n)
+                winner = False
+
+            # ---------------- phase C: label creation ------------------
+            if active and winner:
+                inbox = yield from self.emit_then_sleep(Out(right=()), n - 1)
+                arrivals = [payload for _, got in inbox for _, payload in got.items()]
+                if len(arrivals) != 1:
+                    raise ProtocolError(
+                        f"winner received {len(arrivals)} accumulators, expected 1"
+                    )
+                label = tuple(arrivals[0]) + (self.input,)
+            else:
+                quiet = True
+                pending: Optional[Tuple[Any, ...]] = None
+                for _cycle in range(n):
+                    out = Out()
+                    if pending is not None:
+                        out.right = pending
+                        pending = None
+                    got = yield out
+                    if got.any():
+                        quiet = False
+                        active = False
+                        port, payload = got.items()[0]
+                        if port is not Port.LEFT or got.count() != 1:
+                            raise ProtocolError(f"unexpected arrival: {got!r}")
+                        pending = tuple(payload) + (self.input,)
+                if pending is not None:
+                    raise ProtocolError("accumulator still pending at phase end")
+                if quiet:
+                    break
+
+        # ---------------- broadcast (Figure 2's, unchanged) -------------
+        if active:
+            yield Out(right=label)
+            return self._view_from_period(label)
+        for _cycle in range(n + 1):
+            got = yield Out()
+            if got.any():
+                port, payload = got.items()[0]
+                if port is not Port.LEFT or got.count() != 1:
+                    raise ProtocolError(f"unexpected broadcast arrival: {got!r}")
+                label = tuple(payload[1:]) + (payload[0],)
+                yield Out(right=label)
+                return self._view_from_period(label)
+        raise ProtocolError("no broadcast message arrived")
+
+    # ------------------------------------------------------------------
+    def _active_collect(self, first: Out, cycles: int):
+        """Emit once, absorb for the phase; return the single arrival."""
+        inbox = yield from self.emit_then_sleep(first, cycles - 1)
+        arrivals = [payload for _, got in inbox for _, payload in got.items()]
+        if len(arrivals) != 1:
+            raise ProtocolError(
+                f"active expected exactly one rightward label, got {len(arrivals)}"
+            )
+        return tuple(arrivals[0])
+
+    def _relay_right(self, cycles: int):
+        """Relay left-port arrivals out the right port for one phase."""
+        pending = Out()
+        for _cycle in range(cycles):
+            got = yield pending
+            pending = Out()
+            for port, payload in got.items():
+                if port is not Port.LEFT:
+                    raise ProtocolError("unidirectional run saw leftward traffic")
+                pending.right = payload
+        if tuple(pending.sends()):
+            raise ProtocolError("relay still pending at phase end")
+
+    def _view_from_period(self, label: Tuple[Any, ...]) -> RingView:
+        p = len(label)
+        if p == 0 or self.n % p != 0:
+            raise ProtocolError(f"period {p} does not divide ring size {self.n}")
+        if label[-1] != self.input:
+            raise ProtocolError("period does not end at own input")
+        entries = tuple((1, label[(p - 1 + d) % p]) for d in range(self.n))
+        return RingView(entries)
+
+
+def distribute_inputs_sync_uni(
+    config: RingConfiguration, max_cycles: Optional[int] = None
+) -> RunResult:
+    """Run the unidirectional variant on a consistently oriented ring."""
+    if not config.is_oriented:
+        raise ConfigurationError(
+            "the unidirectional variant assumes a consistently oriented ring"
+        )
+    return run_synchronous(config, SyncInputDistributionUni, max_cycles=max_cycles)
+
+
+def message_bound(n: int) -> float:
+    """``n(3·log₂ n + 4)`` messages (3n per round, ≤ log₂ n rounds, the
+    deadlock round, and the broadcast)."""
+    return n * (3 * math.log2(n) + 4)

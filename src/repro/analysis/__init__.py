@@ -1,0 +1,22 @@
+"""Measurement analysis: shape fitting, bound checks, trade-off records."""
+
+from .complexity import (
+    SHAPES,
+    BoundCheck,
+    ShapeFit,
+    best_shape,
+    fit_shape,
+    growth_exponent,
+)
+from .tradeoff import TradeoffPoint, time_lower_bound
+
+__all__ = [
+    "BoundCheck",
+    "SHAPES",
+    "ShapeFit",
+    "TradeoffPoint",
+    "best_shape",
+    "fit_shape",
+    "growth_exponent",
+    "time_lower_bound",
+]

@@ -1,0 +1,95 @@
+"""Fitting measured message counts to the paper's complexity shapes.
+
+The benchmark harness measures messages at a sweep of ring sizes; this
+module decides which growth shape — ``n``, ``n log n``, or ``n²`` — fits
+best, so "who wins, by what shape" can be asserted mechanically instead
+of eyeballed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+#: The candidate shapes, as name -> f(n).
+SHAPES: Dict[str, Callable[[float], float]] = {
+    "linear": lambda n: n,
+    "nlogn": lambda n: n * math.log(n),
+    "quadratic": lambda n: n * n,
+}
+
+
+@dataclass(frozen=True)
+class ShapeFit:
+    """Result of fitting one shape to the data."""
+
+    shape: str
+    scale: float
+    relative_rmse: float
+
+
+def fit_shape(ns: Sequence[int], values: Sequence[float]) -> Tuple[ShapeFit, ...]:
+    """Least-squares scale for each candidate shape, best fit first.
+
+    The fit minimizes ``Σ (value − scale·shape(n))²``; quality is the
+    root-mean-square error relative to the mean measured value, so fits
+    are comparable across shapes.
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need matching sequences with at least two points")
+    ys = np.asarray(values, dtype=float)
+    fits = []
+    for name, shape in SHAPES.items():
+        xs = np.asarray([shape(n) for n in ns], dtype=float)
+        scale = float(np.dot(xs, ys) / np.dot(xs, xs))
+        residual = ys - scale * xs
+        rel = float(np.sqrt(np.mean(residual**2)) / np.mean(ys))
+        fits.append(ShapeFit(shape=name, scale=scale, relative_rmse=rel))
+    return tuple(sorted(fits, key=lambda f: f.relative_rmse))
+
+
+def best_shape(ns: Sequence[int], values: Sequence[float]) -> str:
+    """The name of the best-fitting shape."""
+    return fit_shape(ns, values)[0].shape
+
+
+def growth_exponent(ns: Sequence[int], values: Sequence[float]) -> float:
+    """Log–log slope: ~1 for linear/n·log n, ~2 for quadratic growth."""
+    xs = np.log(np.asarray(ns, dtype=float))
+    ys = np.log(np.asarray(values, dtype=float))
+    slope, _intercept = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One paper-bound-vs-measurement record (rows of EXPERIMENTS.md)."""
+
+    experiment: str
+    n: int
+    measured: float
+    bound: float
+    kind: str  # "upper" (measured must be <= bound) or "lower" (>=)
+
+    @property
+    def satisfied(self) -> bool:
+        if self.kind == "upper":
+            return self.measured <= self.bound + 1e-9
+        if self.kind == "lower":
+            return self.measured >= self.bound - 1e-9
+        raise ValueError(f"unknown bound kind {self.kind!r}")
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.bound if self.bound else math.inf
+
+    def row(self) -> str:
+        """A markdown table row."""
+        mark = "✓" if self.satisfied else "✗"
+        return (
+            f"| {self.experiment} | {self.n} | {self.measured:.0f} | "
+            f"{self.bound:.1f} | {self.kind} | {self.ratio:.3f} | {mark} |"
+        )

@@ -1,0 +1,50 @@
+"""The §8 time/bits trade-off for synchronous input distribution.
+
+Two extremes bracket the trade-off:
+
+* Figure 2, message-optimal: ``Θ(n log n)`` messages in ``Θ(n log n)``
+  time — but its label messages carry up to ``n`` input bits each;
+* the asynchronous §4.1 algorithm run in lock step: ``Θ(n²)`` one-bit
+  messages in ``Θ(n)`` time.
+
+The paper notes the fundamental constraint ``t ≥ (m/n) · 2^{c·n²/m}`` for
+any synchronous input-distribution algorithm using ``m`` bit-messages in
+time ``t`` (counting configurations vs. distinguishable computations),
+and that pushing bits to the minimum (via the §4.2.1 unary time-encoding)
+costs exponential time.  This module packages the bound and a record type
+for the measured extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def time_lower_bound(n: int, bit_messages: float, c: float = 0.05) -> float:
+    """``t ≥ (m/n)·2^{c·n²/m}``; the paper leaves ``c`` unnamed.
+
+    With the message-minimal ``m = Θ(n log n)`` the bound is exponential
+    in ``n/log n``; with ``m = Θ(n²)`` it is linear — matching the two
+    algorithms' behavior.
+    """
+    if bit_messages <= 0:
+        return math.inf
+    return (bit_messages / n) * 2 ** (c * n * n / bit_messages)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One measured (algorithm, bits, messages, time) point."""
+
+    algorithm: str
+    n: int
+    messages: int
+    bits: int
+    cycles: int
+
+    def row(self) -> str:
+        return (
+            f"| {self.algorithm} | {self.n} | {self.messages} | "
+            f"{self.bits} | {self.cycles} |"
+        )

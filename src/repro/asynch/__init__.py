@@ -1,0 +1,29 @@
+"""Asynchronous model: event-driven simulator, schedulers, adversaries."""
+
+from .process import AsyncFactory, AsyncProcess, Context
+from .schedulers import (
+    ChannelId,
+    GreedyChannelScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .simulator import (
+    default_event_budget,
+    run_async_synchronized,
+    run_asynchronous,
+)
+
+__all__ = [
+    "AsyncFactory",
+    "AsyncProcess",
+    "ChannelId",
+    "Context",
+    "GreedyChannelScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "default_event_budget",
+    "run_async_synchronized",
+    "run_asynchronous",
+]

@@ -1,0 +1,74 @@
+"""Asynchronous processors: message-driven state machines (§2, async model).
+
+An asynchronous processor reacts to events: a conceptual *start* event
+fires first, then one event per received message.  In each handler it may
+send messages on its ports and may halt.  Between events it does nothing —
+there is no clock to consult, which is exactly why the asynchronous lower
+bounds (§5) are quadratic while the synchronous ones (§6) are only
+``Θ(n log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.errors import ModelViolationError
+from ..core.message import Port
+
+
+class Context:
+    """Handler-side API: the only way a processor can act on the world.
+
+    The engine passes a fresh view of this object to each handler call;
+    sends are collected and dispatched when the handler returns (atomic
+    state transitions, as the model requires).
+    """
+
+    __slots__ = ("_sends", "_halted", "_output")
+
+    def __init__(self) -> None:
+        self._sends: List[Tuple[Port, Any]] = []
+        self._halted = False
+        self._output: Any = None
+
+    def send(self, port: Port, payload: Any = None) -> None:
+        """Send a message out one of the processor's ports."""
+        if self._halted:
+            raise ModelViolationError("a halted processor cannot send")
+        self._sends.append((port, payload))
+
+    def send_both(self, payload: Any = None) -> None:
+        """Send the same payload out both ports."""
+        self.send(Port.LEFT, payload)
+        self.send(Port.RIGHT, payload)
+
+    def halt(self, output: Any) -> None:
+        """Halt with the given output state; no further events are delivered."""
+        if self._halted:
+            raise ModelViolationError("processor halted twice")
+        self._halted = True
+        self._output = output
+
+
+class AsyncProcess:
+    """Base class for anonymous asynchronous processors.
+
+    Subclasses override :meth:`on_start` (the conceptual start transition)
+    and :meth:`on_message`.  Like their synchronous counterparts, processes
+    are built from ``(input, n)`` only.
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        self.input = input_value
+        self.n = n
+
+    def on_start(self, ctx: Context) -> None:
+        """The first state transition, caused by the conceptual start message."""
+
+    def on_message(self, ctx: Context, port: Port, payload: Any) -> None:
+        """Transition on receiving ``payload`` via ``port``."""
+        raise NotImplementedError
+
+
+#: A factory building the (identical) program of every processor.
+AsyncFactory = Callable[[Any, int], AsyncProcess]

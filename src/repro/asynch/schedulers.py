@@ -1,0 +1,71 @@
+"""Delivery schedulers for the asynchronous engine.
+
+The asynchronous model promises only that every message arrives after a
+finite delay and that each link is FIFO; *which* pending message arrives
+next is adversary-controlled.  A :class:`Scheduler` is that adversary: at
+each step it picks one nonempty directed channel and the engine delivers
+its head message.
+
+Three adversaries matter here:
+
+* :class:`RoundRobinScheduler` — fair and deterministic, good for tests;
+* :class:`RandomScheduler` — seeded random interleavings, good for
+  property tests (algorithm correctness must not depend on the schedule);
+* the *synchronizing adversary* of Theorem 5.1 — implemented separately in
+  :func:`repro.asynch.simulator.run_async_synchronized` because it also
+  fixes the order of deliveries within a step (all of a round's messages,
+  left neighbor before right).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Optional, Sequence, Tuple
+
+#: Directed channel id: (sender index, receiver index, physical step ±1).
+ChannelId = Tuple[int, int, int]
+
+
+class Scheduler:
+    """Chooses which pending channel delivers next."""
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        """Pick one of the (nonempty, sorted) pending channels."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotates over channels, giving each queue service in turn.
+
+    Deterministic: a run under this scheduler is reproducible, which makes
+    failures debuggable.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        choice = pending[self._cursor % len(pending)]
+        self._cursor += 1
+        return choice
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random channel choice, with a seed for reproducibility."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = _random.Random(seed)
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        return pending[self._rng.randrange(len(pending))]
+
+
+class GreedyChannelScheduler(Scheduler):
+    """Drains one channel completely before moving on.
+
+    A pathological but legal schedule: useful in tests to confirm that
+    algorithm correctness is schedule-independent.
+    """
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        return pending[0]

@@ -1,0 +1,199 @@
+"""The asynchronous engines (§2, asynchronous model).
+
+Two entry points:
+
+* :func:`run_asynchronous` — the general event-driven engine.  A pluggable
+  :class:`repro.asynch.schedulers.Scheduler` decides which FIFO channel
+  delivers next; correctness of an algorithm means the ring output is right
+  under *every* schedule.
+
+* :func:`run_async_synchronized` — the synchronizing adversary of
+  Theorem 5.1.  Deliveries proceed in cycles: everything sent at cycle ``t``
+  arrives at cycle ``t+1``, each processor receiving its left port's
+  messages before its right port's, in send order.  This schedule keeps a
+  symmetric configuration symmetric, which is what forces the ``Ω(n²)``
+  bounds of §5; it also produces a per-cycle trace, so the fooling-pair
+  checker can count messages per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.errors import NonTerminationError, SimulationError
+from ..core.message import Envelope, Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult, TraceStats
+from .process import AsyncFactory, AsyncProcess, Context
+from .schedulers import ChannelId, RoundRobinScheduler, Scheduler
+
+
+def default_event_budget(n: int) -> int:
+    """Generous event budget: well above the ``n(n−1)`` of input distribution."""
+    return 32 * n * n + 256 * n + 1024
+
+
+class _Engine:
+    """Shared machinery: processor table, halting, send dispatch."""
+
+    def __init__(self, config: RingConfiguration, factory: AsyncFactory, keep_log: bool):
+        self.config = config
+        self.n = config.n
+        self.processes: List[AsyncProcess] = [
+            factory(config.inputs[i], config.n) for i in range(config.n)
+        ]
+        self.halted = [False] * self.n
+        self.outputs: List[Any] = [None] * self.n
+        self.stats = TraceStats(keep_log=keep_log)
+
+    def invoke_start(self, i: int, time: int) -> List[Tuple[Port, Any]]:
+        ctx = Context()
+        self.processes[i].on_start(ctx)
+        return self._absorb(i, ctx, time)
+
+    def invoke_message(
+        self, i: int, port: Port, payload: Any, time: int
+    ) -> List[Tuple[Port, Any]]:
+        ctx = Context()
+        self.processes[i].on_message(ctx, port, payload)
+        return self._absorb(i, ctx, time)
+
+    def _absorb(self, i: int, ctx: Context, time: int) -> List[Tuple[Port, Any]]:
+        if ctx._halted:
+            self.halted[i] = True
+            self.outputs[i] = ctx._output
+        return ctx._sends
+
+    def record(self, sender: int, out_port: Port, payload: Any, time: int) -> Tuple[int, Port, int]:
+        receiver, in_port, step = self.config.route(sender, out_port)
+        self.stats.record(
+            Envelope(
+                sender=sender,
+                receiver=receiver,
+                out_port=out_port,
+                in_port=in_port,
+                payload=payload,
+                send_time=time,
+            )
+        )
+        return receiver, in_port, step
+
+    def check_all_halted(self) -> None:
+        if not all(self.halted):
+            laggards = [i for i in range(self.n) if not self.halted[i]]
+            raise SimulationError(
+                f"deadlock: no messages pending but processors {laggards} "
+                "have not halted"
+            )
+
+
+def run_asynchronous(
+    config: RingConfiguration,
+    factory: AsyncFactory,
+    scheduler: Optional[Scheduler] = None,
+    max_events: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Run an asynchronous computation under an arbitrary schedule.
+
+    Start events fire for every processor (in index order) before any
+    delivery; thereafter the scheduler repeatedly picks a nonempty FIFO
+    channel and its head message is delivered.  The run ends when no
+    message is pending; every processor must have halted by then.
+
+    Raises:
+        NonTerminationError: the event budget was exhausted.
+        SimulationError: quiescence was reached with processors not halted.
+    """
+    engine = _Engine(config, factory, keep_log)
+    n = config.n
+    budget = max_events if max_events is not None else default_event_budget(n)
+    scheduler = scheduler or RoundRobinScheduler()
+    queues: Dict[ChannelId, Deque[Tuple[Port, Any]]] = {}
+    clock = 0
+
+    def dispatch(sender: int, sends: List[Tuple[Port, Any]]) -> None:
+        for out_port, payload in sends:
+            receiver, in_port, step = engine.record(sender, out_port, payload, clock)
+            cid: ChannelId = (sender, receiver, step)
+            queues.setdefault(cid, deque()).append((in_port, payload))
+
+    for i in range(n):
+        dispatch(i, engine.invoke_start(i, clock))
+        clock += 1
+
+    events = 0
+    while True:
+        pending = sorted(cid for cid, queue in queues.items() if queue)
+        if not pending:
+            break
+        events += 1
+        if events > budget:
+            raise NonTerminationError(f"event budget {budget} exhausted")
+        cid = scheduler.choose(pending)
+        if cid not in queues or not queues[cid]:
+            raise SimulationError(f"scheduler chose empty channel {cid!r}")
+        in_port, payload = queues[cid].popleft()
+        _, receiver, _ = cid
+        clock += 1
+        if engine.halted[receiver]:
+            continue  # dropped: late message to a halted processor
+        dispatch(receiver, engine.invoke_message(receiver, in_port, payload, clock))
+
+    engine.check_all_halted()
+    return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=None)
+
+
+def run_async_synchronized(
+    config: RingConfiguration,
+    factory: AsyncFactory,
+    max_cycles: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Run under the synchronizing adversary of Theorem 5.1.
+
+    All messages sent at cycle ``t`` are received at cycle ``t+1``; each
+    processor receives all of its left port's arrivals first, then its
+    right port's, each in send order.  The induction of Lemma 3.1 then
+    applies: after ``k`` cycles a processor's state is a function of its
+    k-neighborhood, so symmetric rings generate symmetric (and therefore
+    voluminous) traffic.
+
+    Returns a result whose ``cycles`` field is the number of delivery
+    cycles and whose trace has a meaningful per-cycle histogram.
+    """
+    engine = _Engine(config, factory, keep_log)
+    n = config.n
+    budget = max_cycles if max_cycles is not None else 8 * n + 64
+
+    # inflight[i] = messages to deliver to processor i next cycle, keyed by port.
+    inflight: List[Dict[Port, List[Any]]] = [
+        {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
+    ]
+
+    def dispatch(sender: int, sends: List[Tuple[Port, Any]], cycle: int) -> None:
+        for out_port, payload in sends:
+            receiver, in_port, _ = engine.record(sender, out_port, payload, cycle)
+            inflight[receiver][in_port].append(payload)
+
+    cycle = 0
+    for i in range(n):
+        dispatch(i, engine.invoke_start(i, cycle), cycle)
+
+    while any(batch[Port.LEFT] or batch[Port.RIGHT] for batch in inflight):
+        cycle += 1
+        if cycle > budget:
+            raise NonTerminationError(f"cycle budget {budget} exhausted")
+        arriving, inflight = inflight, [
+            {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
+        ]
+        for i in range(n):
+            for port in (Port.LEFT, Port.RIGHT):
+                for payload in arriving[i][port]:
+                    if engine.halted[i]:
+                        continue
+                    dispatch(i, engine.invoke_message(i, port, payload, cycle), cycle)
+
+    engine.check_all_halted()
+    return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=cycle)

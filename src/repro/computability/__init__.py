@@ -1,0 +1,43 @@
+"""Computability theory on anonymous rings (§3 of the paper)."""
+
+from .impossibility import (
+    SymmetryWitness,
+    demonstrate_orientation_failure,
+    theorem_32_witness,
+    theorem_33_witness,
+    theorem_35_witness,
+)
+from .invariance import (
+    InvarianceReport,
+    check_cyclic_invariance,
+    check_reversal_invariance,
+    computable_on_general_ring,
+    computable_on_oriented_ring,
+)
+from .necklaces import (
+    classes_with_half_run_of_ones,
+    count_bracelets,
+    count_necklaces,
+    half_run_class_count_lower_bound,
+    necklace_classes,
+    random_computable_function,
+)
+
+__all__ = [
+    "InvarianceReport",
+    "SymmetryWitness",
+    "check_cyclic_invariance",
+    "check_reversal_invariance",
+    "classes_with_half_run_of_ones",
+    "computable_on_general_ring",
+    "computable_on_oriented_ring",
+    "count_bracelets",
+    "count_necklaces",
+    "demonstrate_orientation_failure",
+    "half_run_class_count_lower_bound",
+    "necklace_classes",
+    "random_computable_function",
+    "theorem_32_witness",
+    "theorem_33_witness",
+    "theorem_35_witness",
+]

@@ -1,0 +1,130 @@
+"""Executable impossibility witnesses (Theorems 3.2, 3.3, 3.5, 3.6).
+
+Impossibility proofs become *demonstrators* here: each function builds the
+paper's adversarial configuration and verifies the structural fact the
+proof rests on (equal neighborhoods forcing equal behavior), optionally
+running a candidate algorithm to watch it fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.ring import RingConfiguration
+from ..sync.simulator import ProcessFactory, run_synchronous
+
+
+@dataclass(frozen=True)
+class SymmetryWitness:
+    """Two processor positions forced to behave identically.
+
+    ``config_a``/``config_b`` may be the same configuration.  Any
+    synchronous algorithm gives ``position_a`` (run on A) and
+    ``position_b`` (run on B) identical states for ``radius`` cycles
+    (Lemma 3.1), hence identical outputs if both halt by then.
+    """
+
+    config_a: RingConfiguration
+    config_b: RingConfiguration
+    position_a: int
+    position_b: int
+    radius: int
+
+    def verify(self) -> bool:
+        """Check the neighborhoods really are equal."""
+        return self.config_a.neighborhood(
+            self.position_a, self.radius
+        ) == self.config_b.neighborhood(self.position_b, self.radius)
+
+
+def theorem_32_witness(
+    input_zero: Sequence[Any],
+    input_one: Sequence[Any],
+    halting_time: int,
+    padding: Sequence[Any] = (),
+) -> SymmetryWitness:
+    """Theorem 3.2: no nonconstant ``f`` is computable on unbounded sizes.
+
+    Builds the ring ``I₀^{2T+1} · X · I₁^{2T+1}``; the middle of the first
+    block has the same T-neighborhood as the middle processor of a pure
+    ``I₀`` ring, so any algorithm halting within ``T`` cycles answers
+    ``f(I₀)`` there, and symmetrically ``f(I₁)`` in the second block —
+    two different answers on one ring.
+    """
+    if halting_time < 0:
+        raise ConfigurationError("halting time must be nonnegative")
+    reps = 2 * halting_time + 1
+    block_zero = tuple(input_zero) * reps
+    block_one = tuple(input_one) * reps
+    big = RingConfiguration.oriented(block_zero + tuple(padding) + block_one)
+    small = RingConfiguration.oriented(tuple(input_zero) * reps)
+    center = len(block_zero) // 2
+    witness = SymmetryWitness(
+        config_a=big,
+        config_b=small,
+        position_a=center,
+        position_b=center,
+        radius=halting_time,
+    )
+    if not witness.verify():
+        raise AssertionError("theorem 3.2 construction failed self-check")
+    return witness
+
+
+def theorem_33_witness(n_small: int, n_large: int) -> Tuple[RingConfiguration, RingConfiguration]:
+    """Theorem 3.3: a SUM algorithm cannot serve two ring sizes.
+
+    All-ones rings of different sizes have identical k-neighborhoods for
+    every ``k``, yet different sums: a size-oblivious algorithm answers
+    the same on both.
+    """
+    if n_small == n_large:
+        raise ConfigurationError("need two different sizes")
+    ring_a = RingConfiguration.oriented((1,) * n_small)
+    ring_b = RingConfiguration.oriented((1,) * n_large)
+    k = max(n_small, n_large)  # any radius: neighborhoods match regardless
+    if ring_a.neighborhood(0, k) != ring_b.neighborhood(0, k):
+        raise AssertionError("theorem 3.3 construction failed self-check")
+    return ring_a, ring_b
+
+
+def theorem_35_witness(half: int) -> Tuple[RingConfiguration, Tuple[Tuple[int, int], ...]]:
+    """Theorem 3.5: even rings cannot be oriented.
+
+    The two-half-rings configuration (Figure 1) pairs processor ``i`` with
+    ``2n−1−i``: equal ``⌊n/2⌋``-neighborhoods but opposite orientations,
+    so they make the same switch decision and one of them ends up wrong.
+    Returns the configuration and the symmetric pairs.
+    """
+    config = RingConfiguration.two_half_rings(half)
+    n = config.n
+    radius = n // 2
+    pairs = []
+    for i in range(half):
+        j = n - 1 - i
+        if config.neighborhood(i, radius) != config.neighborhood(j, radius):
+            raise AssertionError(f"pair ({i},{j}) not symmetric; construction bug")
+        pairs.append((i, j))
+    return config, tuple(pairs)
+
+
+def demonstrate_orientation_failure(
+    config: RingConfiguration,
+    pairs: Sequence[Tuple[int, int]],
+    factory: ProcessFactory,
+    max_cycles: Optional[int] = None,
+) -> bool:
+    """Run a claimed orientation algorithm on the Theorem 3.5 ring.
+
+    Returns True iff the run *failed* to orient (as it must): either some
+    symmetric pair produced equal switch bits while their orientations are
+    opposite (so the result cannot be uniform), or the switched ring is
+    simply not oriented.
+    """
+    result = run_synchronous(config, factory, max_cycles=max_cycles)
+    switched = config.apply_switches(
+        tuple(int(bool(o)) for o in result.outputs)
+    )
+    return not switched.is_oriented

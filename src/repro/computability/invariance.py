@@ -1,0 +1,112 @@
+"""Theorem 3.4: the computability characterization.
+
+A function ``f : Sⁿ → T`` is computable by an anonymous distributed
+algorithm
+
+* on a *clockwise-oriented* ring of size ``n`` iff ``f`` is invariant
+  under cyclic shifts of its input, and
+* on an *arbitrary* ring of size ``n`` iff it is invariant under cyclic
+  shifts **and reversals**.
+
+This module decides those conditions — exhaustively over a finite input
+domain, or on a sampled subset for large ``n`` — and provides the
+counterexample (the witness pair of inputs the function distinguishes but
+no anonymous algorithm can).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..algorithms.functions import RingFunction
+
+
+@dataclass(frozen=True)
+class InvarianceReport:
+    """Outcome of an invariance check.
+
+    ``counterexample`` is ``None`` when invariant; otherwise a pair of
+    input tuples related by the symmetry on which ``f`` disagrees.
+    """
+
+    invariant: bool
+    counterexample: Optional[Tuple[Tuple[Any, ...], Tuple[Any, ...]]]
+
+    def __bool__(self) -> bool:
+        return self.invariant
+
+
+def _inputs_to_check(
+    n: int,
+    domain: Sequence[Any],
+    sample: Optional[int],
+    seed: int,
+) -> Iterator[Tuple[Any, ...]]:
+    total = len(domain) ** n
+    if sample is None or sample >= total:
+        yield from itertools.product(domain, repeat=n)
+        return
+    rng = _random.Random(seed)
+    for _ in range(sample):
+        yield tuple(rng.choice(tuple(domain)) for _ in range(n))
+
+
+def check_cyclic_invariance(
+    f: RingFunction,
+    n: int,
+    domain: Sequence[Any] = (0, 1),
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> InvarianceReport:
+    """Is ``f`` invariant under cyclic shifts on ``domain**n``?
+
+    ``sample=None`` checks exhaustively (use for small ``n``); otherwise
+    ``sample`` random inputs are checked.
+    """
+    for inputs in _inputs_to_check(n, domain, sample, seed):
+        base = f.on_inputs(inputs)
+        for shift in range(1, n):
+            shifted = inputs[shift:] + inputs[:shift]
+            if f.on_inputs(shifted) != base:
+                return InvarianceReport(False, (inputs, shifted))
+    return InvarianceReport(True, None)
+
+
+def check_reversal_invariance(
+    f: RingFunction,
+    n: int,
+    domain: Sequence[Any] = (0, 1),
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> InvarianceReport:
+    """Is ``f`` invariant under input reversal on ``domain**n``?"""
+    for inputs in _inputs_to_check(n, domain, sample, seed):
+        if f.on_inputs(inputs[::-1]) != f.on_inputs(inputs):
+            return InvarianceReport(False, (inputs, inputs[::-1]))
+    return InvarianceReport(True, None)
+
+
+def computable_on_oriented_ring(
+    f: RingFunction,
+    n: int,
+    domain: Sequence[Any] = (0, 1),
+    sample: Optional[int] = None,
+) -> InvarianceReport:
+    """Theorem 3.4(i): computable on a clockwise-oriented size-``n`` ring?"""
+    return check_cyclic_invariance(f, n, domain, sample)
+
+
+def computable_on_general_ring(
+    f: RingFunction,
+    n: int,
+    domain: Sequence[Any] = (0, 1),
+    sample: Optional[int] = None,
+) -> InvarianceReport:
+    """Theorem 3.4(ii): computable on arbitrary size-``n`` rings?"""
+    cyclic = check_cyclic_invariance(f, n, domain, sample)
+    if not cyclic:
+        return cyclic
+    return check_reversal_invariance(f, n, domain, sample)

@@ -1,0 +1,117 @@
+"""Necklace and bracelet counting — the combinatorics behind Theorems 5.4 and 6.7.
+
+A *necklace* is an equivalence class of binary strings under rotation; a
+*bracelet* also quotients by reversal.  Theorem 3.4 says a computable
+Boolean function on an oriented ring is exactly a function on necklaces
+(on general rings: bracelets), so "a random computable Boolean function"
+means a uniformly random assignment of outputs to necklace classes.  Both
+random-function theorems bound probabilities by counting how many classes
+a cheap algorithm would be forced to merge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random as _random
+from typing import Callable, Dict, Iterable, Iterator, List, Set
+
+from ..core.strings import canonical_bracelet, canonical_necklace
+
+
+def _divisors(n: int) -> Iterator[int]:
+    for d in range(1, n + 1):
+        if n % d == 0:
+            yield d
+
+
+def count_necklaces(n: int, alphabet_size: int = 2) -> int:
+    """Number of rotation classes of length-``n`` strings (Burnside)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    total = sum(
+        _euler_phi(d) * alphabet_size ** (n // d) for d in _divisors(n)
+    )
+    return total // n
+
+
+def count_bracelets(n: int, alphabet_size: int = 2) -> int:
+    """Number of rotation+reversal classes of length-``n`` strings."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    k = alphabet_size
+    necklace_part = count_necklaces(n, k)
+    if n % 2 == 1:
+        reflection_part = k ** ((n + 1) // 2)
+    else:
+        reflection_part = (k ** (n // 2) + k ** (n // 2 + 1)) // 2
+    return (necklace_part + reflection_part) // 2
+
+
+def _euler_phi(n: int) -> int:
+    result = n
+    m = n
+    p = 2
+    while p * p <= m:
+        if m % p == 0:
+            while m % p == 0:
+                m //= p
+            result -= result // p
+        p += 1
+    if m > 1:
+        result -= result // m
+    return result
+
+
+def necklace_classes(n: int) -> Dict[str, List[str]]:
+    """All binary necklace classes of length ``n``: canonical -> members."""
+    classes: Dict[str, List[str]] = {}
+    for bits in itertools.product("01", repeat=n):
+        word = "".join(bits)
+        classes.setdefault(canonical_necklace(word), []).append(word)
+    return classes
+
+
+def random_computable_function(
+    n: int,
+    rng: _random.Random,
+    oriented: bool = True,
+) -> Callable[[str], int]:
+    """A uniformly random computable Boolean function on rings of size ``n``.
+
+    Outputs are chosen independently per necklace (oriented) or bracelet
+    (general) class, lazily, so large ``n`` costs only what is queried.
+    """
+    canon = canonical_necklace if oriented else canonical_bracelet
+    table: Dict[str, int] = {}
+
+    def f(word: str) -> int:
+        key = canon(word)
+        if key not in table:
+            table[key] = rng.randrange(2)
+        return table[key]
+
+    return f
+
+
+def classes_with_half_run_of_ones(n: int) -> Set[str]:
+    """Necklace classes containing a string with ``n/2`` contiguous ones.
+
+    Theorem 5.4's quantity ``s``: a Boolean function cheaper than ``n²/4``
+    asynchronous messages must be constant across all these classes (each
+    such input is half of a fooling pair with ``1ⁿ``), so the chance a
+    random computable function is cheap is at most ``2^{1−s}``.
+    """
+    if n % 2 != 0:
+        raise ValueError("defined for even n")
+    half = n // 2
+    classes = set()
+    for bits in itertools.product("01", repeat=half):
+        word = "1" * half + "".join(bits)
+        classes.add(canonical_necklace(word))
+    return classes
+
+
+def half_run_class_count_lower_bound(n: int) -> float:
+    """The paper's bound ``s ≥ 2^{n/2} / n``."""
+    return 2 ** (n / 2) / n

@@ -1,0 +1,88 @@
+"""Core model: rings, messages, neighborhoods, views, traces.
+
+This package is the executable form of the paper's §2 definitions.
+"""
+
+from .diagram import message_density, space_time_diagram
+from .errors import (
+    ConfigurationError,
+    ModelViolationError,
+    NonTerminationError,
+    NotComputableError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .message import LEFT, RIGHT, Envelope, Port, bit_length
+from .neighborhood import (
+    neighborhood_counts,
+    occurrences,
+    shared_neighborhood_pairs,
+    symmetry_index,
+    symmetry_index_set,
+    symmetry_profile,
+    symmetry_profile_set,
+)
+from .ring import Neighborhood, RingConfiguration, make_ring
+from .strings import (
+    canonical_bracelet,
+    canonical_necklace,
+    complement,
+    cyclic_occurrences,
+    cyclic_substrings,
+    distinct_cyclic_substrings,
+    is_palindrome,
+    longest_palindrome_centered_at,
+    minimal_rotation,
+    occurs_cyclically,
+    reverse_complement,
+    rotate,
+    rotations,
+    smallest_period,
+)
+from .tracing import RunResult, TraceStats
+from .views import RingView
+
+__all__ = [
+    "ConfigurationError",
+    "Envelope",
+    "LEFT",
+    "ModelViolationError",
+    "Neighborhood",
+    "NonTerminationError",
+    "NotComputableError",
+    "Port",
+    "ProtocolError",
+    "ReproError",
+    "RIGHT",
+    "RingConfiguration",
+    "RingView",
+    "RunResult",
+    "SimulationError",
+    "TraceStats",
+    "bit_length",
+    "canonical_bracelet",
+    "canonical_necklace",
+    "complement",
+    "cyclic_occurrences",
+    "cyclic_substrings",
+    "distinct_cyclic_substrings",
+    "is_palindrome",
+    "longest_palindrome_centered_at",
+    "make_ring",
+    "message_density",
+    "minimal_rotation",
+    "space_time_diagram",
+    "neighborhood_counts",
+    "occurrences",
+    "occurs_cyclically",
+    "reverse_complement",
+    "rotate",
+    "rotations",
+    "shared_neighborhood_pairs",
+    "smallest_period",
+    "symmetry_index",
+    "symmetry_index_set",
+    "symmetry_profile",
+    "symmetry_profile_set",
+]

@@ -1,0 +1,99 @@
+"""ASCII space–time diagrams of synchronous runs.
+
+A debugging and teaching aid: render who sent what, when, and which way,
+as the classic distributed-computing space–time picture.  Columns are
+processors, rows are cycles, ``>``/``<`` mark sends in the +1/−1 physical
+direction, ``*`` marks a halt.  Works from the message log, so any run
+executed with ``keep_log=True`` can be drawn after the fact.
+
+    from repro.core.diagram import space_time_diagram
+    result = run_synchronous(ring, SyncAnd, keep_log=True)
+    print(space_time_diagram(ring, result))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ring import RingConfiguration
+from .tracing import RunResult
+
+
+def space_time_diagram(
+    config: RingConfiguration,
+    result: RunResult,
+    max_cycles: Optional[int] = None,
+    show_payloads: bool = False,
+) -> str:
+    """Render a logged synchronous run as an ASCII space–time diagram.
+
+    Args:
+        config: the configuration the run executed on (for directions).
+        result: a run with ``stats.log`` populated (``keep_log=True``).
+        max_cycles: truncate the picture (``None`` = all cycles).
+        show_payloads: append a legend of payloads per cycle.
+
+    Raises:
+        ValueError: if the run carries no message log.
+    """
+    if not result.stats.log and result.stats.messages:
+        raise ValueError("run has no message log; pass keep_log=True")
+    n = config.n
+    last_cycle = max(
+        [env.send_time for env in result.stats.log]
+        + [t for t in (result.halt_times or (0,))]
+    )
+    if max_cycles is not None:
+        last_cycle = min(last_cycle, max_cycles)
+
+    # cell[cycle][processor] -> marks
+    sends: Dict[Tuple[int, int], str] = {}
+    payload_notes: Dict[int, List[str]] = {}
+    for env in result.stats.log:
+        if env.send_time > last_cycle:
+            continue
+        _recv, _port, step = config.route(env.sender, env.out_port)
+        mark = ">" if step == 1 else "<"
+        key = (env.send_time, env.sender)
+        existing = sends.get(key, "")
+        sends[key] = "x" if existing and existing != mark else mark
+        if show_payloads:
+            payload_notes.setdefault(env.send_time, []).append(
+                f"p{env.sender}{mark}{env.payload!r}"
+            )
+
+    width = max(3, len(str(n - 1)) + 2)
+    header = "cyc | " + "".join(f"{i:^{width}}" for i in range(n))
+    ruler = "-" * len(header)
+    lines = [header, ruler]
+    halts = result.halt_times or ()
+    for cycle in range(last_cycle + 1):
+        row = []
+        for processor in range(n):
+            mark = sends.get((cycle, processor), ".")
+            if halts and halts[processor] == cycle:
+                mark = mark + "*" if mark != "." else "*"
+            row.append(f"{mark:^{width}}")
+        line = f"{cycle:>3} | " + "".join(row)
+        if show_payloads and cycle in payload_notes:
+            line += "   " + " ".join(payload_notes[cycle])
+        lines.append(line)
+    lines.append(ruler)
+    lines.append(
+        f"legend: > send clockwise, < send counterclockwise, x both, * halt; "
+        f"{result.stats.messages} messages total"
+    )
+    return "\n".join(lines)
+
+
+def message_density(result: RunResult, buckets: int = 10) -> str:
+    """A one-line sparkline of messages per cycle — where the traffic is."""
+    if not result.stats.per_cycle:
+        return "(no messages)"
+    last = max(result.stats.per_cycle)
+    ticks = " ▁▂▃▄▅▆▇█"
+    counts = [0.0] * buckets
+    for cycle, count in result.stats.per_cycle.items():
+        counts[min(buckets - 1, cycle * buckets // (last + 1))] += count
+    peak = max(counts) or 1.0
+    return "".join(ticks[int(c / peak * (len(ticks) - 1))] for c in counts)

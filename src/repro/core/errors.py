@@ -1,0 +1,53 @@
+"""Exception hierarchy for the anonymous-ring reproduction library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  Errors are split along the paper's own fault
+lines: model violations (an algorithm trying to do something the §2 machine
+model forbids), configuration problems (malformed rings), and impossibility
+(asking for a computation the paper proves cannot exist).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A ring configuration is malformed (bad size, bad orientation vector)."""
+
+
+class ModelViolationError(ReproError):
+    """An algorithm violated the machine model of §2.
+
+    Examples: sending on a nonexistent port, sending after halting, or a
+    processor attempting to read its own index (anonymity breach).
+    """
+
+
+class NotComputableError(ReproError):
+    """The requested problem has no distributed solution on this ring.
+
+    Raised by constructions that correspond to the paper's impossibility
+    theorems: orientation of even rings (Theorem 3.5), functions that are
+    not cyclic-shift invariant (Theorem 3.4), size-oblivious algorithms
+    (Theorems 3.2 and 3.3).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator detected an inconsistent internal state."""
+
+
+class NonTerminationError(SimulationError):
+    """A simulation exceeded its cycle or event budget without halting.
+
+    Deterministic anonymous-ring algorithms in this library all have known
+    worst-case running times; exceeding a generous multiple of that budget
+    indicates a bug (usually a deadlock the algorithm failed to detect).
+    """
+
+
+class ProtocolError(ModelViolationError):
+    """A processor produced output that violates its algorithm's protocol."""

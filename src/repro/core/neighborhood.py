@@ -1,0 +1,94 @@
+"""Symmetry index functions (§2).
+
+For a configuration ``R`` and a k-neighborhood ``σ``, ``g(R, σ)`` is the
+number of processors of ``R`` whose k-neighborhood equals ``σ``.  The
+*symmetry index* ``SI(R, k)`` is the minimum of ``g(R, σ)`` over the
+σ that actually occur; it measures how replicated every local pattern is.
+High symmetry index forces message traffic: whenever one processor sends,
+every processor sharing its neighborhood sends too (Lemma 3.1 /
+Theorem 5.1), which is the engine of every lower bound in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Sequence
+
+from .ring import Neighborhood, RingConfiguration
+
+
+def neighborhood_counts(
+    config: RingConfiguration, k: int
+) -> Dict[Neighborhood, int]:
+    """``g(R, ·)``: occurrence count of every k-neighborhood in ``R``."""
+    return dict(Counter(config.neighborhoods(k)))
+
+
+def occurrences(config: RingConfiguration, sigma: Neighborhood) -> int:
+    """``g(R, σ)`` for one specific neighborhood (0 if absent)."""
+    if len(sigma) % 2 != 1:
+        raise ValueError("a k-neighborhood has odd length 2k+1")
+    k = len(sigma) // 2
+    return sum(1 for nb in config.neighborhoods(k) if nb == sigma)
+
+
+def symmetry_index(config: RingConfiguration, k: int) -> int:
+    """``SI(R, k)``: minimum positive occurrence count of any k-neighborhood.
+
+    Equals ``n`` for a fully symmetric configuration (all inputs and
+    orientations equal) and 1 whenever some local pattern is unique.
+    """
+    counts = neighborhood_counts(config, k)
+    return min(counts.values())
+
+
+def symmetry_index_set(
+    configs: Sequence[RingConfiguration], k: int
+) -> int:
+    """``SI(R₁, …, R_j, k)`` for a set of configurations.
+
+    The minimum, over every k-neighborhood occurring in *some* configuration
+    of the set, of its total occurrence count across *all* configurations.
+    This is the quantity condition (6b) of the synchronous fooling-pair
+    definition bounds from below: a pattern that is rare across both
+    configurations together would let an algorithm break symmetry cheaply.
+    """
+    if not configs:
+        raise ValueError("need at least one configuration")
+    total: Counter = Counter()
+    for config in configs:
+        total.update(config.neighborhoods(k))
+    return min(total.values())
+
+
+def symmetry_profile(
+    config: RingConfiguration, max_k: int
+) -> Dict[int, int]:
+    """``SI(R, k)`` for every ``k`` in ``0 … max_k``."""
+    return {k: symmetry_index(config, k) for k in range(max_k + 1)}
+
+
+def symmetry_profile_set(
+    configs: Sequence[RingConfiguration], max_k: int
+) -> Dict[int, int]:
+    """``SI(R₁, …, R_j, k)`` for every ``k`` in ``0 … max_k``."""
+    return {k: symmetry_index_set(configs, k) for k in range(max_k + 1)}
+
+
+def shared_neighborhood_pairs(
+    config_a: RingConfiguration,
+    config_b: RingConfiguration,
+    k: int,
+) -> Iterable:
+    """Pairs ``(i, j)`` with processor ``i`` of A and ``j`` of B sharing a k-neighborhood.
+
+    These are the candidate processor pairs for fooling-pair condition (5a)
+    / (6a).  Yields pairs lazily; for an ``n``-processor ring with high
+    symmetry there can be ``Θ(n²)`` of them.
+    """
+    by_neighborhood: Dict[Neighborhood, list] = {}
+    for j in range(config_b.n):
+        by_neighborhood.setdefault(config_b.neighborhood(j, k), []).append(j)
+    for i in range(config_a.n):
+        for j in by_neighborhood.get(config_a.neighborhood(i, k), ()):
+            yield (i, j)

@@ -1,0 +1,187 @@
+"""Cyclic-string utilities.
+
+The combinatorics of the paper live on cyclic binary strings: ring inputs
+are strings read around the ring, k-neighborhoods are substrings, and the
+symmetry index counts cyclic occurrences.  This module collects the string
+primitives: cyclic occurrence counting, minimal rotation (canonical forms
+for necklace counting in Theorems 5.4 and 6.7), palindrome detection
+(§7.2.1), and cyclic shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+
+def rotate(word: str, shift: int) -> str:
+    """Cyclic left rotation of ``word`` by ``shift`` positions.
+
+    ``rotate("abcd", 1) == "bcda"``.  Negative shifts rotate right.
+    """
+    if not word:
+        return word
+    shift %= len(word)
+    return word[shift:] + word[:shift]
+
+
+def rotations(word: str) -> Iterator[str]:
+    """All cyclic rotations of ``word`` (``len(word)`` of them, with repeats)."""
+    for shift in range(len(word)):
+        yield rotate(word, shift)
+
+
+def cyclic_occurrences(pattern: str, word: str) -> int:
+    """Number of cyclic occurrences of ``pattern`` in ``word``.
+
+    A pattern occurs cyclically if it occurs in some cyclic shift of the
+    word; equivalently, occurrences are counted at each of the ``len(word)``
+    starting positions reading around the cycle (§2).  Patterns longer than
+    the word cannot occur.  The empty pattern occurs at every position.
+    """
+    n = len(word)
+    if len(pattern) > n:
+        return 0
+    if not pattern:
+        return n
+    doubled = word + word[: len(pattern) - 1]
+    count = 0
+    start = doubled.find(pattern)
+    while start != -1 and start < n:
+        count += 1
+        start = doubled.find(pattern, start + 1)
+    return count
+
+
+def occurs_cyclically(pattern: str, word: str) -> bool:
+    """Whether ``pattern`` occurs cyclically in ``word`` at least once."""
+    n = len(word)
+    if len(pattern) > n:
+        return False
+    if not pattern:
+        return True
+    return pattern in word + word[: len(pattern) - 1]
+
+
+def cyclic_substrings(word: str, length: int) -> Iterator[str]:
+    """Iterate the cyclic substrings of ``word`` of the given length.
+
+    Yields one substring per starting position (duplicates included), in
+    position order.  ``length`` may not exceed ``len(word)``.
+    """
+    n = len(word)
+    if length > n:
+        raise ValueError(f"substring length {length} exceeds word length {n}")
+    doubled = word + word[: max(0, length - 1)]
+    for start in range(n):
+        yield doubled[start : start + length]
+
+
+def distinct_cyclic_substrings(word: str, length: int) -> set:
+    """The set of distinct cyclic substrings of the given length."""
+    return set(cyclic_substrings(word, length))
+
+
+def minimal_rotation(word: str) -> str:
+    """Lexicographically smallest rotation of ``word`` (Booth's algorithm).
+
+    Runs in O(n).  Used as the canonical representative of a necklace
+    (rotation equivalence class) when counting classes for the random-
+    function theorems (5.4 and 6.7).
+    """
+    if not word:
+        return word
+    doubled = word + word
+    n = len(word)
+    failure = [-1] * (2 * n)
+    best = 0
+    for idx in range(1, 2 * n):
+        previous = failure[idx - best - 1]
+        while previous != -1 and doubled[idx] != doubled[best + previous + 1]:
+            if doubled[idx] < doubled[best + previous + 1]:
+                best = idx - previous - 1
+            previous = failure[previous]
+        if previous == -1 and doubled[idx] != doubled[best]:
+            if doubled[idx] < doubled[best]:
+                best = idx
+            failure[idx - best] = -1
+        else:
+            failure[idx - best] = previous + 1
+    return doubled[best : best + n]
+
+
+def canonical_necklace(word: str) -> str:
+    """Canonical representative under rotation only."""
+    return minimal_rotation(word)
+
+
+def canonical_bracelet(word: str) -> str:
+    """Canonical representative under rotation *and* reversal.
+
+    Functions computable on nonoriented rings must be invariant under both
+    (Theorem 3.4(ii)); the bracelet canonical form identifies the inputs
+    such a function cannot distinguish.
+    """
+    forward = minimal_rotation(word)
+    backward = minimal_rotation(word[::-1])
+    return min(forward, backward)
+
+
+def is_palindrome(word: str) -> bool:
+    """Whether ``word`` reads the same in both directions."""
+    return word == word[::-1]
+
+
+def longest_palindrome_centered_at(word: str, center: int) -> str:
+    """Longest odd-length palindromic substring of ``word`` centered at ``center``."""
+    if not 0 <= center < len(word):
+        raise ValueError(f"center {center} out of range for word of length {len(word)}")
+    radius = 0
+    while (
+        center - radius - 1 >= 0
+        and center + radius + 1 < len(word)
+        and word[center - radius - 1] == word[center + radius + 1]
+    ):
+        radius += 1
+    return word[center - radius : center + radius + 1]
+
+
+def complement(word: str) -> str:
+    """Bitwise complement of a binary string."""
+    table = str.maketrans("01", "10")
+    return word.translate(table)
+
+
+def reverse_complement(word: str) -> str:
+    """Reverse and complement — the transformation ``σ̄^R`` of §6.3.2."""
+    return complement(word)[::-1]
+
+
+def smallest_period(word: str) -> int:
+    """Length of the smallest cyclic period of ``word``.
+
+    The smallest ``p`` dividing ``len(word)`` with ``word == (word[:p]) * (n/p)``.
+    A deadlocked run of the Figure 2 input-distribution algorithm leaves
+    every active processor holding one such period.
+    """
+    n = len(word)
+    for p in range(1, n + 1):
+        if n % p == 0 and word == word[:p] * (n // p):
+            return p
+    raise AssertionError("unreachable: every word has period == its length")
+
+
+def parse_binary(word: str) -> Tuple[int, ...]:
+    """Binary string -> tuple of ints, validating the alphabet."""
+    if not all(ch in "01" for ch in word):
+        raise ValueError(f"not a binary string: {word!r}")
+    return tuple(int(ch) for ch in word)
+
+
+def to_binary(bits: Sequence[int]) -> str:
+    """Sequence of 0/1 ints -> binary string, validating the values."""
+    out = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"not a bit: {bit!r}")
+        out.append(str(bit))
+    return "".join(out)

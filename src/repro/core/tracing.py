@@ -1,0 +1,96 @@
+"""Message and bit accounting.
+
+Every bound in the paper is a statement about the number of messages (lower
+bounds) or bits (algorithm analyses) sent in the worst case.  To make those
+bounds checkable, counting lives in the transport layer — an algorithm
+cannot send a message the trace does not see.
+
+:class:`TraceStats` accumulates totals plus a per-cycle histogram; the
+per-cycle view distinguishes *active cycles* (cycles in which some message
+is sent), the quantity Lemma 6.1 is stated over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .message import Envelope
+
+
+@dataclass
+class TraceStats:
+    """Accumulated transport statistics for one simulation run.
+
+    Attributes:
+        messages: total messages sent.
+        bits: total payload bits sent (see :func:`repro.core.message.bit_length`).
+        per_cycle: messages sent at each cycle index (sync runs; async runs
+            under the synchronizing adversary also populate this).
+        log: full message log, kept only when ``keep_log`` is true.
+    """
+
+    messages: int = 0
+    bits: int = 0
+    per_cycle: Dict[int, int] = field(default_factory=dict)
+    keep_log: bool = False
+    log: List[Envelope] = field(default_factory=list)
+
+    def record(self, envelope: Envelope) -> None:
+        """Account for one sent message."""
+        self.messages += 1
+        self.bits += envelope.bits
+        cycle = envelope.send_time
+        self.per_cycle[cycle] = self.per_cycle.get(cycle, 0) + 1
+        if self.keep_log:
+            self.log.append(envelope)
+
+    @property
+    def active_cycles(self) -> int:
+        """Number of cycles in which at least one message was sent (§6.1)."""
+        return len(self.per_cycle)
+
+    def messages_at(self, cycle: int) -> int:
+        """Messages sent at a specific cycle."""
+        return self.per_cycle.get(cycle, 0)
+
+    def merge(self, other: "TraceStats") -> "TraceStats":
+        """Combine two traces (e.g. the two runs of a fooling-pair experiment)."""
+        merged = TraceStats(keep_log=False)
+        merged.messages = self.messages + other.messages
+        merged.bits = self.bits + other.bits
+        for source in (self.per_cycle, other.per_cycle):
+            for cycle, count in source.items():
+                merged.per_cycle[cycle] = merged.per_cycle.get(cycle, 0) + count
+        return merged
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        outputs: per-processor output states, indexed by transport position.
+        stats: the transport trace.
+        cycles: total cycles (sync) or adversary rounds (async synchronized
+            schedules); ``None`` for event-driven async schedules where
+            "cycle" has no meaning.
+        halt_times: cycle at which each processor halted (sync runs).
+    """
+
+    outputs: Tuple[Any, ...]
+    stats: TraceStats
+    cycles: Optional[int] = None
+    halt_times: Optional[Tuple[int, ...]] = None
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return len(self.outputs)
+
+    def unanimous_output(self) -> Any:
+        """The common output, asserting all processors agree."""
+        first = self.outputs[0]
+        if any(out != first for out in self.outputs[1:]):
+            raise AssertionError(f"outputs disagree: {self.outputs!r}")
+        return first

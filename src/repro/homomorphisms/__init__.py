@@ -1,0 +1,71 @@
+"""Iterated word homomorphisms (D0L systems): the lower-bound string factory."""
+
+from .catalog import (
+    NAMED_HOMOMORPHISMS,
+    ORIENT_UNIFORM,
+    PALINDROME,
+    THUE_MORSE,
+    XOR_NONUNIFORM,
+    XOR_UNIFORM,
+)
+from .dol import (
+    RepetitivenessBound,
+    WordHom,
+    make_bound,
+    subword_complexity,
+    verify_theorem_63,
+)
+from .matrix import (
+    InverseConstruction,
+    Spectrum,
+    char_vector,
+    hom_spectrum,
+    integer_vectors_near_eigenray,
+    lemma_78,
+    pull_back,
+    quasi_uniformity_constants,
+    spectrum,
+    word_with_counts,
+)
+from .nonuniform import XorPair, seed_length_bound, xor_pair
+from .two_stage import (
+    OrientationConstruction,
+    StartSyncConstruction,
+    orientation_construction,
+    prefix_xor_orientation,
+    run_length_hom,
+    start_sync_construction,
+)
+
+__all__ = [
+    "InverseConstruction",
+    "NAMED_HOMOMORPHISMS",
+    "ORIENT_UNIFORM",
+    "OrientationConstruction",
+    "PALINDROME",
+    "RepetitivenessBound",
+    "Spectrum",
+    "StartSyncConstruction",
+    "THUE_MORSE",
+    "WordHom",
+    "XOR_NONUNIFORM",
+    "XOR_UNIFORM",
+    "XorPair",
+    "char_vector",
+    "hom_spectrum",
+    "integer_vectors_near_eigenray",
+    "lemma_78",
+    "make_bound",
+    "orientation_construction",
+    "prefix_xor_orientation",
+    "pull_back",
+    "quasi_uniformity_constants",
+    "run_length_hom",
+    "seed_length_bound",
+    "spectrum",
+    "start_sync_construction",
+    "subword_complexity",
+    "verify_theorem_63",
+    "word_with_counts",
+    "xor_pair",
+]

@@ -1,0 +1,35 @@
+"""The homomorphisms the paper actually uses, by name.
+
+================  ==================  ==========================================
+name              images              role in the paper
+================  ==================  ==========================================
+XOR_UNIFORM       0→011, 1→100        §6.3.1 XOR and §6.3.3/§7.2.2 start-sync
+                                      lower bounds; ``h^k(1) = complement``
+ORIENT_UNIFORM    0→011, 1→001        §6.3.2 orientation lower bound;
+                                      ``h^k(0) = reverse-complement of h^k(1)``
+THUE_MORSE        0→01,  1→10         §6.3.4 random-function theorem (Thm 6.7);
+                                      Thue's square-free-related morphism
+XOR_NONUNIFORM    0→011, 1→10         §7.1.1 arbitrary-``n`` XOR (det = −1)
+PALINDROME        0→00100, 1→11011    §7.2.1 arbitrary-``n`` orientation;
+                                      both images are palindromes
+================  ==================  ==========================================
+"""
+
+from __future__ import annotations
+
+from .dol import WordHom
+
+XOR_UNIFORM = WordHom("011", "100")
+ORIENT_UNIFORM = WordHom("011", "001")
+THUE_MORSE = WordHom("01", "10")
+XOR_NONUNIFORM = WordHom("011", "10")
+PALINDROME = WordHom("00100", "11011")
+
+#: All named homomorphisms, for parametrized tests.
+NAMED_HOMOMORPHISMS = {
+    "xor_uniform": XOR_UNIFORM,
+    "orient_uniform": ORIENT_UNIFORM,
+    "thue_morse": THUE_MORSE,
+    "xor_nonuniform": XOR_NONUNIFORM,
+    "palindrome": PALINDROME,
+}

@@ -1,0 +1,200 @@
+"""Word homomorphisms and D0L iteration (§6.2).
+
+The lower-bound constructions manufacture highly symmetric rings by
+iterating a homomorphism ``h : {0,1}* → {0,1}*``.  Two conditions make the
+resulting strings *repetitive* — every short factor occurs with frequency
+``Θ(1/|σ|)`` — which is what the symmetry index needs:
+
+* (6c) every word of length 2 occurs in ``h^c(0)`` and in ``h^c(1)`` for
+  some constant ``c``;
+* (6d) ``h`` is uniform: ``|h(0)| = |h(1)| = d ≥ 2``.
+
+Theorem 6.3 then gives: if ``σ`` occurs cyclically in ``ω = h^k(ρ)`` and
+``|σ| ≤ |ω| / (d^c·|ρ|)``, it occurs at least ``|ω′| / (d^{c+1}·|σ|)``
+times in *any* ``ω′ = h^k(ρ′)``.  The module implements the
+homomorphisms, the condition checks, the bound, and brute-force
+verification used by the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.strings import cyclic_occurrences, distinct_cyclic_substrings
+
+
+@dataclass(frozen=True)
+class WordHom:
+    """A homomorphism on binary words, given by the images of '0' and '1'."""
+
+    image0: str
+    image1: str
+
+    def __post_init__(self) -> None:
+        for image in (self.image0, self.image1):
+            if not image or any(ch not in "01" for ch in image):
+                raise ConfigurationError(f"image must be a nonempty binary word: {image!r}")
+
+    # ------------------------------------------------------------------
+    def image(self, symbol: str) -> str:
+        """The image of a single symbol."""
+        if symbol == "0":
+            return self.image0
+        if symbol == "1":
+            return self.image1
+        raise ConfigurationError(f"not a binary symbol: {symbol!r}")
+
+    def apply(self, word: str) -> str:
+        """``h(word)``: concatenate symbol images."""
+        return "".join(self.image(ch) for ch in word)
+
+    def iterate(self, word: str, k: int) -> str:
+        """``h^k(word)``."""
+        if k < 0:
+            raise ConfigurationError("iteration count must be nonnegative")
+        for _ in range(k):
+            word = self.apply(word)
+        return word
+
+    # ------------------------------------------------------------------
+    @property
+    def is_uniform(self) -> bool:
+        """Condition (6d): both images have the same length ``d ≥ 2``."""
+        return len(self.image0) == len(self.image1) >= 2
+
+    @property
+    def d(self) -> int:
+        """The uniform image length (requires uniformity)."""
+        if not self.is_uniform:
+            raise ConfigurationError("d is defined for uniform homomorphisms only")
+        return len(self.image0)
+
+    def satisfies_6c(self, c: int) -> bool:
+        """Does every length-2 word occur in ``h^c(0)`` and ``h^c(1)``?
+
+        Occurrence here is ordinary (non-cyclic) containment, as in the
+        paper's Lemma 6.4.
+        """
+        words2 = ["00", "01", "10", "11"]
+        for symbol in "01":
+            expanded = self.iterate(symbol, c)
+            if any(w not in expanded for w in words2):
+                return False
+        return True
+
+    def find_c(self, max_c: int = 8) -> Optional[int]:
+        """Smallest ``c ≤ max_c`` satisfying (6c), or None."""
+        for c in range(1, max_c + 1):
+            if self.satisfies_6c(c):
+                return c
+        return None
+
+    # ------------------------------------------------------------------
+    def char_counts(self, word: str) -> Tuple[int, int]:
+        """(zeros, ones) of a word — its characteristic vector."""
+        ones = word.count("1")
+        return (len(word) - ones, ones)
+
+    @property
+    def characteristic_matrix(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """The 2×2 matrix ``A_h = (χ_{h(0)} | χ_{h(1)})`` as nested tuples.
+
+        Row 0 counts zeros, row 1 counts ones; column j is the image of
+        symbol j.  ``χ_{h(ω)} = A_h · χ_ω``.
+        """
+        z0, o0 = self.char_counts(self.image0)
+        z1, o1 = self.char_counts(self.image1)
+        return ((z0, z1), (o0, o1))
+
+    @property
+    def determinant(self) -> int:
+        """det(A_h); the §7.1 construction needs ``|det| = 1``."""
+        (a, c), (b, d) = self.characteristic_matrix
+        return a * d - b * c
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WordHom(0→{self.image0}, 1→{self.image1})"
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.3: occurrence bounds for uniform repetitive homomorphisms
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepetitivenessBound:
+    """The constants of Theorem 6.3 for a specific (h, c).
+
+    For ``ω = h^k(ρ)`` and ``ω′ = h^k(ρ′)``: any ``σ`` occurring cyclically
+    in ``ω`` with ``|σ| ≤ a·|ω|/|ρ|`` occurs at least ``b·|ω′|/|σ|`` times
+    in ``ω′``.
+    """
+
+    hom: WordHom
+    c: int
+
+    @property
+    def a(self) -> float:
+        return 1.0 / self.hom.d**self.c
+
+    @property
+    def b(self) -> float:
+        return 1.0 / self.hom.d ** (self.c + 1)
+
+    def max_factor_length(self, omega_len: int, rho_len: int) -> int:
+        """Largest ``|σ|`` the theorem covers."""
+        return int(self.a * omega_len / rho_len)
+
+    def min_occurrences(self, omega_prime_len: int, sigma_len: int) -> int:
+        """The guaranteed occurrence count ``⌈b·|ω′|/|σ|⌉`` (≥ its real bound)."""
+        return math.ceil(self.b * omega_prime_len / sigma_len) if sigma_len else 0
+
+
+def make_bound(hom: WordHom, max_c: int = 8) -> RepetitivenessBound:
+    """Check (6c)+(6d) and package the Theorem 6.3 constants."""
+    if not hom.is_uniform:
+        raise ConfigurationError(f"{hom!r} is not uniform (condition 6d)")
+    c = hom.find_c(max_c)
+    if c is None:
+        raise ConfigurationError(f"{hom!r} fails condition (6c) up to c={max_c}")
+    return RepetitivenessBound(hom, c)
+
+
+def verify_theorem_63(
+    hom: WordHom,
+    k: int,
+    rho: str,
+    rho_prime: str,
+    max_sigma_len: Optional[int] = None,
+) -> bool:
+    """Brute-force check of Theorem 6.3 on concrete strings.
+
+    Enumerates every cyclic factor ``σ`` of ``ω = h^k(ρ)`` up to the
+    theorem's length cap and counts its cyclic occurrences in
+    ``ω′ = h^k(ρ′)``.  Quadratic in ``|ω|`` — intended for tests.
+    """
+    bound = make_bound(hom)
+    omega = hom.iterate(rho, k)
+    omega_prime = hom.iterate(rho_prime, k)
+    cap = bound.max_factor_length(len(omega), len(rho))
+    if max_sigma_len is not None:
+        cap = min(cap, max_sigma_len)
+    for length in range(1, cap + 1):
+        need = bound.b * len(omega_prime) / length
+        for sigma in distinct_cyclic_substrings(omega, length):
+            if cyclic_occurrences(sigma, omega_prime) < need:
+                return False
+    return True
+
+
+def subword_complexity(word: str, length: int) -> int:
+    """Number of distinct cyclic factors of the given length.
+
+    Repetitive strings have complexity ``O(length)`` (§8's connection to
+    Ehrenfeucht–Lee–Rozenberg subword complexity).
+    """
+    return len(distinct_cyclic_substrings(word, length))

@@ -1,0 +1,192 @@
+"""Characteristic matrices, spectra, and the §7.1 inverse construction.
+
+A homomorphism acts on characteristic vectors (zeros, ones) as a 2×2
+nonnegative integer matrix; iterating ``h`` is iterating ``A_h``.
+Lemma 7.1 gives the spectral facts (a dominant eigenvalue ``μ > 1`` with a
+positive eigenvector) that make nonuniform homomorphisms *quasi-uniform*.
+Theorem 7.5 runs the construction backwards: when ``|det A| = 1`` the
+inverse is integral, so an integer vector near ``n·w₀`` can be pulled back
+``k = Θ(log n)`` steps while staying positive — producing a seed of size
+``O(√n)`` whose ``h^k`` image has *exactly* the prescribed zero/one counts
+and length ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .dol import WordHom
+
+
+def char_vector(word: str) -> Tuple[int, int]:
+    """(zeros, ones) of a binary word."""
+    ones = word.count("1")
+    return (len(word) - ones, ones)
+
+
+def word_with_counts(zeros: int, ones: int) -> str:
+    """A canonical word with the given characteristic vector: ``0^z 1^o``."""
+    if zeros < 0 or ones < 0 or zeros + ones == 0:
+        raise ConfigurationError(f"invalid counts ({zeros}, {ones})")
+    return "0" * zeros + "1" * ones
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Eigen-structure of a positive 2×2 integer matrix (Lemma 7.1).
+
+    Attributes:
+        mu: the dominant eigenvalue, real and > 1.
+        nu: the second eigenvalue, ``|nu| < mu``.
+        w0: the positive dominant eigenvector, normalized to ``|w0|₁ = 1``.
+    """
+
+    mu: float
+    nu: float
+    w0: Tuple[float, float]
+
+
+def spectrum(matrix: Tuple[Tuple[int, int], Tuple[int, int]]) -> Spectrum:
+    """Closed-form eigenanalysis via the paper's equation (7b)."""
+    (a, c), (b, d) = matrix
+    if min(a, b, c, d) <= 0:
+        raise ConfigurationError("Lemma 7.1 needs a strictly positive matrix")
+    disc = math.sqrt((a - d) ** 2 + 4 * b * c)
+    mu = (a + d + disc) / 2
+    nu = (a + d - disc) / 2
+    # (a - mu) r + c s = 0  =>  s/r = (mu - a)/c  > 0.
+    r = 1.0
+    s = (mu - a) / c
+    norm = r + s
+    return Spectrum(mu=mu, nu=nu, w0=(r / norm, s / norm))
+
+
+def hom_spectrum(hom: WordHom) -> Spectrum:
+    """Spectrum of a homomorphism's characteristic matrix."""
+    return spectrum(hom.characteristic_matrix)
+
+
+def quasi_uniformity_constants(hom: WordHom, max_k: int = 12) -> Tuple[float, float]:
+    """Empirical ``(c₁, c₂)`` with ``c₁μᵏ ≤ |hᵏ(ε)| ≤ c₂μᵏ`` (condition 7a).
+
+    Measured over ``k ≤ max_k`` using the exact matrix powers; the ratios
+    converge, so the min/max over the sampled range are valid constants
+    for the sampled range and sharp in the limit.
+    """
+    mu = hom_spectrum(hom).mu
+    lows, highs = [], []
+    matrix = np.array(hom.characteristic_matrix, dtype=object)
+    for symbol_vec in (np.array([1, 0], dtype=object), np.array([0, 1], dtype=object)):
+        vec = symbol_vec
+        for k in range(1, max_k + 1):
+            vec = matrix @ vec
+            length = int(vec.sum())
+            lows.append(length / mu**k)
+            highs.append(length / mu**k)
+    return (min(lows), max(highs))
+
+
+@dataclass(frozen=True)
+class InverseConstruction:
+    """Result of the Theorem 7.5 pull-back.
+
+    ``h^k`` applied to any word with characteristic vector ``seed`` yields
+    a word with characteristic vector ``target`` (hence length ``n``).
+    """
+
+    k: int
+    seed: Tuple[int, int]
+    target: Tuple[int, int]
+
+    @property
+    def seed_length(self) -> int:
+        return self.seed[0] + self.seed[1]
+
+
+def pull_back(hom: WordHom, target: Tuple[int, int]) -> InverseConstruction:
+    """Theorem 7.5: maximal integral positive pull-back of ``target``.
+
+    Requires ``|det A_h| = 1`` and a strictly positive matrix.  Applies
+    ``A⁻¹`` as long as the vector stays strictly positive; the theorem
+    guarantees ``Θ(log n)`` steps and a seed of size ``O(√(a·n))`` when
+    the target is within distance ``a`` of the dominant eigenray.
+    """
+    matrix = hom.characteristic_matrix
+    (a, c), (b, d) = matrix
+    det = a * d - b * c
+    if abs(det) != 1:
+        raise ConfigurationError(
+            f"Theorem 7.5 needs |det| = 1, got det = {det} for {hom!r}"
+        )
+    if min(a, b, c, d) <= 0:
+        raise ConfigurationError("Theorem 7.5 needs a strictly positive matrix")
+    # A^{-1} = (1/det) [[d, -c], [-b, a]] — integral since |det| = 1.
+    inv = ((d * det, -c * det), (-b * det, a * det))
+    current = target
+    k = 0
+    while True:
+        nxt = (
+            inv[0][0] * current[0] + inv[0][1] * current[1],
+            inv[1][0] * current[0] + inv[1][1] * current[1],
+        )
+        if nxt[0] <= 0 or nxt[1] <= 0:
+            break
+        current = nxt
+        k += 1
+    if current == target and k == 0 and (target[0] <= 0 or target[1] <= 0):
+        raise ConfigurationError(f"target {target} is not positive")
+    return InverseConstruction(k=k, seed=current, target=target)
+
+
+def integer_vectors_near_eigenray(
+    hom: WordHom, n: int
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """Two adjacent integer vectors of weight ``n`` nearest ``n·w₀``.
+
+    The §7.1.1 XOR construction: ``w₁ = (p, q)`` rounds ``n·w₀`` and
+    ``w₂ = (p−1, q+1)`` shifts one unit mass, so the two have one-counts
+    of opposite parity — XOR tells them apart.
+    """
+    w0 = hom_spectrum(hom).w0
+    p = round(n * w0[0])
+    p = min(max(p, 2), n - 2)
+    return (p, n - p), (p - 1, n - p + 1)
+
+
+def lemma_78(p: int, q: int, n: int) -> Tuple[int, int]:
+    """Solve ``r·p + s·q = n`` with ``|r − s| ≤ (p + q)/2`` (Lemma 7.8).
+
+    Requires ``gcd(p, q) = 1``; ``r`` and ``s`` may be negative for small
+    ``n`` (the callers check positivity).
+    """
+    if math.gcd(p, q) != 1:
+        raise ConfigurationError(f"need coprime p, q; got gcd({p},{q}) != 1")
+    # Extended Euclid for one solution, then balance r - s by steps of
+    # (r - q, s + p), which shift the difference by p + q.
+    g, x, y = _extended_gcd(p, q)
+    assert g == 1
+    r, s = x * n, y * n
+    # Normalize: minimize |r - s| over the solution family r - tq, s + tp.
+    t = round((r - s) / (p + q))
+    r -= t * q
+    s += t * p
+    while abs(r - s) > (p + q) / 2:
+        if r > s:
+            r -= q
+            s += p
+        else:
+            r += q
+            s -= p
+    return r, s
+
+
+def _extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    if b == 0:
+        return a, 1, 0
+    g, x, y = _extended_gcd(b, a % b)
+    return g, y, x - (a // b) * y

@@ -1,0 +1,102 @@
+"""§7.1.1 — XOR lower bound strings for *arbitrary* ring sizes.
+
+The uniform construction of §6.3.1 only covers ``n = 3^k``.  Here the
+nonuniform homomorphism ``h: 0 → 011, 1 → 10`` (characteristic matrix of
+determinant −1, so Theorem 7.5 applies) builds, for any ``n`` above a
+small threshold, two strings ``I₁, I₂`` of length ``n`` that
+
+* differ in XOR (their one-counts differ by exactly 1), and
+* are both ``h^k`` images of seeds of length ``O(√n)``, hence repetitive:
+  every factor of length ``≤ a·√n`` that occurs in ``I_i`` occurs
+  ``Ω(n/|σ|)`` times in it (Theorem 7.4).
+
+Together the two strings are a synchronous fooling pair for XOR, giving
+the ``Ω(n log n)`` bound for every ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.errors import ConfigurationError
+from .catalog import XOR_NONUNIFORM
+from .dol import WordHom
+from .matrix import (
+    InverseConstruction,
+    integer_vectors_near_eigenray,
+    pull_back,
+    word_with_counts,
+)
+
+
+@dataclass(frozen=True)
+class XorPair:
+    """The §7.1.1 construction for one ring size.
+
+    Attributes:
+        i1, i2: the two ring input strings, both of length ``n``.
+        seed1, seed2: the pulled-back seed words (length ``O(√n)``).
+        k1, k2: iteration depths with ``i_j = h^{k_j}(seed_j)``.
+    """
+
+    hom: WordHom
+    i1: str
+    i2: str
+    seed1: str
+    seed2: str
+    k1: int
+    k2: int
+
+    @property
+    def n(self) -> int:
+        return len(self.i1)
+
+    def verify(self) -> bool:
+        """Re-derive both strings and check the XOR difference."""
+        ok_lengths = len(self.i1) == len(self.i2)
+        ok_images = (
+            self.hom.iterate(self.seed1, self.k1) == self.i1
+            and self.hom.iterate(self.seed2, self.k2) == self.i2
+        )
+        ok_parity = self.i1.count("1") % 2 != self.i2.count("1") % 2
+        return ok_lengths and ok_images and ok_parity
+
+
+def xor_pair(n: int, hom: WordHom = XOR_NONUNIFORM) -> XorPair:
+    """Build the arbitrary-``n`` XOR fooling strings.
+
+    Raises :class:`ConfigurationError` when ``n`` is too small for both
+    rounded eigenray vectors to be positive (n ≥ 8 suffices for the
+    default homomorphism).
+    """
+    if n < 4:
+        raise ConfigurationError("construction needs n >= 4")
+    w1, w2 = integer_vectors_near_eigenray(hom, n)
+    pulls: Tuple[InverseConstruction, ...] = (pull_back(hom, w1), pull_back(hom, w2))
+    seeds = tuple(word_with_counts(*pull.seed) for pull in pulls)
+    strings = tuple(
+        hom.iterate(seed, pull.k) for seed, pull in zip(seeds, pulls)
+    )
+    pair = XorPair(
+        hom=hom,
+        i1=strings[0],
+        i2=strings[1],
+        seed1=seeds[0],
+        seed2=seeds[1],
+        k1=pulls[0].k,
+        k2=pulls[1].k,
+    )
+    if not pair.verify():
+        raise AssertionError("xor_pair construction failed self-check")
+    return pair
+
+
+def seed_length_bound(n: int) -> float:
+    """The Theorem 7.5 promise: seeds are ``O(√n)``.
+
+    The constant is generous (the paper's is implicit); tests check the
+    measured seed lengths against this envelope.
+    """
+    return 12.0 * math.sqrt(n) + 12.0

@@ -1,0 +1,303 @@
+"""§7.2 — two-stage constructions for arbitrary ring sizes.
+
+The uniform D0L strings exist only at lengths ``s·dᵏ``.  The two-stage
+trick composes an inner uniform homomorphism (repetitive *in the small*)
+with an outer run-length homomorphism ``H(0) = 0^r…, H(1) = …1^s`` whose
+block sizes are tuned by Lemma 7.8 (``rp + sq = n``) so the final string
+has *exactly* length ``n``.  The result is repetitive *in the large*:
+factors of length ``≥ √n`` occur ``Ω(n/|σ|)`` times (Lemma 7.6 /
+Corollary 7.7), which is what the orientation and start-synchronization
+fooling pairs need.
+
+Two products:
+
+* :func:`orientation_construction` — for odd ``n``: a string ``ω`` with an
+  even number of ones and a long central palindrome; its prefix-XOR
+  orientations ``D^a`` and ``D^b = ¬D^a`` form the fooling pair of §7.2.1.
+* :func:`start_sync_construction` — for even ``n``: a legal wake-up
+  schedule string with balanced zeros/ones built from ``h: 0→011, 1→100``
+  (§7.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.ring import RingConfiguration
+from ..core.strings import is_palindrome, longest_palindrome_centered_at
+from ..sync.wakeup import WakeupSchedule
+from .catalog import PALINDROME, XOR_UNIFORM
+from .dol import WordHom
+from .matrix import lemma_78
+
+
+def run_length_hom(zero_block: str, one_block: str) -> WordHom:
+    """The outer homomorphism ``H`` as a :class:`WordHom`."""
+    return WordHom(zero_block, one_block)
+
+
+def prefix_xor_orientation(omega: str) -> Tuple[int, ...]:
+    """``D_i = ε₁ ⊕ … ⊕ ε_i`` (0-indexed: parity of ones in ``ω[:i+1]``).
+
+    Needs an even number of ones for the recurrence to close around the
+    ring (§7.2.1).
+    """
+    if omega.count("1") % 2 != 0:
+        raise ConfigurationError("prefix-XOR orientation needs an even one-count")
+    bits = []
+    acc = 0
+    for ch in omega:
+        acc ^= int(ch)
+        bits.append(acc)
+    return tuple(bits)
+
+
+@dataclass(frozen=True)
+class OrientationConstruction:
+    """The §7.2.1 product for one odd ring size ``n``.
+
+    ``ring_a`` (orientations ``D^a`` = prefix-XOR of ``ω``, inputs all
+    zero) contains, at ``pair_positions`` — the palindrome center and its
+    left neighbor — two processors with *opposite* orientations whose
+    neighborhoods agree out to ``witness_radius`` = Θ(n).  Any correct
+    orientation algorithm must give them different switch bits (equal
+    bits would leave two adjacent opposite-oriented processors), so
+    ``(ring_a, ring_a)`` is a synchronous fooling pair.  ``ring_b`` is the
+    complementary configuration ``D^b = ¬D^a`` the paper pairs with it;
+    jointly the two make every ε-factor occurrence count toward the
+    symmetry index regardless of the XOR phase.
+
+    Deviation note: the paper asserts all *four* neighborhoods (both
+    positions in both rings) coincide; executably, the cross-ring
+    equalities hold only out to the alternating-run radius Θ(√n), while
+    the within-``ring_a`` equality holds to Θ(n) — which is what the
+    fooling argument needs, using the single-configuration form of
+    Theorem 6.2.
+    """
+
+    omega: str
+    k: int
+    p: int
+    q: int
+    r: int
+    s: int
+    palindrome_center: int
+    witness_radius: int
+    ring_a: RingConfiguration
+    ring_b: RingConfiguration
+
+    @property
+    def n(self) -> int:
+        return len(self.omega)
+
+    @property
+    def pair_positions(self) -> Tuple[int, int]:
+        center = self.palindrome_center
+        return (center, (center - 1) % self.n)
+
+
+def orientation_construction(
+    n: int, hom: WordHom = PALINDROME
+) -> OrientationConstruction:
+    """Build the arbitrary-odd-``n`` orientation fooling configuration.
+
+    Follows §7.2.1: ``ω′ = h^{2k}(0)`` with ``h: 0→00100, 1→11011``, block
+    sizes from Lemma 7.8 with the parity fix (``s`` odd keeps the center
+    of the palindromic block a one; ``q`` even keeps the one-count of
+    ``ω`` even).  Raises for even or too-small ``n``.
+    """
+    if n % 2 == 0:
+        raise ConfigurationError("orientation is impossible on even rings (Thm 3.5)")
+    if n < 3:
+        raise ConfigurationError("need n >= 3")
+    d = hom.d
+    k_paper = int((math.log(n, d) - 1) // 4)
+    last_error: Optional[str] = None
+    for k in range(max(k_paper, 1), 0, -1):
+        omega_prime = hom.iterate("0", 2 * k)
+        ones = omega_prime.count("1")
+        zeros = len(omega_prime) - ones
+        p, q = zeros, ones
+        if math.gcd(p, q) != 1 or q % 2 != 0 or p % 2 != 1:
+            last_error = f"k={k}: parity/coprimality failed (p={p}, q={q})"
+            continue
+        r, s = lemma_78(p, q, n)
+        if s % 2 == 0:
+            s += p
+            r -= q
+        if r <= 0 or s <= 0:
+            last_error = f"k={k}: block sizes not positive (r={r}, s={s})"
+            continue
+        return _finish_orientation(hom, n, k, p, q, r, s)
+    raise ConfigurationError(
+        f"no valid §7.2.1 parameters for n={n} ({last_error}); n is too small"
+    )
+
+
+def _finish_orientation(
+    hom: WordHom, n: int, k: int, p: int, q: int, r: int, s: int
+) -> OrientationConstruction:
+    outer = run_length_hom("0" * r, "1" * s)
+    omega_prime = hom.iterate("0", 2 * k)
+    omega = outer.apply(omega_prime)
+    if len(omega) != n:
+        raise AssertionError(f"construction length {len(omega)} != n {n}")
+    # The first of the five blocks of ω is H(h^{2k-1}(0)): an odd-length
+    # palindrome whose center symbol is a one.
+    first_block = outer.apply(hom.iterate("0", 2 * k - 1))
+    if not is_palindrome(first_block) or len(first_block) % 2 != 1:
+        raise AssertionError("palindromic block self-check failed")
+    center = (len(first_block) - 1) // 2
+    if omega[center] != "1":
+        raise AssertionError("palindrome center is not a one")
+    d_a = prefix_xor_orientation(omega)
+    d_b = tuple(1 - bit for bit in d_a)
+    ring_a = RingConfiguration((0,) * n, d_a)
+    ring_b = RingConfiguration((0,) * n, d_b)
+    if ring_a.orientations[center] == ring_a.orientations[(center - 1) % n]:
+        raise AssertionError("fooling positions should have opposite orientations")
+    radius = _shared_neighborhood_radius(ring_a, center, (center - 1) % n)
+    if radius < 1:
+        raise AssertionError("fooling positions do not share a 1-neighborhood")
+    return OrientationConstruction(
+        omega=omega,
+        k=k,
+        p=p,
+        q=q,
+        r=r,
+        s=s,
+        palindrome_center=center,
+        witness_radius=radius,
+        ring_a=ring_a,
+        ring_b=ring_b,
+    )
+
+
+def _shared_neighborhood_radius(
+    ring: RingConfiguration,
+    pos_a: int,
+    pos_b: int,
+) -> int:
+    """Largest radius at which the two positions' neighborhoods coincide.
+
+    Doubling search then bisection: the predicate is monotone in the
+    radius (a shared (k+1)-neighborhood implies a shared k-neighborhood).
+    """
+    limit = ring.n // 2
+
+    def shared(radius: int) -> bool:
+        return ring.neighborhood(pos_a, radius) == ring.neighborhood(pos_b, radius)
+
+    if not shared(1):
+        return 0
+    low = 1
+    high = 2
+    while high <= limit and shared(high):
+        low, high = high, high * 2
+    high = min(high, limit + 1)
+    # invariant: shared(low), not shared(high) (or high > limit)
+    while high - low > 1:
+        mid = (low + high) // 2
+        if shared(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+# ----------------------------------------------------------------------
+# §7.2.2 — start synchronization schedules for arbitrary even n
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StartSyncConstruction:
+    """The §7.2.2 product for one even ring size ``n = 2m``.
+
+    ``omega`` drives a wake-time walk with equal ups and downs, so
+    ``schedule`` is a legal adversary schedule; its D0L structure makes
+    the schedule repetitive in the large, giving the ``Ω(n log n)``
+    fooling pair for start synchronization.
+    """
+
+    omega: str
+    k: int
+    p: int
+    q: int
+    r0: int
+    r1: int
+    s0: int
+    s1: int
+    schedule: WakeupSchedule
+
+    @property
+    def n(self) -> int:
+        return len(self.omega)
+
+
+def start_sync_construction(
+    n: int, hom: WordHom = XOR_UNIFORM
+) -> StartSyncConstruction:
+    """Build the arbitrary-even-``n`` start-synchronization schedule."""
+    if n % 2 != 0 or n < 4:
+        raise ConfigurationError("need even n >= 4")
+    m = n // 2
+    d = hom.d
+    k_paper = int((math.log(m, d) - 1) // 4)
+    last_error: Optional[str] = None
+    for k in range(max(k_paper, 1), 0, -1):
+        omega_prime = hom.iterate("0", 2 * k)
+        ones = omega_prime.count("1")
+        p = len(omega_prime) - ones  # zeros
+        q = ones
+        if math.gcd(p, q) != 1:
+            last_error = f"k={k}: gcd(p,q) != 1"
+            continue
+        r0, s0 = lemma_78(p, q, m)
+        r1, s1 = r0 + q, s0 - p
+        if min(r0, r1, s0, s1) <= 0:
+            # Try shifting along the solution family to make all positive.
+            shifted = _all_positive_shift(p, q, m, r0, s0)
+            if shifted is None:
+                last_error = f"k={k}: no positive block sizes"
+                continue
+            r0, s0 = shifted
+            r1, s1 = r0 + q, s0 - p
+            if min(r0, r1, s0, s1) <= 0:
+                last_error = f"k={k}: no positive block sizes after shift"
+                continue
+        outer = run_length_hom("0" * r0 + "1" * r1, "0" * s0 + "1" * s1)
+        omega = outer.apply(omega_prime)
+        if len(omega) != n or omega.count("1") != m:
+            raise AssertionError("start-sync construction is unbalanced")
+        schedule = WakeupSchedule.from_bits(omega)
+        return StartSyncConstruction(
+            omega=omega,
+            k=k,
+            p=p,
+            q=q,
+            r0=r0,
+            r1=r1,
+            s0=s0,
+            s1=s1,
+            schedule=schedule,
+        )
+    raise ConfigurationError(
+        f"no valid §7.2.2 parameters for n={n} ({last_error}); n is too small"
+    )
+
+
+def _all_positive_shift(
+    p: int, q: int, m: int, r0: int, s0: int
+) -> Optional[Tuple[int, int]]:
+    """Search the solution family ``(r0 − tq, s0 + tp)`` for one making
+    ``r0, s0, r0+q, s0−p`` all positive."""
+    for t in range(-(abs(r0) // q + 2), abs(s0) // p + 3):
+        r = r0 - t * q
+        s = s0 + t * p
+        if min(r, r + q, s, s - p) > 0:
+            return r, s
+    return None

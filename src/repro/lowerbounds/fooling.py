@@ -1,0 +1,450 @@
+"""Fooling pairs: the paper's lower-bound engine (§5.1, §6.1).
+
+A fooling pair is two configurations that (a) contain processors with
+identical α-neighborhoods that any correct algorithm must nevertheless
+give different outputs, and (b) are so symmetric that every short
+neighborhood is massively replicated (symmetry index ≥ β).  Theorem 5.1
+(asynchronous) converts a pair into a ``Σ_{k≤α} β(k)`` message bound;
+Theorem 6.2 (synchronous) into half that, summed over *active* cycles.
+
+Everything here is checkable: :meth:`FoolingPair.verify_neighborhoods`
+confirms (5a)/(6a)'s structural half, and
+:meth:`FoolingPair.verify_symmetry` recomputes the symmetry index and
+compares it against the claimed β — the paper's constructions pass, and a
+broken construction fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.neighborhood import symmetry_index, symmetry_index_set
+from ..core.ring import RingConfiguration
+from ..homomorphisms.catalog import ORIENT_UNIFORM, XOR_UNIFORM
+from ..homomorphisms.dol import WordHom
+from ..sync.wakeup import WakeupSchedule
+
+
+@dataclass(frozen=True)
+class FoolingPair:
+    """An ``(α, β)`` fooling pair, usable in either model.
+
+    Attributes:
+        ring_a, ring_b: the two configurations (may be equal objects for
+            the single-configuration synchronous variant).
+        alpha: the neighborhood radius of condition (5a)/(6a).
+        beta: ``β(k)`` for ``0 ≤ k ≤ α``.
+        witness_a, witness_b: processor positions with equal
+            α-neighborhoods whose outputs any correct algorithm must
+            distinguish.
+        synchronous: True when β bounds ``SI(R₁, R₂, ·)`` jointly
+            (condition 6b); False when it bounds ``SI(R₁, ·)`` alone
+            (condition 5b).
+    """
+
+    ring_a: RingConfiguration
+    ring_b: RingConfiguration
+    alpha: int
+    beta: Tuple[float, ...]
+    witness_a: int
+    witness_b: int
+    synchronous: bool
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.beta) != self.alpha + 1:
+            raise ConfigurationError(
+                f"beta must cover k = 0..alpha: got {len(self.beta)} values "
+                f"for alpha = {self.alpha}"
+            )
+
+    # ------------------------------------------------------------------
+    def message_lower_bound(self) -> float:
+        """Theorem 5.1's ``Σβ(k)`` or Theorem 6.2's ``½Σβ(k)``."""
+        total = sum(self.beta)
+        return total / 2 if self.synchronous else total
+
+    def verify_neighborhoods(self) -> bool:
+        """Condition (5a)/(6a), structural half: witnesses share the α-neighborhood."""
+        return self.ring_a.neighborhood(
+            self.witness_a, self.alpha
+        ) == self.ring_b.neighborhood(self.witness_b, self.alpha)
+
+    def verify_symmetry(self, max_k: Optional[int] = None) -> bool:
+        """Condition (5b)/(6b): recomputed SI dominates the claimed β.
+
+        ``max_k`` truncates the check for large rings (SI computation is
+        ``O(n·k)`` per radius).
+        """
+        top = self.alpha if max_k is None else min(max_k, self.alpha)
+        for k in range(top + 1):
+            if self.synchronous:
+                actual = symmetry_index_set([self.ring_a, self.ring_b], k)
+            else:
+                actual = symmetry_index(self.ring_a, k)
+            if actual < self.beta[k]:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# §5.2 — asynchronous examples
+# ----------------------------------------------------------------------
+
+
+def and_fooling_pair(n: int) -> FoolingPair:
+    """§5.2.1: ``1ⁿ`` vs ``1ⁿ⁻¹0`` fools every AND algorithm.
+
+    Bound: ``n·⌊n/2⌋`` messages on the all-ones ring.
+    """
+    if n < 3:
+        raise ConfigurationError("need n >= 3")
+    alpha = n // 2 - 1
+    return FoolingPair(
+        ring_a=RingConfiguration.oriented((1,) * n),
+        ring_b=RingConfiguration.oriented((1,) * (n - 1) + (0,)),
+        alpha=alpha,
+        beta=(float(n),) * (alpha + 1),
+        # The 0 sits at position n−1; the witness must keep it outside its
+        # α-neighborhood: position ⌊(n−2)/2⌋ is exactly α away from both ends.
+        witness_a=(n - 2) // 2,
+        witness_b=(n - 2) // 2,
+        synchronous=False,
+        description="AND: 1^n vs 1^(n-1)0 (§5.2.1)",
+    )
+
+
+def constant_sensitive_pair(
+    f: Callable[[Sequence[int]], int], n: int
+) -> FoolingPair:
+    """§5.2.1 generalization: any ``f`` with ``f(0ⁿ) ≠ f(1ⁿ)`` costs ``Ω(n²)``.
+
+    Picks whichever of ``(1ⁿ, 0^⌈n/2⌉1^⌊n/2⌋)`` / ``(0ⁿ, 0^⌈n/2⌉1^⌊n/2⌋)``
+    exhibits an output difference; one must, since ``f(0ⁿ) ≠ f(1ⁿ)``.
+    """
+    if n < 5:
+        raise ConfigurationError("need n >= 5")
+    ones = (1,) * n
+    zeros = (0,) * n
+    mixed = (0,) * ((n + 1) // 2) + (1,) * (n // 2)
+    if f(ones) != f(zeros):
+        pass  # precondition; fall through to pick the side
+    else:
+        raise ConfigurationError("f must separate the all-ones and all-zeros rings")
+    alpha = (n - 2) // 4
+    if f(ones) != f(mixed):
+        symmetric, other = ones, mixed
+        # witness: middle of the ones-run of `mixed` matches any processor
+        # of the all-ones ring.
+        witness_b = (n + 1) // 2 + n // 4
+    else:
+        symmetric, other = zeros, mixed
+        witness_b = (n + 1) // 4
+    witness_a = 0
+    return FoolingPair(
+        ring_a=RingConfiguration.oriented(symmetric),
+        ring_b=RingConfiguration.oriented(mixed),
+        alpha=alpha,
+        beta=(float(n),) * (alpha + 1),
+        witness_a=witness_a,
+        witness_b=witness_b,
+        synchronous=False,
+        description=f"constant-sensitive f (§5.2.1), n={n}",
+    )
+
+
+def orientation_async_pair(n: int) -> FoolingPair:
+    """§5.2.2 / Figure 6: orienting a ring takes ``Ω(n²)`` messages.
+
+    ``R₁`` is the clockwise ring; ``R₂`` has its second half reversed.
+    Processors ``⌈n/4⌉`` and ``⌈3n/4⌉`` of ``R₂`` must produce *different*
+    switch bits (their initial orientations are opposite and the final
+    ring must be consistent), yet both share the α-neighborhood of every
+    ``R₁`` processor, so one of them fools ``R₁``.
+    Bound: ``n·⌊(n+2)/4⌋``.
+    """
+    if n < 5 or n % 2 == 0:
+        raise ConfigurationError("need odd n >= 5 (even rings: Thm 3.5)")
+    ring_a = RingConfiguration.oriented((0,) * n)
+    ring_b = RingConfiguration.half_reversed(n)
+    alpha = (n - 2) // 4
+    # Find a witness in ring_b sharing ring_a's (uniform) neighborhood:
+    target = ring_a.neighborhood(0, alpha)
+    witness_b = None
+    for i in range(n):
+        if ring_b.neighborhood(i, alpha) == target:
+            witness_b = i
+            break
+    if witness_b is None:
+        raise AssertionError("Figure 6 construction failed self-check")
+    return FoolingPair(
+        ring_a=ring_a,
+        ring_b=ring_b,
+        alpha=alpha,
+        beta=(float(n),) * (alpha + 1),
+        witness_a=0,
+        witness_b=witness_b,
+        synchronous=False,
+        description=f"orientation (§5.2.2, Figure 6), n={n}",
+    )
+
+
+# ----------------------------------------------------------------------
+# §6.3 — synchronous examples at n = s·d^k
+# ----------------------------------------------------------------------
+
+
+def _harmonic_beta(n: int, alpha: int, numerator: float) -> Tuple[float, ...]:
+    """``β(k) = numerator / (2k+1)`` for ``k = 0..alpha``."""
+    return tuple(numerator / (2 * k + 1) for k in range(alpha + 1))
+
+
+def xor_sync_pair(k: int, hom: WordHom = XOR_UNIFORM) -> FoolingPair:
+    """§6.3.1: XOR on ``n = 3^k`` needs ``≥ (n/54)·ln(n/9)`` messages.
+
+    ``I₁ = h^k(0)`` and ``I₂ = h^k(1) = complement(I₁)`` have opposite
+    parity; every j-neighborhood occurs ``≥ 2n/(27(2j+1))`` times across
+    the two rings for ``2j+1 ≤ n/9``.
+    """
+    if k < 3:
+        raise ConfigurationError("need k >= 3 so that alpha >= 1")
+    n = hom.d**k
+    i1 = hom.iterate("0", k)
+    i2 = hom.iterate("1", k)
+    alpha = (n // 9 - 1) // 2
+    ring_a = RingConfiguration.from_string(i1)
+    ring_b = RingConfiguration.from_string(i2)
+    witness_a, witness_b = _matching_positions(ring_a, ring_b, alpha)
+    return FoolingPair(
+        ring_a=ring_a,
+        ring_b=ring_b,
+        alpha=alpha,
+        beta=_harmonic_beta(n, alpha, 2 * n / 27),
+        witness_a=witness_a,
+        witness_b=witness_b,
+        synchronous=True,
+        description=f"XOR (§6.3.1), n=3^{k}={n}",
+    )
+
+
+def orientation_sync_pair(k: int, hom: WordHom = ORIENT_UNIFORM) -> FoolingPair:
+    """§6.3.2: orientation on ``n = 3^k`` needs ``≥ (n/27)·ln(n/9)`` messages.
+
+    One configuration used twice: orientations ``D = h^k(0)``.  Processors
+    ``⌈n/6⌉`` and ``⌈n/2⌉`` (1-indexed in the paper) share neighborhoods
+    but have opposite orientations, so an orienting run must give them
+    different switch bits.
+    """
+    if k < 3:
+        raise ConfigurationError("need k >= 3 so that alpha >= 1")
+    n = hom.d**k
+    orientations = tuple(int(ch) for ch in hom.iterate("0", k))
+    ring = RingConfiguration((0,) * n, orientations)
+    alpha = (n // 9 - 1) // 2
+    # Paper's positions (1-indexed): ceil(n/6) and ceil(n/2); 0-indexed −1.
+    pos_a = (math.ceil(n / 6) - 1) % n
+    pos_b = (math.ceil(n / 2) - 1) % n
+    if ring.orientations[pos_a] == ring.orientations[pos_b]:
+        raise AssertionError("§6.3.2 witnesses should have opposite orientations")
+    return FoolingPair(
+        ring_a=ring,
+        ring_b=ring,
+        alpha=alpha,
+        beta=_harmonic_beta(n, alpha, 4 * n / 27),
+        witness_a=pos_a,
+        witness_b=pos_b,
+        synchronous=True,
+        description=f"orientation (§6.3.2), n=3^{k}={n}",
+    )
+
+
+@dataclass(frozen=True)
+class StartSyncInstance:
+    """§6.3.3: the uniform start-synchronization lower-bound instance.
+
+    ``n = 4·3^k``; the schedule walk is ``h^k(0011)``; processors
+    ``⌊m/2⌋`` and ``⌊3m/2⌋`` (``m = 3^k``) wake at different cycles but
+    share an ``⌊m/2⌋``-neighborhood *including wake-time offsets*, so
+    their outputs (cycles-since-wake) must differ.
+    """
+
+    omega: str
+    schedule: WakeupSchedule
+    witness_a: int
+    witness_b: int
+    alpha: int
+    beta: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.omega)
+
+    def message_lower_bound(self) -> float:
+        return sum(self.beta) / 2
+
+
+def start_sync_instance(k: int, hom: WordHom = XOR_UNIFORM) -> StartSyncInstance:
+    """Build the §6.3.3 instance for ``n = 4·3^k``."""
+    if k < 3:
+        raise ConfigurationError("need k >= 3")
+    m = hom.d**k
+    omega = hom.iterate("0011", k)
+    n = 4 * m
+    if len(omega) != n:
+        raise AssertionError("§6.3.3 construction length mismatch")
+    schedule = WakeupSchedule.from_bits(omega)
+    alpha = (m // 9 - 1) // 2
+    beta = _harmonic_beta(n, alpha, 4 * m / 27)
+    return StartSyncInstance(
+        omega=omega,
+        schedule=schedule,
+        witness_a=m // 2,
+        witness_b=(3 * m) // 2,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+def _matching_positions(
+    ring_a: RingConfiguration, ring_b: RingConfiguration, alpha: int
+) -> Tuple[int, int]:
+    """Any pair of positions sharing an α-neighborhood across the rings."""
+    table = {}
+    for j in range(ring_b.n):
+        table.setdefault(ring_b.neighborhood(j, alpha), j)
+    for i in range(ring_a.n):
+        j = table.get(ring_a.neighborhood(i, alpha))
+        if j is not None:
+            return i, j
+    raise ConfigurationError("no shared neighborhood at this radius")
+
+
+# ----------------------------------------------------------------------
+# §7 — arbitrary ring sizes, with numerically certified β
+# ----------------------------------------------------------------------
+
+
+def xor_arbitrary_pair(n: int, samples: int = 12, max_alpha: Optional[int] = None) -> FoolingPair:
+    """§7.1.1: the XOR fooling pair for *any* ``n`` (≥ 8).
+
+    The two strings come from the nonuniform pull-back construction
+    (:func:`repro.homomorphisms.xor_pair`); β is a certified staircase of
+    measured joint symmetry indices (see
+    :mod:`repro.lowerbounds.profile`).
+    """
+    from ..homomorphisms.nonuniform import xor_pair as _xor_pair
+    from .profile import staircase_beta
+
+    pair = _xor_pair(n)
+    ring_a = RingConfiguration.from_string(pair.i1)
+    ring_b = RingConfiguration.from_string(pair.i2)
+    alpha_cap = max(1, n // 8)
+    if max_alpha is not None:
+        alpha_cap = min(alpha_cap, max_alpha)
+    witness_a, witness_b, alpha = _deepest_matching_positions(
+        ring_a, ring_b, alpha_cap
+    )
+    beta = staircase_beta([ring_a, ring_b], alpha, samples)
+    return FoolingPair(
+        ring_a=ring_a,
+        ring_b=ring_b,
+        alpha=alpha,
+        beta=beta,
+        witness_a=witness_a,
+        witness_b=witness_b,
+        synchronous=True,
+        description=f"XOR arbitrary n (§7.1.1), n={n}",
+    )
+
+
+def orientation_arbitrary_pair(
+    n: int, samples: int = 12, max_alpha: Optional[int] = None
+) -> FoolingPair:
+    """§7.2.1: the orientation fooling pair for any odd ``n``.
+
+    Single-configuration form: the two witnesses are the palindrome
+    center and its neighbor inside ``D^a`` — opposite orientations,
+    deeply shared neighborhoods — so any orienting run must give them
+    different switch bits.  β is the certified staircase of
+    ``SI(D^a, D^a, ·) = 2·SI(D^a, ·)``.
+    """
+    from ..homomorphisms.two_stage import orientation_construction
+    from .profile import staircase_beta
+
+    construction = orientation_construction(n)
+    ring = construction.ring_a
+    pos_a, pos_b = construction.pair_positions
+    alpha = construction.witness_radius
+    if max_alpha is not None:
+        alpha = min(alpha, max_alpha)
+    beta = staircase_beta([ring, ring], alpha, samples)
+    return FoolingPair(
+        ring_a=ring,
+        ring_b=ring,
+        alpha=alpha,
+        beta=beta,
+        witness_a=pos_a,
+        witness_b=pos_b,
+        synchronous=True,
+        description=f"orientation arbitrary n (§7.2.1), n={n}",
+    )
+
+
+def _deepest_matching_positions(
+    ring_a: RingConfiguration, ring_b: RingConfiguration, alpha_cap: int
+) -> Tuple[int, int, int]:
+    """Witnesses sharing the deepest neighborhood radius ≤ ``alpha_cap``.
+
+    Bisection over the radius: the existence of a cross-ring shared
+    k-neighborhood is monotone in ``k``.
+    """
+
+    def match_at(radius: int) -> Optional[Tuple[int, int]]:
+        try:
+            return _matching_positions(ring_a, ring_b, radius)
+        except ConfigurationError:
+            return None
+
+    low, low_match = 0, _matching_positions(ring_a, ring_b, 0)
+    high = alpha_cap + 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        found = match_at(mid)
+        if found is None:
+            high = mid
+        else:
+            low, low_match = mid, found
+    return low_match[0], low_match[1], low
+
+
+# ----------------------------------------------------------------------
+# closed-form bounds from the paper, for reporting
+# ----------------------------------------------------------------------
+
+
+def paper_bound_and_async(n: int) -> float:
+    """``n·⌊n/2⌋`` (§5.2.1; refined to n(n−1) in the paper's remark)."""
+    return n * (n // 2)
+
+
+def paper_bound_orientation_async(n: int) -> float:
+    """``n·⌊(n+2)/4⌋`` (§5.2.2)."""
+    return n * ((n + 2) // 4)
+
+
+def paper_bound_xor_sync(n: int) -> float:
+    """``(n/54)·ln(n/9)`` (§6.3.1)."""
+    return (n / 54) * math.log(n / 9)
+
+
+def paper_bound_orientation_sync(n: int) -> float:
+    """``(n/27)·ln(n/9)`` (§6.3.2)."""
+    return (n / 27) * math.log(n / 9)
+
+
+def paper_bound_start_sync(n: int) -> float:
+    """``(n/54)·ln(n/36)`` (§6.3.3)."""
+    return (n / 54) * math.log(n / 36)

@@ -1,0 +1,56 @@
+"""Certified symmetry-index staircases.
+
+The arbitrary-``n`` fooling pairs of §7 don't come with a clean closed
+form ``β(k)`` the way the ``n = 3^k`` instances do — short patterns occur
+Θ(√n) times (once per run-length block), long ones Θ(n/k) times.  But
+``SI`` is *monotone nonincreasing in k* (a shared (k+1)-neighborhood
+implies a shared k-neighborhood), so sampling SI at geometrically spaced
+radii yields a certified pointwise lower bound: for any ``k`` between
+samples, ``SI(k) ≥ SI(next sample)``.  That staircase is a legitimate
+``β`` for Theorem 5.1/6.2 and is cheap — ``O(log α)`` SI evaluations
+instead of ``α``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.neighborhood import symmetry_index_set
+from ..core.ring import RingConfiguration
+
+
+def sample_radii(alpha: int, samples: int = 12) -> Tuple[int, ...]:
+    """Geometrically spaced radii ``0 … alpha`` (always includes both ends)."""
+    if alpha < 0:
+        raise ValueError("alpha must be nonnegative")
+    points = {0, alpha}
+    value = 1
+    while value < alpha:
+        points.add(value)
+        value = max(value + 1, int(value * 1.6))
+    if len(points) > samples:
+        ordered = sorted(points)
+        step = max(1, len(ordered) // samples)
+        points = set(ordered[::step]) | {0, alpha}
+    return tuple(sorted(points))
+
+
+def staircase_beta(
+    configs: Sequence[RingConfiguration],
+    alpha: int,
+    samples: int = 12,
+) -> Tuple[float, ...]:
+    """A certified ``β(0..alpha)`` from sampled joint symmetry indices.
+
+    ``β(k)`` is set to the SI measured at the smallest sampled radius
+    ``≥ k``; monotonicity makes this a valid lower bound at every ``k``.
+    """
+    radii = sample_radii(alpha, samples)
+    measured = {r: symmetry_index_set(configs, r) for r in radii}
+    beta: List[float] = []
+    idx = 0
+    for k in range(alpha + 1):
+        while radii[idx] < k:
+            idx += 1
+        beta.append(float(measured[radii[idx]]))
+    return tuple(beta)

@@ -1,0 +1,124 @@
+"""Random computable functions are expensive (Theorems 5.4 and 6.7).
+
+Both theorems follow one pattern: a function cheaper than the stated
+bound must take equal values on a large family of input classes; a
+uniformly random computable function (random output per necklace class,
+Theorem 3.4) does that with probability ``≤ 2^{1−#classes}``.
+
+* Theorem 5.4 (asynchronous): cheaper than ``n²/4`` messages ⇒ constant
+  on every class containing a string with ``n/2`` contiguous ones;
+  ``s ≥ 2^{n/2}/n`` such classes ⇒ probability ``≤ 2^{1−2^{n/2}/n}``.
+* Theorem 6.7 (synchronous, ``n = 2^{2k}``): cheaper than
+  ``(n/64)·ln(n/64)`` ⇒ constant on the ``2^{√n}`` Thue–Morse images
+  ``h^k(σ)``, ``|σ| = √n`` ⇒ probability ``≤ 2^{1−2^{√n}/n}``.
+
+For small ``n`` the module also *measures* the probability by Monte
+Carlo over genuinely random computable functions, so the bound can be
+compared against an empirical estimate.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass
+from typing import Set
+
+from ..computability.necklaces import (
+    classes_with_half_run_of_ones,
+    random_computable_function,
+)
+from ..core.errors import ConfigurationError
+from ..core.strings import canonical_necklace
+from ..homomorphisms.catalog import THUE_MORSE
+from ..homomorphisms.dol import WordHom
+
+
+def theorem_54_probability_bound(n: int) -> float:
+    """``2^{1 − 2^{n/2}/n}``: chance a random function is asynchronously cheap."""
+    return 2.0 ** (1 - 2 ** (n / 2) / n)
+
+
+def theorem_54_message_threshold(n: int) -> float:
+    """The "cheap" threshold of Theorem 5.4: ``n²/4`` messages."""
+    return n * n / 4
+
+
+def theorem_67_probability_bound(n: int) -> float:
+    """``2^{1 − 2^{√n}/n}``: chance a random function is synchronously cheap."""
+    return 2.0 ** (1 - 2 ** math.sqrt(n) / n)
+
+
+def theorem_67_message_threshold(n: int) -> float:
+    """The "cheap" threshold of Theorem 6.7: ``(n/64)·ln(n/64)``."""
+    return (n / 64) * math.log(n / 64)
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Empirical estimate of the "cheap function" probability."""
+
+    n: int
+    trials: int
+    hits: int
+    bound: float
+
+    @property
+    def estimate(self) -> float:
+        return self.hits / self.trials
+
+    @property
+    def within_bound(self) -> bool:
+        return self.estimate <= self.bound + 1e-12
+
+
+def estimate_theorem_54(n: int, trials: int, seed: int = 0) -> MonteCarloEstimate:
+    """Sample random computable functions; count those that *could* be cheap.
+
+    A function can cost fewer than ``n²/4`` messages only if it is
+    constant across all necklace classes containing an ``n/2``-run of
+    ones (each such input forms a fooling pair with ``1ⁿ``).
+    """
+    if n % 2 != 0 or n < 4:
+        raise ConfigurationError("Theorem 5.4 sampling needs even n >= 4")
+    classes = sorted(classes_with_half_run_of_ones(n))
+    rng = _random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        f = random_computable_function(n, rng, oriented=True)
+        values = {f(word) for word in classes}
+        if len(values) == 1:
+            hits += 1
+    return MonteCarloEstimate(
+        n=n, trials=trials, hits=hits, bound=theorem_54_probability_bound(n)
+    )
+
+
+def thue_morse_image_classes(n: int, hom: WordHom = THUE_MORSE) -> Set[str]:
+    """Necklace classes of the ``2^{√n}`` Thue–Morse images (Theorem 6.7)."""
+    root = math.isqrt(n)
+    if root * root != n or (root & (root - 1)) != 0:
+        raise ConfigurationError("Theorem 6.7 needs n = 2^(2k)")
+    k = root.bit_length() - 1
+    import itertools
+
+    classes: Set[str] = set()
+    for bits in itertools.product("01", repeat=root):
+        image = hom.iterate("".join(bits), k)
+        classes.add(canonical_necklace(image))
+    return classes
+
+
+def estimate_theorem_67(n: int, trials: int, seed: int = 0) -> MonteCarloEstimate:
+    """Monte Carlo analogue for the synchronous theorem (small ``n`` only)."""
+    classes = sorted(thue_morse_image_classes(n))
+    rng = _random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        f = random_computable_function(n, rng, oriented=True)
+        values = {f(word) for word in classes}
+        if len(values) == 1:
+            hits += 1
+    return MonteCarloEstimate(
+        n=n, trials=trials, hits=hits, bound=theorem_67_probability_bound(n)
+    )

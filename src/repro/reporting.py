@@ -1,0 +1,510 @@
+"""Experiment runner: regenerate every paper-vs-measured record.
+
+One function per experiment of DESIGN.md's index (E1–E15 plus the
+extension ablations E16–E18); :func:`run_all` executes them and
+:func:`render_markdown` formats the result as the table EXPERIMENTS.md
+carries.  The CLI exposes this as ``python -m repro report``.
+
+Sizes are chosen so the whole sweep finishes in a couple of minutes on a
+laptop; they can be scaled down with ``quick=True`` for smoke runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from .algorithms import (
+    XOR,
+    compute_and_sync,
+    compute_sync,
+    distribute_inputs_alternating,
+    distribute_inputs_async,
+    distribute_inputs_general,
+    distribute_inputs_sync,
+    distribute_inputs_sync_uni,
+    elect_leader,
+    expected_message_count,
+    find_extremum_general,
+    quasi_orient,
+    run_time_encoded,
+    synchronize_start,
+    synchronize_start_bits,
+    worst_case_labels,
+)
+from .algorithms import alternating as _alternating
+from .algorithms import combined as _combined
+from .algorithms import orientation as _orientation
+from .algorithms import start_sync as _start_sync
+from .algorithms import start_sync_bits as _start_sync_bits
+from .algorithms import sync_input_distribution as _fig2
+from .algorithms import sync_input_distribution_uni as _fig2_uni
+from .algorithms.async_input_distribution import AsyncInputDistribution
+from .algorithms.orientation import QuasiOrientation
+from .algorithms.start_sync import run_with_random_schedule
+from .algorithms.time_encoding import ORIENTATION_ALPHABET
+from .analysis import BoundCheck
+from .asynch import run_async_synchronized
+from .core import RingConfiguration
+from .homomorphisms import start_sync_construction, xor_pair
+from .lowerbounds import (
+    and_fooling_pair,
+    estimate_theorem_54,
+    orientation_arbitrary_pair,
+    orientation_async_pair,
+    orientation_sync_pair,
+    paper_bound_orientation_sync,
+    paper_bound_xor_sync,
+    start_sync_instance,
+    theorem_54_probability_bound,
+    xor_arbitrary_pair,
+    xor_sync_pair,
+)
+from .sync import WakeupSchedule
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity, claim, and measured rows."""
+
+    id: str
+    title: str
+    claim: str
+    rows: List[BoundCheck] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(row.satisfied for row in self.rows)
+
+
+def _ring(n: int, seed: int = 0, oriented: bool = True) -> RingConfiguration:
+    return RingConfiguration.random(n, random.Random(seed), oriented=oriented)
+
+
+def _zeros(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented((0,) * n)
+
+
+# ----------------------------------------------------------------------
+# E1–E15 (the paper's own claims)
+# ----------------------------------------------------------------------
+
+
+def experiment_e1(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E1", "Async input distribution", "exactly n(n−1) messages (§4.1)"
+    )
+    for n in sizes:
+        config = _ring(n, n, oriented=False)
+        result = distribute_inputs_async(config)
+        bound = expected_message_count(n, config.is_oriented)
+        record.rows.append(BoundCheck("E1", n, result.stats.messages, bound, "upper"))
+        record.rows.append(BoundCheck("E1", n, result.stats.messages, bound, "lower"))
+    return record
+
+
+def experiment_e2(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+    record = ExperimentRecord("E2", "Synchronous AND", "≤ 2n messages (§4.2)")
+    for n in sizes:
+        worst = max(
+            compute_and_sync(_ring(n, seed)).stats.messages for seed in range(3)
+        )
+        record.rows.append(BoundCheck("E2", n, worst, 2 * n, "upper"))
+    return record
+
+
+def experiment_e3(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E3",
+        "Figure 2 input distribution",
+        "≤ n(3·log₁.₅n + 3) messages, ≤ n(2·log₁.₅n + 3) cycles (§4.2.1)",
+    )
+    for n in sizes:
+        result = distribute_inputs_sync(_ring(n, n))
+        record.rows.append(
+            BoundCheck("E3 msgs", n, result.stats.messages, _fig2.message_bound(n), "upper")
+        )
+        record.rows.append(
+            BoundCheck("E3 cycles", n, result.cycles, _fig2.cycle_bound(n), "upper")
+        )
+    return record
+
+
+def experiment_e4(sizes: Sequence[int] = (27, 81, 128, 243)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E4",
+        "Figure 4 quasi-orientation",
+        "≤ 3.5n(log₃n + 1) + 2n messages (§4.2.2); odd rings end oriented",
+    )
+    for n in sizes:
+        config = RingConfiguration.random(n, random.Random(n))
+        result = quasi_orient(config)
+        fixed = config.apply_switches(result.outputs)
+        assert fixed.is_quasi_oriented
+        record.rows.append(
+            BoundCheck("E4", n, result.stats.messages, _orientation.message_bound(n), "upper")
+        )
+    return record
+
+
+def experiment_e5(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E5", "Figure 5 start synchronization", "≤ 2n(1 + log₁.₅n) messages (§4.2.3)"
+    )
+    for n in sizes:
+        _schedule, result = run_with_random_schedule(_zeros(n), n)
+        record.rows.append(
+            BoundCheck("E5", n, result.stats.messages, _start_sync.message_bound(n), "upper")
+        )
+    return record
+
+
+def experiment_e6(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E6",
+        "AND asynchronous lower bound",
+        "≥ n·⌊n/2⌋ messages on 1ⁿ (Thm 5.1); tight at n(n−1)",
+    )
+    for n in sizes:
+        pair = and_fooling_pair(n)
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
+        cost = run_async_synchronized(
+            pair.ring_a, lambda value, size: AsyncInputDistribution(value, size)
+        ).stats.messages
+        record.rows.append(
+            BoundCheck("E6", n, cost, pair.message_lower_bound(), "lower")
+        )
+        record.rows.append(BoundCheck("E6 tight", n, cost, n * (n - 1), "upper"))
+    return record
+
+
+def experiment_e7(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E7",
+        "Orientation asynchronous lower bound",
+        "≥ n·⌊(n+2)/4⌋ messages (Thm 5.3, Figure 6)",
+    )
+    for n in sizes:
+        pair = orientation_async_pair(n)
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
+        cost = run_async_synchronized(
+            pair.ring_a, lambda value, size: AsyncInputDistribution(value, size)
+        ).stats.messages
+        record.rows.append(
+            BoundCheck("E7", n, cost, pair.message_lower_bound(), "lower")
+        )
+    return record
+
+
+def experiment_e8(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E8",
+        "XOR synchronous lower bound (n = 3^k)",
+        "≥ (n/54)·ln(n/9) messages (§6.3.1)",
+        notes="Σβ/2 of the verified fooling pair dominates the closed form; "
+        "Figure 2 computing XOR on h^k(0) pays ≥ the bound.",
+    )
+    for k in ks:
+        n = 3**k
+        pair = xor_sync_pair(k)
+        assert pair.verify_neighborhoods()
+        cost = compute_sync(pair.ring_a, XOR).stats.messages
+        record.rows.append(
+            BoundCheck("E8 Σβ/2≥paper", n, pair.message_lower_bound(),
+                       paper_bound_xor_sync(n), "lower")
+        )
+        record.rows.append(
+            BoundCheck("E8 measured", n, cost, pair.message_lower_bound(), "lower")
+        )
+    return record
+
+
+def experiment_e9(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E9",
+        "Orientation synchronous lower bound (n = 3^k)",
+        "≥ (n/27)·ln(n/9) messages (§6.3.2)",
+    )
+    for k in ks:
+        n = 3**k
+        pair = orientation_sync_pair(k)
+        assert pair.verify_neighborhoods()
+        cost = quasi_orient(pair.ring_a).stats.messages
+        record.rows.append(
+            BoundCheck("E9 Σβ/2≥paper", n, pair.message_lower_bound(),
+                       paper_bound_orientation_sync(n), "lower")
+        )
+        record.rows.append(
+            BoundCheck("E9 measured", n, cost, pair.message_lower_bound(), "lower")
+        )
+    return record
+
+
+def experiment_e10(ks: Sequence[int] = (3, 4)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E10",
+        "Start-synchronization lower bound (n = 4·3^k)",
+        "≥ Σβ/2 on the h^k(0011) schedule (§6.3.3)",
+        notes="the paper's closed form (n/54)ln(n/36) overstates the odd-"
+        "harmonic sum ~2× at these sizes; the certified Σβ/2 is reported.",
+    )
+    for k in ks:
+        instance = start_sync_instance(k)
+        cost = synchronize_start(
+            _zeros(instance.n), instance.schedule
+        ).stats.messages
+        record.rows.append(
+            BoundCheck("E10 measured", instance.n, cost,
+                       instance.message_lower_bound(), "lower")
+        )
+    return record
+
+
+def experiment_e11(sizes: Sequence[int] = (8, 10, 12)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E11",
+        "Random functions are expensive",
+        "P(cheap) ≤ 2^{1−2^{n/2}/n} (Thm 5.4; Thm 6.7 analogous)",
+    )
+    for n in sizes:
+        estimate = estimate_theorem_54(n, trials=400, seed=n)
+        record.rows.append(
+            BoundCheck("E11", n, estimate.estimate,
+                       min(1.0, theorem_54_probability_bound(n)), "upper")
+        )
+    return record
+
+
+def experiment_e12(sizes: Sequence[int] = (100, 150, 243)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E12",
+        "XOR lower bound at arbitrary n",
+        "nonuniform pull-back pair exists for every n; measured ≥ Σβ/2 (§7.1.1)",
+    )
+    for n in sizes:
+        pair = xor_arbitrary_pair(n)
+        assert pair.verify_neighborhoods()
+        cost = compute_sync(pair.ring_a, XOR).stats.messages
+        record.rows.append(
+            BoundCheck("E12", n, cost, pair.message_lower_bound(), "lower")
+        )
+    return record
+
+
+def experiment_e13(sizes: Sequence[int] = (501, 999)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E13",
+        "Orientation/start-sync lower bounds at arbitrary n",
+        "two-stage constructions exist for every (odd / even) n (§7.2)",
+    )
+    for n in sizes:
+        pair = orientation_arbitrary_pair(n, max_alpha=96)
+        assert pair.verify_neighborhoods()
+        cost = quasi_orient(pair.ring_a).stats.messages
+        record.rows.append(
+            BoundCheck("E13 orient", n, cost, pair.message_lower_bound(), "lower")
+        )
+    for n in (108, 200):
+        construction = start_sync_construction(n)
+        cost = synchronize_start(_zeros(n), construction.schedule).stats.messages
+        record.rows.append(
+            BoundCheck("E13 ssync ≥ n", n, cost, float(n), "lower")
+        )
+    return record
+
+
+def experiment_e14(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E14",
+        "Time/bits trade-off",
+        "Fig.2: few messages, long time; lockstep n²: many 1-bit messages, "
+        "time ≈ n/2 (§8)",
+    )
+    for n in sizes:
+        config = _ring(n, n)
+        fig2 = distribute_inputs_sync(config)
+        lockstep = run_async_synchronized(
+            config, lambda value, size: AsyncInputDistribution(value, size)
+        )
+        record.rows.append(
+            BoundCheck("E14 msgs fig2<n²/2", n, fig2.stats.messages,
+                       lockstep.stats.messages / 2, "upper")
+        )
+        record.rows.append(
+            BoundCheck("E14 time fig2>4·n²side", n, fig2.cycles,
+                       4 * lockstep.cycles, "lower")
+        )
+    return record
+
+
+def experiment_e15(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E15",
+        "Extrema crossover (Cor. 5.2)",
+        "duplicates: exactly n(n−1); distinct labels: O(n log n)",
+    )
+    for n in sizes:
+        dup = find_extremum_general(RingConfiguration.oriented((1,) * n))
+        record.rows.append(
+            BoundCheck("E15 dup", n, dup.stats.messages, float(n * (n - 1)), "lower")
+        )
+        record.rows.append(
+            BoundCheck("E15 dup", n, dup.stats.messages, float(n * (n - 1)), "upper")
+        )
+        franklin = elect_leader(
+            RingConfiguration.oriented(worst_case_labels(n)), "franklin"
+        )
+        record.rows.append(
+            BoundCheck("E15 franklin", n, franklin.stats.messages,
+                       4 * n * (math.log2(n) + 2), "upper")
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# E16–E18 (extensions the paper sketches; our ablations)
+# ----------------------------------------------------------------------
+
+
+def experiment_e16(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E16",
+        "Bit-efficient start synchronization (§4.2.4)",
+        "all messages 1 bit; ≤ 4n(log₁.₅n + 1) messages; fewer bits than Fig. 5",
+    )
+    for n in sizes:
+        schedule, plain = run_with_random_schedule(_zeros(n), n * 3)
+        frugal = synchronize_start_bits(_zeros(n), schedule)
+        record.rows.append(
+            BoundCheck("E16 msgs", n, frugal.stats.messages,
+                       _start_sync_bits.message_bound(n), "upper")
+        )
+        record.rows.append(
+            BoundCheck("E16 bits<Fig5", n, frugal.stats.bits,
+                       float(plain.stats.bits), "upper")
+        )
+    return record
+
+
+def experiment_e17(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E17",
+        "Unidirectional Figure 2 (§4.2.1 remark)",
+        "one-sided traffic; ≤ n(3·log₂n + 4) messages",
+    )
+    for n in sizes:
+        result = distribute_inputs_sync_uni(_ring(n, n))
+        record.rows.append(
+            BoundCheck("E17", n, result.stats.messages,
+                       _fig2_uni.message_bound(n), "upper")
+        )
+    return record
+
+
+def experiment_e18(sizes: Sequence[int] = (16, 32)) -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E18",
+        "Alternating rings + universal pipeline + time encoding",
+        "even nonoriented rings solved in O(n log n); unary encoding trades "
+        "cycles for 1-bit messages (§4.2.1–§4.2.2 remarks)",
+    )
+    for n in sizes:
+        rng = random.Random(n)
+        config = RingConfiguration.alternating(
+            tuple(rng.randrange(2) for _ in range(n))
+        )
+        result = distribute_inputs_alternating(config)
+        record.rows.append(
+            BoundCheck("E18 alternating", n, result.stats.messages,
+                       _alternating.message_bound(n), "upper")
+        )
+        general = distribute_inputs_general(RingConfiguration.random(n, random.Random(n)))
+        record.rows.append(
+            BoundCheck("E18 universal", n, general.stats.messages,
+                       _combined.message_bound(n), "upper")
+        )
+    config = RingConfiguration.random(15, random.Random(15))
+    plain = quasi_orient(config)
+    encoded = run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+    record.rows.append(
+        BoundCheck("E18 encoded bits", 15, encoded.stats.bits,
+                   float(encoded.stats.messages), "upper")
+    )
+    record.rows.append(
+        BoundCheck("E18 encoded msgs==plain", 15, encoded.stats.messages,
+                   float(plain.stats.messages), "upper")
+    )
+    return record
+
+
+#: All experiments in index order.
+ALL_EXPERIMENTS: List[Callable[[], ExperimentRecord]] = [
+    experiment_e1,
+    experiment_e2,
+    experiment_e3,
+    experiment_e4,
+    experiment_e5,
+    experiment_e6,
+    experiment_e7,
+    experiment_e8,
+    experiment_e9,
+    experiment_e10,
+    experiment_e11,
+    experiment_e12,
+    experiment_e13,
+    experiment_e14,
+    experiment_e15,
+    experiment_e16,
+    experiment_e17,
+    experiment_e18,
+]
+
+
+def run_all(quick: bool = False) -> List[ExperimentRecord]:
+    """Run every experiment; ``quick`` trims the sweeps for smoke tests."""
+    if not quick:
+        return [make() for make in ALL_EXPERIMENTS]
+    trimmed = [
+        experiment_e1((9, 15)),
+        experiment_e2((16, 32)),
+        experiment_e3((16, 32)),
+        experiment_e4((27, 81)),
+        experiment_e5((16, 32)),
+        experiment_e6((9, 15)),
+        experiment_e7((9, 15)),
+        experiment_e8((3, 4)),
+        experiment_e9((3, 4)),
+        experiment_e10((3,)),
+        experiment_e11((8,)),
+        experiment_e12((100,)),
+        experiment_e13((501,)),
+        experiment_e14((32,)),
+        experiment_e15((16, 32)),
+        experiment_e16((16,)),
+        experiment_e17((32,)),
+        experiment_e18((16,)),
+    ]
+    return trimmed
+
+
+def render_markdown(records: Sequence[ExperimentRecord]) -> str:
+    """The EXPERIMENTS.md body: one section per experiment."""
+    lines = []
+    for record in records:
+        status = "✓" if record.ok else "✗"
+        lines.append(f"### {record.id} — {record.title}  [{status}]")
+        lines.append("")
+        lines.append(f"*Paper claim:* {record.claim}")
+        if record.notes:
+            lines.append("")
+            lines.append(f"*Notes:* {record.notes}")
+        lines.append("")
+        lines.append("| experiment | n | measured | bound | kind | ratio | ok |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in record.rows:
+            lines.append(row.row())
+        lines.append("")
+    return "\n".join(lines)

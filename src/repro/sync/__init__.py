@@ -1,0 +1,18 @@
+"""Synchronous model: lock-step simulator, processes, wake-up schedules."""
+
+from .process import ABSENT, In, Out, ProcessGen, SyncProcess, expect_single
+from .simulator import ProcessFactory, default_cycle_budget, run_synchronous
+from .wakeup import WakeupSchedule
+
+__all__ = [
+    "ABSENT",
+    "In",
+    "Out",
+    "ProcessFactory",
+    "ProcessGen",
+    "SyncProcess",
+    "WakeupSchedule",
+    "default_cycle_budget",
+    "expect_single",
+    "run_synchronous",
+]

@@ -1,0 +1,193 @@
+"""Synchronous processors as generator coroutines.
+
+The paper's synchronous pseudocode (Figures 2, 4, 5) is sequential —
+``wait(n−1)``, ``for i := 1 to n do forward`` — so we model a processor as
+a Python generator rather than a flat state machine.  One iteration of the
+generator is one clock cycle:
+
+.. code-block:: python
+
+    received = yield Out(left=payload_a, right=payload_b)
+
+emits this cycle's messages and resumes with this cycle's arrivals (the
+§2 model: a processor first sends, then accepts the messages its neighbors
+sent the same cycle).  Returning from the generator halts the processor;
+the return value is its output state.
+
+Anonymity is structural: a process is built from ``(input value, ring
+size)`` only and has no way to learn its index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterator, List, Optional, Tuple
+
+from ..core.errors import ProtocolError
+from ..core.message import Port
+
+
+class _Absent:
+    """Sentinel for "no message" (``None`` is a legal nil payload)."""
+
+    _instance: Optional["_Absent"] = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ABSENT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: No-message marker used in :class:`Out` and :class:`In` slots.
+ABSENT = _Absent()
+
+
+class Out:
+    """Messages a processor emits in one cycle — at most one per port."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any = ABSENT, right: Any = ABSENT) -> None:
+        self.left = left
+        self.right = right
+
+    def via(self, port: Port) -> Any:
+        """The payload emitted on ``port`` (or ``ABSENT``)."""
+        return self.left if port is Port.LEFT else self.right
+
+    def sends(self) -> Iterator[Tuple[Port, Any]]:
+        """Iterate the (port, payload) pairs actually being sent."""
+        if self.left is not ABSENT:
+            yield (Port.LEFT, self.left)
+        if self.right is not ABSENT:
+            yield (Port.RIGHT, self.right)
+
+    @staticmethod
+    def on(port: Port, payload: Any) -> "Out":
+        """Emit a single message on the given port."""
+        return Out(left=payload) if port is Port.LEFT else Out(right=payload)
+
+    @staticmethod
+    def both(payload_left: Any, payload_right: Any) -> "Out":
+        """Emit on both ports."""
+        return Out(left=payload_left, right=payload_right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Out(left={self.left!r}, right={self.right!r})"
+
+
+class In:
+    """Messages a processor received in one cycle — at most one per port."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any = ABSENT, right: Any = ABSENT) -> None:
+        self.left = left
+        self.right = right
+
+    def via(self, port: Port) -> Any:
+        """The payload received on ``port`` (or ``ABSENT``)."""
+        return self.left if port is Port.LEFT else self.right
+
+    def has(self, port: Port) -> bool:
+        """Whether a message arrived on ``port`` this cycle."""
+        return self.via(port) is not ABSENT
+
+    def any(self) -> bool:
+        """Whether any message arrived this cycle."""
+        return self.left is not ABSENT or self.right is not ABSENT
+
+    def items(self) -> List[Tuple[Port, Any]]:
+        """The (port, payload) pairs received this cycle."""
+        out: List[Tuple[Port, Any]] = []
+        if self.left is not ABSENT:
+            out.append((Port.LEFT, self.left))
+        if self.right is not ABSENT:
+            out.append((Port.RIGHT, self.right))
+        return out
+
+    def count(self) -> int:
+        """Number of messages received this cycle (0, 1 or 2)."""
+        return (self.left is not ABSENT) + (self.right is not ABSENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"In(left={self.left!r}, right={self.right!r})"
+
+
+#: Type of the generator a :meth:`SyncProcess.run` implementation returns.
+ProcessGen = Generator[Out, In, Any]
+
+
+class SyncProcess:
+    """Base class for anonymous synchronous processors.
+
+    Subclasses implement :meth:`run` as a generator (see module docstring).
+    Every processor of a run is built by the same factory from
+    ``(input value, ring size)`` — the anonymity assumption of the paper.
+
+    Attributes:
+        input: the processor's initial input state ``I(i)``.
+        n: the ring size, which Theorem 3.2 shows every anonymous-ring
+            algorithm must know.
+        wake_inbox: messages that arrived while the processor was idle and
+            woke it (empty for a spontaneous or simultaneous start).  Only
+            meaningful for algorithms run under a wake-up schedule.
+        woke_spontaneously: whether the processor started on its own rather
+            than because a message arrived.
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        self.input = input_value
+        self.n = n
+        self.wake_inbox: List[Tuple[Port, Any]] = []
+        self.woke_spontaneously: bool = True
+
+    def run(self) -> ProcessGen:
+        """The processor's program.  Must be a generator function."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers usable inside run() via ``yield from``
+    # ------------------------------------------------------------------
+
+    def sleep(self, cycles: int) -> Generator[Out, In, List[Tuple[int, In]]]:
+        """Emit nothing for ``cycles`` cycles; collect what arrives.
+
+        Returns a list of ``(cycle offset, In)`` for the cycles in which
+        something arrived.  This is the ``wait(n−1)`` of the pseudocode.
+        """
+        inbox: List[Tuple[int, In]] = []
+        for offset in range(cycles):
+            received = yield Out()
+            if received.any():
+                inbox.append((offset, received))
+        return inbox
+
+    def emit_then_sleep(
+        self, out: Out, cycles: int
+    ) -> Generator[Out, In, List[Tuple[int, In]]]:
+        """Emit once, then stay silent; collect arrivals over all cycles.
+
+        The emission cycle counts as offset 0; total duration is
+        ``1 + cycles`` cycles.
+        """
+        inbox: List[Tuple[int, In]] = []
+        received = yield out
+        if received.any():
+            inbox.append((0, received))
+        rest = yield from self.sleep(cycles)
+        inbox.extend((offset + 1, got) for offset, got in rest)
+        return inbox
+
+
+def expect_single(received: In) -> Tuple[Port, Any]:
+    """The unique message of a cycle, raising if there is not exactly one."""
+    items = received.items()
+    if len(items) != 1:
+        raise ProtocolError(f"expected exactly one message, got {received!r}")
+    return items[0]

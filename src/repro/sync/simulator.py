@@ -1,0 +1,165 @@
+"""The synchronous lock-step simulator (§2, synchronous model).
+
+One cycle has two half-steps:
+
+1. every awake, non-halted processor emits (at most one message per port),
+   as a function of its state;
+2. emitted messages are delivered — a message sent at cycle ``t`` is
+   accepted by the neighbor at cycle ``t`` and shapes its behavior from
+   cycle ``t+1`` on.
+
+A message delivered to a still-idle processor wakes it: it starts at the
+next cycle with the waking messages available in
+:attr:`repro.sync.process.SyncProcess.wake_inbox`.  A message delivered to
+a halted processor is dropped (it is still counted as sent, which is what
+the bounds measure).
+
+Processor indices exist only inside this engine; algorithms are built by a
+single factory from ``(input, n)``, so the ring stays anonymous.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.errors import NonTerminationError, SimulationError
+from ..core.message import Envelope, Port
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult, TraceStats
+from .process import ABSENT, In, Out, ProcessGen, SyncProcess
+from .wakeup import WakeupSchedule
+
+#: A factory building the (identical) program of every processor.
+ProcessFactory = Callable[[Any, int], SyncProcess]
+
+
+def default_cycle_budget(n: int) -> int:
+    """A generous cycle budget: well above every algorithm in the paper.
+
+    The slowest algorithm here is Figure 2's input distribution at
+    ``n(2·log₁.₅ n + 1)`` cycles; the budget leaves an order of magnitude of
+    headroom so hitting it reliably signals a deadlock bug.
+    """
+    return 64 * n * max(4, math.ceil(math.log2(max(2, n)))) + 512
+
+
+def run_synchronous(
+    config: RingConfiguration,
+    factory: ProcessFactory,
+    wakeup: Optional[WakeupSchedule] = None,
+    max_cycles: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Run one synchronous computation to completion.
+
+    Args:
+        config: the initial ring configuration (inputs + orientations).
+        factory: builds each processor's program from ``(input, n)``.
+        wakeup: spontaneous wake-up cycles; default is simultaneous start.
+        max_cycles: cycle budget; defaults to :func:`default_cycle_budget`.
+        keep_log: retain the full message log on the returned stats.
+
+    Returns:
+        A :class:`repro.core.tracing.RunResult` with per-processor outputs,
+        the message/bit trace, the final cycle, and per-processor halt
+        cycles.
+
+    Raises:
+        NonTerminationError: the budget was exhausted before all halted.
+    """
+    n = config.n
+    wakeup = wakeup or WakeupSchedule.simultaneous(n)
+    if wakeup.n != n:
+        raise SimulationError(f"schedule covers {wakeup.n} processors, ring has {n}")
+
+    processes: List[SyncProcess] = [factory(config.inputs[i], n) for i in range(n)]
+    gens: List[Optional[ProcessGen]] = [None] * n
+    outputs: List[Any] = [None] * n
+    halted = [False] * n
+    halt_times = [0] * n
+    wake_time = list(wakeup.times)
+    wake_messages: List[List] = [[] for _ in range(n)]
+    last_in: List[In] = [In() for _ in range(n)]
+    stats = TraceStats(keep_log=keep_log)
+    budget = max_cycles if max_cycles is not None else default_cycle_budget(n)
+
+    cycle = 0
+    while not all(halted):
+        if cycle > budget:
+            laggards = [i for i in range(n) if not halted[i]]
+            raise NonTerminationError(
+                f"cycle budget {budget} exhausted; still running: {laggards}"
+            )
+
+        # --- half-step 1: emissions -----------------------------------
+        emissions: List = []  # (sender, Out)
+        for i in range(n):
+            if halted[i] or wake_time[i] > cycle:
+                continue
+            gen = gens[i]
+            try:
+                if gen is None:
+                    proc = processes[i]
+                    proc.wake_inbox = list(wake_messages[i])
+                    proc.woke_spontaneously = not wake_messages[i]
+                    gen = proc.run()
+                    gens[i] = gen
+                    out = next(gen)
+                else:
+                    out = gen.send(last_in[i])
+            except StopIteration as stop:
+                halted[i] = True
+                outputs[i] = stop.value
+                halt_times[i] = cycle
+                continue
+            if not isinstance(out, Out):
+                raise SimulationError(
+                    f"processor yielded {out!r}; processes must yield Out(...)"
+                )
+            emissions.append((i, out))
+
+        # --- half-step 2: delivery ------------------------------------
+        arriving: List[Dict[Port, Any]] = [dict() for _ in range(n)]
+        for sender, out in emissions:
+            for port, payload in out.sends():
+                receiver, in_port = config.arrival_port(sender, port)
+                stats.record(
+                    Envelope(
+                        sender=sender,
+                        receiver=receiver,
+                        out_port=port,
+                        in_port=in_port,
+                        payload=payload,
+                        send_time=cycle,
+                    )
+                )
+                if halted[receiver]:
+                    continue
+                if gens[receiver] is None and wake_time[receiver] > cycle:
+                    # Wakes an idle processor: it starts next cycle with
+                    # the message in hand.
+                    wake_messages[receiver].append((in_port, payload))
+                    wake_time[receiver] = cycle + 1
+                    continue
+                if in_port in arriving[receiver]:
+                    raise SimulationError(
+                        f"two messages on one port in one cycle at {receiver}"
+                    )
+                arriving[receiver][in_port] = payload
+
+        for i in range(n):
+            got = arriving[i]
+            last_in[i] = In(
+                left=got.get(Port.LEFT, ABSENT),
+                right=got.get(Port.RIGHT, ABSENT),
+            )
+
+        cycle += 1
+
+    return RunResult(
+        outputs=tuple(outputs),
+        stats=stats,
+        cycles=max(halt_times) if halt_times else 0,
+        halt_times=tuple(halt_times),
+    )

@@ -1,0 +1,112 @@
+"""Wake-up schedules for start synchronization (§4.2.3, §6.3.3).
+
+In the relaxed synchronous model processors are initially idle and wake
+either spontaneously, at adversary-chosen times, or on message arrival.
+Because a waking processor may immediately send, no realizable schedule can
+make neighbors wake more than one cycle apart — the constraint §6.3.3
+grants the adversary.
+
+The lower-bound construction of §6.3.3 encodes a schedule as a binary
+string ``ω = ε₁ … εₙ``: walking around the ring, the wake time steps +1 on
+a one and −1 on a zero.  The string is realizable iff the walk closes up
+(equal numbers of zeros and ones brings it back exactly; a ±1 mismatch is
+also tolerable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WakeupSchedule:
+    """Spontaneous wake-up cycle of each processor, normalized to start at 0.
+
+    ``times[i]`` is the cycle at which processor ``i`` wakes on its own (a
+    message may still wake it earlier).  At least one processor must wake
+    at cycle 0.
+    """
+
+    times: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ConfigurationError("a schedule needs at least one processor")
+        if min(self.times) != 0:
+            raise ConfigurationError("schedules are normalized: min wake time is 0")
+        if any(t < 0 for t in self.times):
+            raise ConfigurationError("wake times must be nonnegative")
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.times)
+
+    def __getitem__(self, i: int) -> int:
+        return self.times[i % self.n]
+
+    @property
+    def spread(self) -> int:
+        """Latest minus earliest wake time."""
+        return max(self.times)
+
+    def is_realizable(self) -> bool:
+        """Whether an adversary can produce this schedule.
+
+        Requires cyclically adjacent processors to wake at most one cycle
+        apart: a waking processor's message would otherwise wake the
+        neighbor earlier than scheduled.
+        """
+        return all(
+            abs(self.times[i] - self.times[(i + 1) % self.n]) <= 1
+            for i in range(self.n)
+        )
+
+    @staticmethod
+    def simultaneous(n: int) -> "WakeupSchedule":
+        """Everyone wakes at cycle 0 — the basic synchronous model."""
+        if n < 1:
+            raise ConfigurationError("n must be positive")
+        return WakeupSchedule((0,) * n)
+
+    @staticmethod
+    def from_times(times: Sequence[int]) -> "WakeupSchedule":
+        """Normalize arbitrary wake times so the earliest is cycle 0."""
+        times = tuple(times)
+        if not times:
+            raise ConfigurationError("a schedule needs at least one processor")
+        base = min(times)
+        return WakeupSchedule(tuple(t - base for t in times))
+
+    @staticmethod
+    def from_bits(omega: str) -> "WakeupSchedule":
+        """The §6.3.3 encoding: wake-time walk driven by a binary string.
+
+        A dummy processor 0 starts at (relative) time 0; processor ``i``
+        starts at ``t_{i−1} + 1`` if ``ε_i = 1`` and ``t_{i−1} − 1`` if
+        ``ε_i = 0``.  The resulting schedule covers ``len(omega)``
+        processors (the walk values after each step) and must close up to
+        within one cycle to be legal on a ring.
+        """
+        if not omega or any(ch not in "01" for ch in omega):
+            raise ConfigurationError(f"not a nonempty binary string: {omega!r}")
+        walk = []
+        level = 0
+        for ch in omega:
+            level += 1 if ch == "1" else -1
+            walk.append(level)
+        if abs(walk[-1] - walk[0]) > 1:
+            raise ConfigurationError(
+                "string is not a legal ring schedule: first and last processors "
+                f"wake {abs(walk[-1] - walk[0])} cycles apart, need <= 1"
+            )
+        schedule = WakeupSchedule.from_times(walk)
+        if not schedule.is_realizable():  # pragma: no cover - walk steps are ±1
+            raise ConfigurationError("walk produced an unrealizable schedule")
+        return schedule

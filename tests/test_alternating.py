@@ -1,0 +1,95 @@
+"""Alternating-ring input distribution (§4.2.2 remark) and the universal pipeline."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms.alternating import (
+    distribute_inputs_alternating,
+    message_bound,
+)
+from repro.algorithms.combined import distribute_inputs_general
+from repro.core import ConfigurationError, RingConfiguration, RingView
+
+
+class TestAlternating:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_exhaustive_inputs(self, n):
+        for bits in itertools.product((0, 1), repeat=n):
+            for first in (0, 1):
+                config = RingConfiguration.alternating(bits, first=first)
+                result = distribute_inputs_alternating(config)
+                for i in range(n):
+                    assert result.outputs[i] == RingView.from_configuration(config, i)
+
+    @pytest.mark.parametrize("n", [10, 16, 32])
+    def test_random(self, n):
+        for seed in range(4):
+            rng = random.Random(seed * 31 + n)
+            inputs = tuple(rng.randrange(4) for _ in range(n))
+            config = RingConfiguration.alternating(inputs, first=rng.randrange(2))
+            result = distribute_inputs_alternating(config)
+            for i in range(n):
+                assert result.outputs[i] == RingView.from_configuration(config, i)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_message_bound(self, n):
+        for seed in range(3):
+            rng = random.Random(seed)
+            inputs = tuple(rng.randrange(2) for _ in range(n))
+            config = RingConfiguration.alternating(inputs)
+            result = distribute_inputs_alternating(config)
+            assert result.stats.messages <= message_bound(n)
+
+    def test_everyone_halts_together(self):
+        """The fixed deadline makes halting simultaneous (composable)."""
+        config = RingConfiguration.alternating((1, 0, 1, 1, 0, 0, 1, 0))
+        result = distribute_inputs_alternating(config)
+        assert len(set(result.halt_times)) == 1
+
+    def test_non_alternating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribute_inputs_alternating(RingConfiguration.oriented([0, 1, 0, 1]))
+
+    def test_odd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribute_inputs_alternating(
+                RingConfiguration((0,) * 5, (1, 0, 1, 0, 1))
+            )
+
+    def test_growth_shape(self):
+        from repro.analysis import best_shape
+
+        ns, msgs = [], []
+        for n in (16, 32, 64, 128, 256):
+            rng = random.Random(n)
+            config = RingConfiguration.alternating(
+                tuple(rng.randrange(2) for _ in range(n))
+            )
+            result = distribute_inputs_alternating(config)
+            ns.append(n)
+            msgs.append(result.stats.messages)
+        assert best_shape(ns, msgs) in ("nlogn", "linear")
+
+
+class TestUniversalPipeline:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+    def test_even_rings_random(self, n):
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed * 11 + n))
+            result = distribute_inputs_general(config)
+            switches = tuple(switch for switch, _view in result.outputs)
+            fixed = config.apply_switches(switches)
+            assert fixed.is_quasi_oriented
+            for i in range(n):
+                assert result.outputs[i][1] == RingView.from_configuration(fixed, i)
+
+    def test_functions_on_symmetric_even_ring(self):
+        """The Theorem 3.5 ring: orientation impossible, XOR still fine."""
+        from repro.algorithms import XOR, compute_sync
+
+        config = RingConfiguration.two_half_rings(5, inputs=(1,) * 7 + (0,) * 3)
+        assert compute_sync(config, XOR).unanimous_output() == 1

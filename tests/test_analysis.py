@@ -1,0 +1,105 @@
+"""Shape fitting, bound checks, and the trade-off records."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    BoundCheck,
+    ShapeFit,
+    TradeoffPoint,
+    best_shape,
+    fit_shape,
+    growth_exponent,
+    time_lower_bound,
+)
+
+
+NS = (8, 16, 32, 64, 128, 256)
+
+
+class TestFitShape:
+    def test_recovers_linear(self):
+        assert best_shape(NS, [3 * n for n in NS]) == "linear"
+
+    def test_recovers_nlogn(self):
+        assert best_shape(NS, [2.5 * n * math.log(n) for n in NS]) == "nlogn"
+
+    def test_recovers_quadratic(self):
+        assert best_shape(NS, [0.7 * n * n for n in NS]) == "quadratic"
+
+    def test_noise_tolerant(self):
+        import random
+
+        rng = random.Random(0)
+        noisy = [n * math.log(n) * rng.uniform(0.95, 1.05) for n in NS]
+        assert best_shape(NS, noisy) == "nlogn"
+
+    def test_fits_sorted_by_quality(self):
+        fits = fit_shape(NS, [n * n for n in NS])
+        assert fits[0].relative_rmse <= fits[-1].relative_rmse
+        assert isinstance(fits[0], ShapeFit)
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_shape([4], [5])
+        with pytest.raises(ValueError):
+            fit_shape([4, 8], [5])
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        assert growth_exponent(NS, [5 * n for n in NS]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        assert growth_exponent(NS, [n * n for n in NS]) == pytest.approx(2.0)
+
+    def test_nlogn_between(self):
+        exponent = growth_exponent(NS, [n * math.log(n) for n in NS])
+        assert 1.0 < exponent < 1.5
+
+
+class TestBoundCheck:
+    def test_upper_satisfied(self):
+        check = BoundCheck("E3", 32, measured=480.0, bound=917.0, kind="upper")
+        assert check.satisfied
+        assert check.ratio == pytest.approx(480 / 917)
+
+    def test_upper_violated(self):
+        assert not BoundCheck("x", 8, 100.0, 50.0, "upper").satisfied
+
+    def test_lower(self):
+        assert BoundCheck("E6", 9, 72.0, 36.0, "lower").satisfied
+        assert not BoundCheck("E6", 9, 10.0, 36.0, "lower").satisfied
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            _ = BoundCheck("x", 8, 1.0, 1.0, "sideways").satisfied
+
+    def test_row_format(self):
+        row = BoundCheck("E1", 9, 72.0, 72.0, "upper").row()
+        assert row.startswith("| E1 |") and "✓" in row
+
+
+class TestTradeoff:
+    def test_quadratic_messages_mean_linear_time(self):
+        n = 64
+        bound = time_lower_bound(n, bit_messages=n * n, c=1.0)
+        assert bound <= 10 * n
+
+    def test_nlogn_messages_mean_exponential_time(self):
+        """With few bit-messages the time bound turns exponential (for n
+        large enough that 2^{c·n/log n} dominates)."""
+        n = 256
+        cheap = time_lower_bound(n, bit_messages=4 * n * math.log(n), c=1.0)
+        assert cheap > time_lower_bound(n, bit_messages=n * n, c=1.0)
+        assert cheap > n * n  # far beyond any polynomial algorithm here
+
+    def test_degenerate(self):
+        assert time_lower_bound(8, 0) == math.inf
+
+    def test_point_row(self):
+        point = TradeoffPoint("fig2", 32, 480, 5000, 352)
+        assert "fig2" in point.row()

@@ -1,0 +1,89 @@
+"""The composed orient-then-distribute pipeline (odd general rings)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import distribute_inputs_general
+from repro.algorithms.combined import barrier_cycle, message_bound
+from repro.core import ConfigurationError, RingConfiguration, RingView
+
+
+def check_run(config: RingConfiguration) -> None:
+    result = distribute_inputs_general(config)
+    switches = tuple(switch for switch, _view in result.outputs)
+    oriented = config.apply_switches(switches)
+    assert oriented.is_oriented
+    for i in range(config.n):
+        assert result.outputs[i][1] == RingView.from_configuration(oriented, i)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_exhaustive_orientations(self, n):
+        for bits in itertools.product((0, 1), repeat=n):
+            inputs = tuple((i * 7 + 3) % 2 for i in range(n))
+            check_run(RingConfiguration(inputs, bits))
+
+    @pytest.mark.parametrize("n", [9, 15, 21])
+    def test_random(self, n):
+        for seed in range(4):
+            check_run(RingConfiguration.random(n, random.Random(seed)))
+
+    def test_periodic_inputs(self):
+        check_run(RingConfiguration((0, 1, 1) * 3, (1, 0) * 4 + (1,)))
+
+    @pytest.mark.parametrize("n", [4, 6, 8, 12])
+    def test_even_rings_supported(self, n):
+        """Even rings branch into the alternating variant when needed."""
+        for seed in range(3):
+            config = RingConfiguration.random(n, random.Random(seed))
+            result = distribute_inputs_general(config)
+            switches = tuple(switch for switch, _view in result.outputs)
+            fixed = config.apply_switches(switches)
+            assert fixed.is_quasi_oriented
+            for i in range(n):
+                assert result.outputs[i][1] == RingView.from_configuration(fixed, i)
+
+    def test_two_half_rings_goes_alternating(self):
+        """The Theorem 3.5 configuration takes the alternating branch and
+        still distributes every input."""
+        config = RingConfiguration.two_half_rings(4, inputs=(1, 0, 1, 1, 0, 0, 1, 0))
+        result = distribute_inputs_general(config)
+        switches = tuple(switch for switch, _view in result.outputs)
+        fixed = config.apply_switches(switches)
+        assert fixed.is_alternating
+        for i in range(config.n):
+            assert result.outputs[i][1] == RingView.from_configuration(fixed, i)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribute_inputs_general(RingConfiguration.random(2, random.Random(0)))
+
+    def test_oriented_ring_works_too(self):
+        check_run(RingConfiguration.oriented([1, 0, 1, 1, 0]))
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [9, 27, 45])
+    def test_message_bound(self, n):
+        for seed in range(3):
+            config = RingConfiguration.random(n, random.Random(seed))
+            result = distribute_inputs_general(config)
+            assert result.stats.messages <= message_bound(n)
+
+    def test_barrier_is_uniform(self):
+        """Stage 2 can only be correct if the barrier is input-independent."""
+        assert barrier_cycle(9) == barrier_cycle(9)
+        assert barrier_cycle(27) > barrier_cycle(9)
+
+    def test_cycles_dominated_by_barrier_plus_fig2(self):
+        from repro.algorithms.sync_input_distribution import cycle_bound
+
+        n = 15
+        config = RingConfiguration.random(n, random.Random(2))
+        result = distribute_inputs_general(config)
+        assert result.cycles <= barrier_cycle(n) + cycle_bound(n) + 2

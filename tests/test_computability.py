@@ -1,0 +1,159 @@
+"""§3: the computability characterization and its impossibility witnesses."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.algorithms.functions import (
+    AND,
+    MAJORITY,
+    RingFunction,
+    STANDARD_FUNCTIONS,
+    XOR,
+    pattern_count,
+)
+from repro.computability import (
+    check_cyclic_invariance,
+    check_reversal_invariance,
+    classes_with_half_run_of_ones,
+    computable_on_general_ring,
+    computable_on_oriented_ring,
+    count_bracelets,
+    count_necklaces,
+    demonstrate_orientation_failure,
+    half_run_class_count_lower_bound,
+    necklace_classes,
+    random_computable_function,
+    theorem_32_witness,
+    theorem_33_witness,
+    theorem_35_witness,
+)
+from repro.core import ConfigurationError, RingConfiguration
+from repro.core.strings import canonical_necklace
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("f", STANDARD_FUNCTIONS)
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_standard_functions_computable_everywhere(self, f, n):
+        assert computable_on_general_ring(f, n)
+
+    def test_position_function_not_computable(self):
+        first = RingFunction("FIRST", lambda xs: xs[0])
+        report = computable_on_oriented_ring(first, 4)
+        assert not report.invariant
+        a, b = report.counterexample
+        assert first.on_inputs(a) != first.on_inputs(b)
+
+    def test_chiral_pattern_oriented_only(self):
+        """COUNT[0011]: Theorem 3.4(i) yes, 3.4(ii) no."""
+        f = pattern_count("0011")
+        n = 6
+        assert computable_on_oriented_ring(f, n)
+        report = computable_on_general_ring(f, n)
+        assert not report.invariant
+
+    def test_achiral_pattern_is_general(self):
+        """COUNT[011] is secretly achiral on cycles (it counts 1-runs ≥ 2)."""
+        assert computable_on_general_ring(pattern_count("011"), 6)
+
+    def test_sampled_check(self):
+        report = check_cyclic_invariance(XOR, 12, sample=50, seed=3)
+        assert report.invariant
+
+    def test_reversal_check(self):
+        assert check_reversal_invariance(MAJORITY, 5)
+        assert not check_reversal_invariance(pattern_count("0011"), 6)
+
+    def test_report_is_boolean(self):
+        assert bool(computable_on_oriented_ring(AND, 3))
+
+
+class TestNecklaceCounting:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 8, 10])
+    def test_necklaces_match_bruteforce(self, n):
+        classes = {canonical_necklace("".join(bits)) for bits in itertools.product("01", repeat=n)}
+        assert count_necklaces(n) == len(classes)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 8, 10])
+    def test_bracelets_match_bruteforce(self, n):
+        from repro.core.strings import canonical_bracelet
+
+        classes = {canonical_bracelet("".join(bits)) for bits in itertools.product("01", repeat=n)}
+        assert count_bracelets(n) == len(classes)
+
+    def test_known_values(self):
+        # OEIS A000031: 2, 3, 4, 6, 8, 14, 20, 36
+        assert [count_necklaces(n) for n in range(1, 9)] == [2, 3, 4, 6, 8, 14, 20, 36]
+
+    def test_necklace_classes_partition(self):
+        classes = necklace_classes(5)
+        total = sum(len(words) for words in classes.values())
+        assert total == 32
+        assert len(classes) == count_necklaces(5)
+
+    def test_half_run_classes(self):
+        classes = classes_with_half_run_of_ones(6)
+        assert all("111" in w + w for w in classes)
+        assert len(classes) >= half_run_class_count_lower_bound(6)
+
+    def test_half_run_needs_even(self):
+        with pytest.raises(ValueError):
+            classes_with_half_run_of_ones(5)
+
+    def test_random_function_is_computable(self):
+        """A sampled function is constant on rotation classes."""
+        rng = random.Random(9)
+        f = random_computable_function(6, rng, oriented=True)
+        for bits in itertools.product("01", repeat=6):
+            word = "".join(bits)
+            rotated = word[2:] + word[:2]
+            assert f(word) == f(rotated)
+
+    def test_random_function_general_reversal(self):
+        rng = random.Random(9)
+        f = random_computable_function(6, rng, oriented=False)
+        for bits in itertools.product("01", repeat=6):
+            word = "".join(bits)
+            assert f(word) == f(word[::-1])
+
+
+class TestImpossibilityWitnesses:
+    def test_theorem_32(self):
+        witness = theorem_32_witness([1, 1], [0, 1], halting_time=2)
+        assert witness.verify()
+        # The big ring genuinely contains both answer regions.
+        big = witness.config_a
+        assert 1 in big.inputs and 0 in big.inputs
+
+    def test_theorem_32_with_padding(self):
+        witness = theorem_32_witness([1], [0], halting_time=1, padding=[1, 0, 1])
+        assert witness.verify()
+
+    def test_theorem_33(self):
+        ring_a, ring_b = theorem_33_witness(4, 7)
+        assert ring_a.n != ring_b.n
+        for k in range(8):
+            assert ring_a.neighborhood(0, k) == ring_b.neighborhood(0, k)
+
+    def test_theorem_33_rejects_equal(self):
+        with pytest.raises(ConfigurationError):
+            theorem_33_witness(5, 5)
+
+    def test_theorem_35_pairs(self):
+        config, pairs = theorem_35_witness(4)
+        assert config.n == 8
+        assert len(pairs) == 4
+        for i, j in pairs:
+            assert config.orientations[i] != config.orientations[j]
+
+    def test_our_algorithm_fails_on_even_rings_as_it_must(self):
+        """Figure 4 cannot beat Theorem 3.5: the output alternates."""
+        from repro.algorithms.orientation import QuasiOrientation
+
+        config, pairs = theorem_35_witness(3)
+        assert demonstrate_orientation_failure(config, pairs, QuasiOrientation)

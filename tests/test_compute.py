@@ -1,0 +1,80 @@
+"""The compute_sync / compute_async drivers: one call, right algorithm."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    AND,
+    MAJORITY,
+    MAX,
+    MIN,
+    OR,
+    STANDARD_FUNCTIONS,
+    SUM,
+    XOR,
+    compute_async,
+    compute_sync,
+    pattern_count,
+)
+from repro.core import RingConfiguration
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("f", STANDARD_FUNCTIONS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_sync_async_agree_oriented(self, f, n):
+        config = RingConfiguration.random(n, random.Random(n * 31), oriented=True)
+        want = f.on_inputs(config.inputs)
+        assert compute_sync(config, f).unanimous_output() == want
+        assert compute_async(config, f).unanimous_output() == want
+
+    @pytest.mark.parametrize("f", [AND, OR, XOR, SUM, MIN, MAX, MAJORITY])
+    def test_odd_nonoriented(self, f):
+        config = RingConfiguration.random(9, random.Random(7))
+        want = f.on_inputs(config.inputs)
+        assert compute_sync(config, f).unanimous_output() == want
+        assert compute_async(config, f).unanimous_output() == want
+
+    def test_even_nonoriented_sync_works(self):
+        config = RingConfiguration((0, 1, 1, 0), (1, 0, 1, 1))
+        assert compute_sync(config, XOR).unanimous_output() == 0
+
+    def test_even_nonoriented_async_works(self):
+        config = RingConfiguration((0, 1, 1, 0), (1, 0, 1, 1))
+        assert compute_async(config, XOR).unanimous_output() == 0
+
+    def test_n2_nonoriented_routes_async(self):
+        config = RingConfiguration((1, 0), (1, 0))
+        assert compute_sync(config, XOR).unanimous_output() == 1
+
+    def test_counterclockwise(self):
+        config = RingConfiguration.counterclockwise([1, 1, 0, 1])
+        assert compute_sync(config, SUM).unanimous_output() == 3
+
+    def test_chiral_function_on_oriented_ring(self):
+        """COUNT[0011] is computable on oriented rings: all agree."""
+        f = pattern_count("0011")
+        config = RingConfiguration.oriented([0, 0, 1, 1, 0, 1])
+        result = compute_sync(config, f)
+        assert result.unanimous_output() == f.on_inputs(config.inputs)
+
+
+class TestMessageEconomy:
+    def test_sync_beats_async_at_scale(self):
+        n = 64
+        config = RingConfiguration.random(n, random.Random(2), oriented=True)
+        sync_msgs = compute_sync(config, XOR).stats.messages
+        async_msgs = compute_async(config, XOR).stats.messages
+        assert async_msgs == n * (n - 1)
+        assert sync_msgs < async_msgs / 2
+
+    def test_crossover_for_small_n(self):
+        """At tiny n the O(n²) algorithm can be the cheaper one."""
+        n = 4
+        config = RingConfiguration.oriented([1, 0, 1, 0])
+        sync_msgs = compute_sync(config, XOR).stats.messages
+        async_msgs = compute_async(config, XOR).stats.messages
+        assert async_msgs <= sync_msgs

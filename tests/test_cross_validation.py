@@ -1,0 +1,121 @@
+"""Cross-validation: independent implementations must agree.
+
+When two algorithms solve the same problem, their outputs (not their
+costs) must coincide on every input — a strong oracle that needs no
+hand-computed expectations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import (
+    distribute_inputs_async,
+    distribute_inputs_general,
+    distribute_inputs_sync,
+    distribute_inputs_sync_uni,
+    elect_leader,
+    orient_ring,
+    orient_ring_async,
+    synchronize_start,
+    synchronize_start_bits,
+)
+from repro.algorithms.start_sync import run_with_random_schedule
+from repro.core import RingConfiguration
+from repro.sync import WakeupSchedule
+
+
+class TestDistributionAgreement:
+    @pytest.mark.parametrize("n", [4, 7, 12])
+    def test_three_distributors_agree(self, n):
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            a = distribute_inputs_sync(config).outputs
+            b = distribute_inputs_sync_uni(config).outputs
+            c = distribute_inputs_async(config).outputs
+            assert a == b == c
+
+    @pytest.mark.parametrize("n", [5, 9])
+    def test_universal_matches_async_views(self, n):
+        """The universal pipeline reads the same inputs the async algorithm
+        sees — in the same or the mirrored order, depending on whether its
+        orientation stage flipped that processor."""
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed))
+            async_views = distribute_inputs_async(config).outputs
+            general = distribute_inputs_general(config).outputs
+            for i in range(n):
+                switch, view = general[i]
+                reference = (
+                    async_views[i].inputs_leftward()
+                    if switch
+                    else async_views[i].inputs_rightward()
+                )
+                assert view.inputs_rightward() == reference
+
+
+class TestOrientationAgreement:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_sync_and_async_orientation_agree_up_to_global_flip(self, n):
+        """Both must orient; the chosen direction may differ (two correct
+        solutions exist, §2)."""
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed * 3 + n))
+            sync_fixed, _ = orient_ring(config)
+            async_fixed, _ = orient_ring_async(config)
+            assert sync_fixed.is_oriented and async_fixed.is_oriented
+
+
+class TestStartSyncAgreement:
+    @pytest.mark.parametrize("n", [8, 16, 27])
+    def test_both_synchronizers_synchronize(self, n):
+        config = RingConfiguration.oriented((0,) * n)
+        for seed in range(3):
+            schedule, fig5 = run_with_random_schedule(config, seed)
+            bits = synchronize_start_bits(config, schedule)
+            assert len(set(fig5.halt_times)) == 1
+            assert len(set(bits.halt_times)) == 1
+
+    def test_simultaneous_is_cheapest_for_both(self):
+        n = 32
+        config = RingConfiguration.oriented((0,) * n)
+        base5 = synchronize_start(config, WakeupSchedule.simultaneous(n))
+        base_bits = synchronize_start_bits(config, WakeupSchedule.simultaneous(n))
+        for seed in range(3):
+            schedule, fig5 = run_with_random_schedule(config, seed + 100)
+            bits = synchronize_start_bits(config, schedule)
+            assert fig5.stats.messages >= base5.stats.messages
+            assert bits.stats.messages >= base_bits.stats.messages
+
+
+class TestElectionAgreement:
+    @pytest.mark.parametrize("n", [4, 8, 13])
+    def test_all_four_algorithms_elect_the_same_leader(self, n):
+        for seed in range(3):
+            labels = list(range(10, 10 + n))
+            random.Random(seed).shuffle(labels)
+            config = RingConfiguration.oriented(labels)
+            winners = {
+                elect_leader(config, algo).unanimous_output()
+                for algo in (
+                    "chang-roberts",
+                    "franklin",
+                    "hirschberg-sinclair",
+                    "peterson",
+                )
+            }
+            assert winners == {max(labels)}
+
+
+class TestExhaustiveTinyAgreement:
+    def test_all_binary_rings_n5(self):
+        """Every distributor on every binary input of a 5-ring."""
+        for bits in itertools.product((0, 1), repeat=5):
+            config = RingConfiguration.oriented(bits)
+            a = distribute_inputs_sync(config).outputs
+            b = distribute_inputs_sync_uni(config).outputs
+            c = distribute_inputs_async(config).outputs
+            assert a == b == c, bits

@@ -1,0 +1,62 @@
+"""ASCII space–time diagrams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.sync_and import SyncAnd
+from repro.core import RingConfiguration
+from repro.core.diagram import message_density, space_time_diagram
+from repro.sync import run_synchronous
+
+
+def logged_run(bits):
+    config = RingConfiguration.oriented(bits)
+    return config, run_synchronous(config, SyncAnd, keep_log=True)
+
+
+class TestSpaceTime:
+    def test_renders(self):
+        config, result = logged_run([0, 1, 1, 1, 0])
+        art = space_time_diagram(config, result)
+        assert "cyc |" in art
+        assert "legend:" in art
+        assert ">" in art or "<" in art or "x" in art
+
+    def test_halts_marked(self):
+        config, result = logged_run([1, 1, 1])
+        art = space_time_diagram(config, result)
+        assert "*" in art
+
+    def test_requires_log(self):
+        config = RingConfiguration.oriented([0, 1, 1])
+        result = run_synchronous(config, SyncAnd)  # no log
+        with pytest.raises(ValueError):
+            space_time_diagram(config, result)
+
+    def test_silent_run_ok_without_log(self):
+        config = RingConfiguration.oriented([1, 1, 1])
+        result = run_synchronous(config, SyncAnd)  # zero messages, no log needed
+        art = space_time_diagram(config, result)
+        assert "0 messages total" in art
+
+    def test_truncation(self):
+        config, result = logged_run([0] * 6)
+        art = space_time_diagram(config, result, max_cycles=0)
+        assert art.count("\n") < 10
+
+    def test_payload_legend(self):
+        config, result = logged_run([0, 1, 1])
+        art = space_time_diagram(config, result, show_payloads=True)
+        assert "p0" in art
+
+
+class TestDensity:
+    def test_sparkline(self):
+        _config, result = logged_run([0, 1, 1, 1, 1, 1, 1])
+        line = message_density(result)
+        assert len(line) == 10
+
+    def test_empty(self):
+        _config, result = logged_run([1, 1, 1])
+        assert message_density(result) == "(no messages)"

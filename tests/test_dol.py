@@ -1,0 +1,195 @@
+"""Word homomorphisms and Theorem 6.3 (repro.homomorphisms.dol)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.core.strings import complement, cyclic_occurrences, reverse_complement
+from repro.homomorphisms import (
+    NAMED_HOMOMORPHISMS,
+    ORIENT_UNIFORM,
+    PALINDROME,
+    THUE_MORSE,
+    XOR_NONUNIFORM,
+    XOR_UNIFORM,
+    WordHom,
+    make_bound,
+    subword_complexity,
+    verify_theorem_63,
+)
+
+
+class TestWordHom:
+    def test_apply(self):
+        assert XOR_UNIFORM.apply("01") == "011100"
+
+    def test_iterate(self):
+        assert THUE_MORSE.iterate("0", 3) == "01101001"  # Thue–Morse prefix
+
+    def test_iterate_zero(self):
+        assert XOR_UNIFORM.iterate("010", 0) == "010"
+
+    def test_iterate_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XOR_UNIFORM.iterate("0", -1)
+
+    def test_bad_symbol(self):
+        with pytest.raises(ConfigurationError):
+            XOR_UNIFORM.apply("2")
+
+    def test_bad_images(self):
+        with pytest.raises(ConfigurationError):
+            WordHom("", "1")
+        with pytest.raises(ConfigurationError):
+            WordHom("01", "0a")
+
+    def test_uniformity(self):
+        assert XOR_UNIFORM.is_uniform and XOR_UNIFORM.d == 3
+        assert not XOR_NONUNIFORM.is_uniform
+        with pytest.raises(ConfigurationError):
+            _ = XOR_NONUNIFORM.d
+
+    def test_single_letter_not_uniform(self):
+        assert not WordHom("0", "1").is_uniform  # d must be >= 2
+
+    @given(st.text(alphabet="01", min_size=1, max_size=10), st.integers(0, 4))
+    def test_uniform_growth(self, word, k):
+        assert len(XOR_UNIFORM.iterate(word, k)) == len(word) * 3**k
+
+    @given(st.text(alphabet="01", min_size=1, max_size=6), st.text(alphabet="01", min_size=1, max_size=6))
+    def test_homomorphism_property(self, u, v):
+        for hom in NAMED_HOMOMORPHISMS.values():
+            assert hom.apply(u + v) == hom.apply(u) + hom.apply(v)
+
+
+class TestConditions:
+    @pytest.mark.parametrize(
+        "name,expected_c",
+        [("xor_uniform", 2), ("orient_uniform", 2), ("thue_morse", 3), ("palindrome", 2)],
+    )
+    def test_condition_6c(self, name, expected_c):
+        hom = NAMED_HOMOMORPHISMS[name]
+        assert hom.find_c() == expected_c
+        assert hom.satisfies_6c(expected_c)
+        assert not hom.satisfies_6c(expected_c - 1)
+
+    def test_failing_hom(self):
+        constant_hom = WordHom("00", "00")
+        assert constant_hom.find_c(5) is None
+
+    def test_make_bound_requires_uniform(self):
+        with pytest.raises(ConfigurationError):
+            make_bound(XOR_NONUNIFORM)
+
+    def test_make_bound_requires_6c(self):
+        with pytest.raises(ConfigurationError):
+            make_bound(WordHom("00", "11"), max_c=4)
+
+
+class TestPaperIdentities:
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_xor_images_are_complements(self, k):
+        """§6.3.1: h^k(1) = complement of h^k(0)."""
+        assert XOR_UNIFORM.iterate("1", k) == complement(XOR_UNIFORM.iterate("0", k))
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_xor_parity_differs(self, k):
+        assert XOR_UNIFORM.iterate("0", k).count("1") % 2 == 0
+        assert XOR_UNIFORM.iterate("1", k).count("1") % 2 == 1
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_orient_reverse_complement(self, k):
+        """§6.3.2: h^k(0) = reverse-complement of h^k(1)."""
+        assert ORIENT_UNIFORM.iterate("0", k) == reverse_complement(
+            ORIENT_UNIFORM.iterate("1", k)
+        )
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_orient_block_structure(self, k):
+        """h^k(0) = h^{k−1}(0) · h^{k−1}(1) · h^{k−1}(1)."""
+        prev0 = ORIENT_UNIFORM.iterate("0", k - 1)
+        prev1 = ORIENT_UNIFORM.iterate("1", k - 1)
+        assert ORIENT_UNIFORM.iterate("0", k) == prev0 + prev1 + prev1
+
+    @pytest.mark.parametrize("k", range(1, 5))
+    def test_palindrome_images(self, k):
+        """§7.2.1: h^k(0) and h^k(1) are palindromes."""
+        for symbol in "01":
+            word = PALINDROME.iterate(symbol, k)
+            assert word == word[::-1]
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_palindrome_odd_iterate_centers_on_one(self, k):
+        word = PALINDROME.iterate("0", k)
+        assert word[len(word) // 2] == "1"
+
+    @pytest.mark.parametrize("k", range(1, 5))
+    def test_palindrome_counts(self, k):
+        """p = (5^{2k}+3^{2k})/2 zeros, q = (5^{2k}−3^{2k})/2 ones in h^{2k}(0)."""
+        word = PALINDROME.iterate("0", 2 * k)
+        p = (5 ** (2 * k) + 3 ** (2 * k)) // 2
+        q = (5 ** (2 * k) - 3 ** (2 * k)) // 2
+        assert word.count("0") == p
+        assert word.count("1") == q
+
+    def test_thue_morse_is_cube_free_prefix(self):
+        word = THUE_MORSE.iterate("0", 6)
+        for bad in ("000", "111"):
+            assert bad not in word
+
+
+class TestTheorem63:
+    @pytest.mark.parametrize("name", ["xor_uniform", "orient_uniform", "palindrome"])
+    def test_verified_on_small_iterates(self, name):
+        hom = NAMED_HOMOMORPHISMS[name]
+        k = 4 if hom.d == 3 else 3
+        assert verify_theorem_63(hom, k, "0", "1")
+
+    def test_thue_morse_deeper(self):
+        assert verify_theorem_63(THUE_MORSE, 6, "0", "1")
+
+    def test_cross_seed(self):
+        assert verify_theorem_63(XOR_UNIFORM, 3, "01", "10")
+
+    def test_bound_values(self):
+        bound = make_bound(XOR_UNIFORM)
+        assert bound.c == 2
+        assert bound.a == pytest.approx(1 / 9)
+        assert bound.b == pytest.approx(1 / 27)
+
+    def test_min_occurrences(self):
+        bound = make_bound(XOR_UNIFORM)
+        assert bound.min_occurrences(243, 3) >= 3
+
+    def test_explicit_occurrence_check(self):
+        """Every short factor of h^5(0) is frequent in h^5(1)."""
+        bound = make_bound(XOR_UNIFORM)
+        omega = XOR_UNIFORM.iterate("0", 5)
+        omega_prime = XOR_UNIFORM.iterate("1", 5)
+        cap = bound.max_factor_length(len(omega), 1)
+        assert cap == 27
+        from repro.core.strings import distinct_cyclic_substrings
+
+        for sigma in distinct_cyclic_substrings(omega, 5):
+            assert cyclic_occurrences(sigma, omega_prime) >= bound.b * len(
+                omega_prime
+            ) / len(sigma)
+
+
+class TestSubwordComplexity:
+    @pytest.mark.parametrize("length", [1, 2, 4, 8])
+    def test_repetitive_strings_have_linear_complexity(self, length):
+        """§8's remark: repetitive ⇒ O(k) distinct factors of length k."""
+        word = XOR_UNIFORM.iterate("0", 6)  # 729 symbols
+        assert subword_complexity(word, length) <= 4 * length + 4
+
+    def test_random_string_is_not_repetitive(self):
+        import random
+
+        rng = random.Random(1)
+        word = "".join(rng.choice("01") for _ in range(729))
+        # Random strings have exponentially many short factors.
+        assert subword_complexity(word, 8) > 4 * 8 + 4

@@ -1,0 +1,178 @@
+"""Fooling pairs (§5.1, §6.1) and their measured consequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import compute_async, distribute_inputs_async
+from repro.algorithms.functions import AND, XOR
+from repro.asynch import run_async_synchronized
+from repro.algorithms.async_input_distribution import AsyncInputDistribution
+from repro.core import ConfigurationError, RingConfiguration
+from repro.lowerbounds import (
+    FoolingPair,
+    and_fooling_pair,
+    constant_sensitive_pair,
+    orientation_arbitrary_pair,
+    orientation_async_pair,
+    orientation_sync_pair,
+    paper_bound_and_async,
+    paper_bound_orientation_async,
+    paper_bound_orientation_sync,
+    paper_bound_xor_sync,
+    sample_radii,
+    staircase_beta,
+    start_sync_instance,
+    xor_arbitrary_pair,
+    xor_sync_pair,
+)
+
+
+class TestFoolingPairMechanics:
+    def test_beta_length_validated(self):
+        ring = RingConfiguration.oriented((1, 1, 1))
+        with pytest.raises(ConfigurationError):
+            FoolingPair(ring, ring, alpha=2, beta=(1.0,), witness_a=0,
+                        witness_b=1, synchronous=True)
+
+    def test_bound_async_vs_sync(self):
+        ring = RingConfiguration.oriented((1, 1, 1))
+        asym = FoolingPair(ring, ring, 1, (3.0, 3.0), 0, 1, synchronous=False)
+        sym = FoolingPair(ring, ring, 1, (3.0, 3.0), 0, 1, synchronous=True)
+        assert asym.message_lower_bound() == 6.0
+        assert sym.message_lower_bound() == 3.0
+
+    def test_symmetry_check_catches_lies(self):
+        ring = RingConfiguration.oriented((1, 1, 0))  # SI = 1
+        pair = FoolingPair(ring, ring, 1, (10.0, 10.0), 0, 1, synchronous=True)
+        assert not pair.verify_symmetry()
+
+
+class TestAsyncPairs:
+    @pytest.mark.parametrize("n", [3, 6, 9, 14, 21])
+    def test_and_pair(self, n):
+        pair = and_fooling_pair(n)
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry()
+        assert pair.message_lower_bound() == paper_bound_and_async(n)
+
+    @pytest.mark.parametrize("n", [7, 9, 13])
+    def test_constant_sensitive(self, n):
+        pair = constant_sensitive_pair(lambda xs: XOR.on_inputs(xs), n)
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry()
+        assert pair.message_lower_bound() >= n * ((n - 2) // 4)
+
+    def test_constant_sensitive_requires_separation(self):
+        with pytest.raises(ConfigurationError):
+            constant_sensitive_pair(lambda xs: 0, 9)
+
+    @pytest.mark.parametrize("n", [5, 9, 15])
+    def test_orientation_pair(self, n):
+        pair = orientation_async_pair(n)
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry()
+        assert pair.message_lower_bound() == paper_bound_orientation_async(n)
+
+    def test_orientation_pair_rejects_even(self):
+        with pytest.raises(ConfigurationError):
+            orientation_async_pair(8)
+
+
+class TestSyncPairs:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_xor_pair(self, k):
+        pair = xor_sync_pair(k)
+        n = 3**k
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry()
+        assert pair.message_lower_bound() >= paper_bound_xor_sync(n)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_orientation_pair(self, k):
+        pair = orientation_sync_pair(k)
+        n = 3**k
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry()
+        assert pair.message_lower_bound() >= paper_bound_orientation_sync(n)
+
+    def test_orientation_witnesses_opposed(self):
+        pair = orientation_sync_pair(4)
+        assert (
+            pair.ring_a.orientations[pair.witness_a]
+            != pair.ring_b.orientations[pair.witness_b]
+        )
+
+    def test_start_sync_instance(self):
+        inst = start_sync_instance(3)
+        assert inst.n == 108
+        assert inst.schedule.is_realizable()
+        assert inst.message_lower_bound() > 0
+        # The witnesses wake at different cycles: outputs must differ.
+        assert inst.schedule[inst.witness_a] != inst.schedule[inst.witness_b]
+
+
+class TestArbitraryN:
+    @pytest.mark.parametrize("n", [60, 100, 243])
+    def test_xor_arbitrary(self, n):
+        pair = xor_arbitrary_pair(n)
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry(max_k=3)
+        assert XOR.on_inputs(pair.ring_a.inputs) != XOR.on_inputs(pair.ring_b.inputs)
+
+    @pytest.mark.parametrize("n", [501, 999])
+    def test_orientation_arbitrary(self, n):
+        pair = orientation_arbitrary_pair(n, max_alpha=64)
+        assert pair.verify_neighborhoods()
+        assert pair.verify_symmetry(max_k=3)
+        assert pair.message_lower_bound() > n / 4
+
+
+class TestStaircase:
+    def test_sample_radii(self):
+        radii = sample_radii(100)
+        assert radii[0] == 0 and radii[-1] == 100
+        assert list(radii) == sorted(radii)
+
+    def test_sample_radii_small(self):
+        assert sample_radii(0) == (0,)
+        assert sample_radii(1) == (0, 1)
+
+    def test_staircase_is_lower_bound(self):
+        """The staircase never exceeds the true SI profile."""
+        from repro.core import symmetry_index_set
+
+        ring = RingConfiguration.from_string("011100100011100100100011100")
+        alpha = 6
+        beta = staircase_beta([ring, ring], alpha, samples=4)
+        for k in range(alpha + 1):
+            assert beta[k] <= symmetry_index_set([ring, ring], k)
+
+
+class TestMeasuredConsequences:
+    def test_and_bound_met_by_algorithm(self):
+        """§4.1's algorithm computing AND respects Theorem 5.1's bound."""
+        n = 9
+        pair = and_fooling_pair(n)
+        result = compute_async(pair.ring_a, AND)
+        assert result.stats.messages >= pair.message_lower_bound()
+
+    def test_and_bound_under_synchronizing_adversary(self):
+        """Measured under the actual Theorem 5.1 adversary schedule."""
+        n = 9
+        pair = and_fooling_pair(n)
+        result = run_async_synchronized(
+            pair.ring_a, lambda value, size: AsyncInputDistribution(value, size)
+        )
+        assert result.stats.messages >= pair.message_lower_bound()
+
+    def test_symmetric_ring_floods_every_cycle(self):
+        """On 1ⁿ every processor sends whenever any does (Lemma 3.1)."""
+        n = 9
+        ring = RingConfiguration.oriented((1,) * n)
+        result = run_async_synchronized(
+            ring, lambda value, size: AsyncInputDistribution(value, size)
+        )
+        for cycle in range(result.cycles):
+            count = result.stats.messages_at(cycle)
+            assert count == 0 or count >= n

@@ -1,0 +1,113 @@
+"""Ring function library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.functions import (
+    AND,
+    MAJORITY,
+    MAX,
+    MIN,
+    OR,
+    STANDARD_FUNCTIONS,
+    SUM,
+    XOR,
+    constant,
+    pattern_count,
+    threshold,
+)
+from repro.core import RingConfiguration, RingView
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=16)
+
+
+class TestStandardFunctions:
+    @given(bit_lists)
+    def test_and(self, xs):
+        assert AND(xs) == (1 if all(xs) else 0)
+
+    @given(bit_lists)
+    def test_or(self, xs):
+        assert OR(xs) == (1 if any(xs) else 0)
+
+    @given(bit_lists)
+    def test_xor(self, xs):
+        assert XOR(xs) == sum(xs) % 2
+
+    @given(bit_lists)
+    def test_sum_min_max(self, xs):
+        assert SUM(xs) == sum(xs)
+        assert MIN(xs) == min(xs)
+        assert MAX(xs) == max(xs)
+
+    @given(bit_lists)
+    def test_majority(self, xs):
+        assert MAJORITY(xs) == (1 if 2 * sum(xs) > len(xs) else 0)
+
+    def test_names(self):
+        assert {f.name for f in STANDARD_FUNCTIONS} == {
+            "AND",
+            "OR",
+            "XOR",
+            "SUM",
+            "MIN",
+            "MAX",
+            "MAJORITY",
+        }
+
+
+class TestFactories:
+    def test_constant(self):
+        f = constant(42)
+        assert f([0, 1, 0]) == 42
+
+    def test_threshold(self):
+        f = threshold(2)
+        assert f([1, 0, 1]) == 1
+        assert f([1, 0, 0]) == 0
+
+    def test_threshold_extremes_match_or_and(self):
+        xs = [1, 0, 1, 1]
+        assert threshold(1)(xs) == OR(xs)
+        assert threshold(len(xs))(xs) == AND(xs)
+
+    def test_pattern_count(self):
+        f = pattern_count("01")
+        assert f([0, 1, 0, 1]) == 2
+        assert f([1, 1, 1]) == 0
+
+    def test_pattern_count_wraps(self):
+        f = pattern_count("10")
+        assert f([0, 0, 1]) == 1  # the '10' spans the wrap point
+
+    def test_chiral_pattern(self):
+        """COUNT[0011] separates a word from its reversal."""
+        f = pattern_count("0011")
+        assert f((0, 0, 1, 1, 0, 1)) == 1
+        assert f((1, 0, 1, 1, 0, 0)) == 0  # the reversal
+
+    def test_achiral_runs(self):
+        """COUNT[011] == COUNT[110]: both count 1-runs of length >= 2."""
+        for word in [(0, 1, 1, 1, 0, 0), (1, 1, 0, 1, 0, 1), (0, 1, 1, 0, 1, 1)]:
+            assert pattern_count("011")(word) == pattern_count("110")(word)
+
+
+class TestOnView:
+    def test_on_view_matches_on_inputs_clockwise(self):
+        ring = RingConfiguration.oriented([1, 0, 1, 1])
+        view = RingView.from_configuration(ring, 2)
+        for f in STANDARD_FUNCTIONS:
+            assert f.on_view(view) == f.on_inputs(ring.inputs)
+
+    def test_on_view_reads_own_frame(self):
+        """A flipped processor evaluates on its own rightward reading."""
+        ring = RingConfiguration([0, 1, 1], (1, 0, 1))
+        view = RingView.from_configuration(ring, 1)
+        f = pattern_count("011")
+        assert f.on_view(view) == f.on_inputs(view.inputs_rightward())
+
+    def test_repr(self):
+        assert "AND" in repr(AND)

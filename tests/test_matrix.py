@@ -1,0 +1,152 @@
+"""Characteristic matrices, spectra, Lemma 7.1/7.8, Theorem 7.5."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.homomorphisms import (
+    PALINDROME,
+    THUE_MORSE,
+    XOR_NONUNIFORM,
+    XOR_UNIFORM,
+    WordHom,
+    char_vector,
+    hom_spectrum,
+    integer_vectors_near_eigenray,
+    lemma_78,
+    pull_back,
+    quasi_uniformity_constants,
+    spectrum,
+    word_with_counts,
+)
+
+
+class TestCharacteristic:
+    def test_char_vector(self):
+        assert char_vector("00110") == (3, 2)
+
+    def test_word_with_counts(self):
+        assert word_with_counts(2, 3) == "00111"
+        with pytest.raises(ConfigurationError):
+            word_with_counts(0, 0)
+        with pytest.raises(ConfigurationError):
+            word_with_counts(-1, 2)
+
+    def test_characteristic_matrix(self):
+        # h(0)=011 has (1 zero, 2 ones); h(1)=10 has (1, 1).
+        assert XOR_NONUNIFORM.characteristic_matrix == ((1, 1), (2, 1))
+
+    def test_determinants(self):
+        assert XOR_NONUNIFORM.determinant == -1
+        assert XOR_UNIFORM.determinant == -3
+        assert THUE_MORSE.determinant == 0
+
+    @given(st.text(alphabet="01", min_size=1, max_size=8))
+    def test_matrix_action(self, word):
+        """χ_{h(ω)} = A_h · χ_ω."""
+        hom = XOR_NONUNIFORM
+        (a, c), (b, d) = hom.characteristic_matrix
+        z, o = char_vector(word)
+        expected = (a * z + c * o, b * z + d * o)
+        assert char_vector(hom.apply(word)) == expected
+
+
+class TestSpectrum:
+    def test_matches_numpy(self):
+        for hom in (XOR_NONUNIFORM, PALINDROME, XOR_UNIFORM):
+            matrix = np.array(hom.characteristic_matrix, dtype=float)
+            eigvals = sorted(np.linalg.eigvals(matrix), key=abs, reverse=True)
+            spec = hom_spectrum(hom)
+            assert spec.mu == pytest.approx(float(np.real(eigvals[0])))
+            assert spec.nu == pytest.approx(float(np.real(eigvals[1])))
+
+    def test_dominant_eigenvector_positive(self):
+        spec = hom_spectrum(XOR_NONUNIFORM)
+        assert spec.w0[0] > 0 and spec.w0[1] > 0
+        assert spec.w0[0] + spec.w0[1] == pytest.approx(1.0)
+
+    def test_eigenvector_equation(self):
+        spec = hom_spectrum(XOR_NONUNIFORM)
+        matrix = np.array(XOR_NONUNIFORM.characteristic_matrix, dtype=float)
+        out = matrix @ np.array(spec.w0)
+        assert out == pytest.approx(spec.mu * np.array(spec.w0))
+
+    def test_mu_greater_than_one(self):
+        """Lemma 7.1(i)."""
+        for hom in (XOR_NONUNIFORM, PALINDROME, XOR_UNIFORM):
+            spec = hom_spectrum(hom)
+            assert spec.mu > 1
+            assert spec.mu > abs(spec.nu)
+
+    def test_nonpositive_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spectrum(((0, 1), (1, 1)))
+
+    def test_quasi_uniformity(self):
+        """Condition 7a: c₁μᵏ ≤ |hᵏ(ε)| ≤ c₂μᵏ."""
+        c1, c2 = quasi_uniformity_constants(XOR_NONUNIFORM, max_k=10)
+        assert 0 < c1 <= c2
+        mu = hom_spectrum(XOR_NONUNIFORM).mu
+        for k in range(1, 10):
+            for symbol in "01":
+                length = len(XOR_NONUNIFORM.iterate(symbol, k))
+                assert c1 * mu**k <= length <= c2 * mu**k * (1 + 1e-9)
+
+
+class TestLemma78:
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 2000))
+    def test_solution_properties(self, p, q, n):
+        if math.gcd(p, q) != 1:
+            with pytest.raises(ConfigurationError):
+                lemma_78(p, q, n)
+            return
+        r, s = lemma_78(p, q, n)
+        assert r * p + s * q == n
+        assert abs(r - s) <= (p + q) / 2
+
+    def test_paper_example_scale(self):
+        """The §7.2.1 instance: p odd, q even, both ~√n."""
+        p, q = 17, 8  # counts of h²(0) for the palindrome homomorphism
+        n = 10001
+        r, s = lemma_78(p, q, n)
+        assert r * p + s * q == n
+        assert abs(r - s) <= (p + q) / 2
+
+
+class TestTheorem75:
+    def test_pull_back_xor(self):
+        result = pull_back(XOR_NONUNIFORM, (100, 141))
+        # Applying A^k to the seed must recover the target exactly.
+        matrix = np.array(XOR_NONUNIFORM.characteristic_matrix, dtype=object)
+        vec = np.array(result.seed, dtype=object)
+        for _ in range(result.k):
+            vec = matrix @ vec
+        assert tuple(vec) == result.target
+
+    def test_pull_back_requires_unit_det(self):
+        with pytest.raises(ConfigurationError):
+            pull_back(XOR_UNIFORM, (10, 10))
+
+    def test_pull_back_seed_positive(self):
+        result = pull_back(XOR_NONUNIFORM, (1000, 1414))
+        assert result.seed[0] > 0 and result.seed[1] > 0
+
+    @pytest.mark.parametrize("n", [50, 200, 1000, 5000])
+    def test_near_eigenray_depth_logarithmic(self, n):
+        """Vectors near the eigenray pull back Θ(log n) steps to O(√n) seeds."""
+        w1, _w2 = integer_vectors_near_eigenray(XOR_NONUNIFORM, n)
+        result = pull_back(XOR_NONUNIFORM, w1)
+        mu = hom_spectrum(XOR_NONUNIFORM).mu
+        assert result.k >= math.log(n, mu) / 2 - 2
+        assert result.seed_length <= 12 * math.sqrt(n) + 12
+
+    def test_adjacent_vectors_differ_in_parity(self):
+        w1, w2 = integer_vectors_near_eigenray(XOR_NONUNIFORM, 100)
+        assert w1[0] + w1[1] == w2[0] + w2[1] == 100
+        assert w1[1] % 2 != w2[1] % 2

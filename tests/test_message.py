@@ -1,0 +1,90 @@
+"""Ports, envelopes, and the canonical bit-size estimate."""
+
+from __future__ import annotations
+
+import enum
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LEFT, RIGHT, Envelope, Port, bit_length
+
+
+class TestPort:
+    def test_opposite(self):
+        assert LEFT.opposite is RIGHT
+        assert RIGHT.opposite is LEFT
+
+    def test_opposite_involution(self):
+        for port in Port:
+            assert port.opposite.opposite is port
+
+
+class TestBitLength:
+    def test_none_is_signal(self):
+        assert bit_length(None) == 1
+
+    def test_bool(self):
+        assert bit_length(True) == 1
+        assert bit_length(False) == 1
+
+    def test_small_ints(self):
+        assert bit_length(0) == 1
+        assert bit_length(1) == 1
+        assert bit_length(7) == 3
+        assert bit_length(8) == 4
+
+    def test_negative_ints(self):
+        assert bit_length(-1) == 2
+
+    def test_binary_strings(self):
+        assert bit_length("0101") == 4
+        assert bit_length("") == 8  # empty string is not a bit string
+
+    def test_text_strings(self):
+        assert bit_length("abc") == 24
+
+    def test_bytes(self):
+        assert bit_length(b"ab") == 16
+
+    def test_tuples_sum(self):
+        assert bit_length((1, "01")) == 3
+        assert bit_length(()) == 1  # a nil-like marker still costs a bit
+
+    def test_nested(self):
+        assert bit_length(((1, 1), (1, 1))) == 4
+
+    def test_enum(self):
+        class Three(enum.Enum):
+            A = 1
+            B = 2
+            C = 3
+
+        assert bit_length(Three.A) == 2
+
+    def test_fallback(self):
+        assert bit_length(object()) == 32
+
+    @given(st.integers(1, 10**9))
+    def test_int_width_monotone(self, x):
+        assert bit_length(x) == x.bit_length()
+
+    @given(st.lists(st.integers(0, 255), max_size=6))
+    def test_tuple_at_least_parts(self, xs):
+        total = bit_length(tuple(xs))
+        assert total >= max(1, len(xs))
+
+
+class TestEnvelope:
+    def test_bits_delegates(self):
+        env = Envelope(0, 1, LEFT, RIGHT, "010", 5)
+        assert env.bits == 3
+
+    def test_frozen(self):
+        env = Envelope(0, 1, LEFT, RIGHT, None, 0)
+        try:
+            env.sender = 2  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Envelope should be immutable")

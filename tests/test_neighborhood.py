@@ -1,0 +1,188 @@
+"""Symmetry index functions (§2): SI(R, k) and SI(R₁,…,R_j, k)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    RingConfiguration,
+    neighborhood_counts,
+    occurrences,
+    shared_neighborhood_pairs,
+    symmetry_index,
+    symmetry_index_set,
+    symmetry_profile,
+    symmetry_profile_set,
+)
+
+
+def ring_from_seed(n: int, iseed: int, dseed: int) -> RingConfiguration:
+    return RingConfiguration(
+        tuple((iseed >> i) & 1 for i in range(n)),
+        tuple((dseed >> i) & 1 for i in range(n)),
+    )
+
+
+class TestSymmetryIndex:
+    def test_fully_symmetric(self):
+        """All-equal configuration: SI(R, k) = n for every k."""
+        ring = RingConfiguration.oriented((1,) * 7)
+        for k in range(5):
+            assert symmetry_index(ring, k) == 7
+
+    def test_unique_input(self):
+        """A unique value forces SI(R, k) = 1."""
+        ring = RingConfiguration.oriented((1, 1, 0, 1, 1))
+        for k in range(4):
+            assert symmetry_index(ring, k) == 1
+
+    def test_periodic(self):
+        """Period-2 pattern: every neighborhood occurs n/2 times."""
+        ring = RingConfiguration.oriented((0, 1) * 4)
+        for k in range(4):
+            assert symmetry_index(ring, k) == 4
+
+    def test_period_three(self):
+        ring = RingConfiguration.oriented((0, 1, 1) * 3)
+        for k in range(4):
+            assert symmetry_index(ring, k) == 3
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(0, 511))
+    def test_monotone_in_k(self, n, iseed, dseed):
+        """Larger neighborhoods are rarer: SI is nonincreasing in k."""
+        ring = ring_from_seed(n, iseed, dseed)
+        profile = symmetry_profile(ring, 4)
+        values = [profile[k] for k in range(5)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(1, 8))
+    def test_rotation_invariant(self, n, iseed, shift):
+        ring = RingConfiguration.oriented(tuple((iseed >> i) & 1 for i in range(n)))
+        for k in range(3):
+            assert symmetry_index(ring, k) == symmetry_index(ring.rotated(shift), k)
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(0, 511))
+    def test_reflection_invariant(self, n, iseed, dseed):
+        ring = ring_from_seed(n, iseed, dseed)
+        for k in range(3):
+            assert symmetry_index(ring, k) == symmetry_index(ring.reflected(), k)
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(0, 511))
+    def test_bounds(self, n, iseed, dseed):
+        ring = ring_from_seed(n, iseed, dseed)
+        for k in range(3):
+            assert 1 <= symmetry_index(ring, k) <= n
+
+
+class TestSymmetryIndexSet:
+    def test_requires_configs(self):
+        with pytest.raises(ValueError):
+            symmetry_index_set([], 0)
+
+    def test_single_matches_plain(self):
+        ring = RingConfiguration.oriented((0, 1, 1, 0, 1))
+        for k in range(3):
+            assert symmetry_index_set([ring], k) == symmetry_index(ring, k)
+
+    def test_two_copies_double(self):
+        """SI(R, R, k) = 2·SI(R, k) — the single-configuration sync pair."""
+        ring = RingConfiguration.oriented((0, 1, 1) * 3)
+        for k in range(3):
+            assert symmetry_index_set([ring, ring], k) == 2 * symmetry_index(ring, k)
+
+    def test_complementary_pair(self):
+        """h^k(0) and its complement share all neighborhoods (§6.3.1 idea)."""
+        from repro.homomorphisms import XOR_UNIFORM
+
+        i1 = XOR_UNIFORM.iterate("0", 3)
+        i2 = XOR_UNIFORM.iterate("1", 3)
+        r1 = RingConfiguration.from_string(i1)
+        r2 = RingConfiguration.from_string(i2)
+        # Joint SI must stay high even if some pattern is rare in one ring.
+        assert symmetry_index_set([r1, r2], 1) >= 2
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255))
+    def test_set_at_least_min_member(self, n, iseed1, iseed2):
+        r1 = RingConfiguration.oriented(tuple((iseed1 >> i) & 1 for i in range(n)))
+        r2 = RingConfiguration.oriented(tuple((iseed2 >> i) & 1 for i in range(n)))
+        for k in range(3):
+            joint = symmetry_index_set([r1, r2], k)
+            assert joint >= min(symmetry_index(r1, k), symmetry_index(r2, k))
+
+    def test_profile_set(self):
+        ring = RingConfiguration.oriented((0, 1) * 3)
+        profile = symmetry_profile_set([ring, ring], 2)
+        assert profile == {0: 6, 1: 6, 2: 6}
+
+
+class TestCyclicCorrespondence:
+    """§2's closing remark: neighborhood occurrences ↔ cyclic string
+    occurrences of the two representative strings σ₁ (as-is) and σ₂
+    (reverse-complement of the D bits) in ω = D(1)I(1)…D(n)I(n)."""
+
+    @given(st.integers(3, 9), st.integers(0, 511), st.integers(0, 511), st.integers(0, 2))
+    def test_occurrence_counts_match(self, n, iseed, dseed, k):
+        ring = ring_from_seed(n, iseed, dseed)
+        omega = "".join(
+            f"{ring.orientations[i]}{ring.inputs[i]}" for i in range(n)
+        )
+        for i in range(n):
+            # σ1: the window read in +index order, D bits as-is.
+            window = [
+                (ring.orientations[(i + d) % n], ring.inputs[(i + d) % n])
+                for d in range(-k, k + 1)
+            ]
+            sigma1 = "".join(f"{dbit}{inp}" for dbit, inp in window)
+            # σ2: reversed window with complemented D bits.
+            sigma2 = "".join(
+                f"{1 - dbit}{inp}" for dbit, inp in reversed(window)
+            )
+            # count processor-aligned cyclic occurrences of σ1 and σ2 in ω
+            # (ω has two characters per processor).
+            aligned = sum(
+                1
+                for j in range(n)
+                for sigma in ({sigma1, sigma2} if sigma2 != sigma1 else {sigma1})
+                if all(
+                    omega[2 * ((j + t) % n) : 2 * ((j + t) % n) + 2]
+                    == sigma[2 * (t + k) : 2 * (t + k) + 2]
+                    for t in range(-k, k + 1)
+                )
+            )
+            assert occurrences(ring, ring.neighborhood(i, k)) == aligned
+
+
+class TestCounts:
+    def test_neighborhood_counts_total(self):
+        ring = RingConfiguration.oriented((0, 1, 1, 0))
+        counts = neighborhood_counts(ring, 1)
+        assert sum(counts.values()) == 4
+
+    def test_occurrences(self):
+        ring = RingConfiguration.oriented((0, 1, 0, 1))
+        sigma = ring.neighborhood(0, 1)
+        assert occurrences(ring, sigma) == 2
+
+    def test_occurrences_absent(self):
+        ring = RingConfiguration.oriented((0, 0, 0))
+        sigma = ((1, 1), (1, 1), (1, 1))
+        assert occurrences(ring, sigma) == 0
+
+    def test_occurrences_validates_length(self):
+        ring = RingConfiguration.oriented((0, 0, 0))
+        with pytest.raises(ValueError):
+            occurrences(ring, ((1, 0), (1, 0)))
+
+    def test_shared_pairs(self):
+        r1 = RingConfiguration.oriented((1, 1, 1))
+        r2 = RingConfiguration.oriented((1, 1, 0))
+        pairs = list(shared_neighborhood_pairs(r1, r2, 0))
+        # Every r1 processor (input 1) matches r2's processors 0 and 1.
+        assert len(pairs) == 6
+
+    def test_shared_pairs_empty(self):
+        r1 = RingConfiguration.oriented((1, 1))
+        r2 = RingConfiguration.oriented((0, 0))
+        assert list(shared_neighborhood_pairs(r1, r2, 0)) == []

@@ -1,0 +1,66 @@
+"""§7.1.1: arbitrary-n XOR fooling strings via the nonuniform homomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError, RingConfiguration, symmetry_index_set
+from repro.core.strings import cyclic_occurrences, distinct_cyclic_substrings
+from repro.homomorphisms import seed_length_bound, xor_pair
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [8, 13, 25, 60, 121, 500, 999])
+    def test_pair_valid(self, n):
+        pair = xor_pair(n)
+        assert pair.verify()
+        assert pair.n == n
+
+    @pytest.mark.parametrize("n", [20, 100, 400, 1600])
+    def test_seed_length(self, n):
+        pair = xor_pair(n)
+        assert len(pair.seed1) <= seed_length_bound(n)
+        assert len(pair.seed2) <= seed_length_bound(n)
+
+    def test_xor_differs(self):
+        pair = xor_pair(77)
+        assert pair.i1.count("1") % 2 != pair.i2.count("1") % 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xor_pair(3)
+
+    def test_every_n_in_range(self):
+        """No gaps: the construction works for every n in a dense range."""
+        for n in range(8, 120):
+            pair = xor_pair(n)
+            assert pair.verify(), n
+
+
+class TestRepetitiveness:
+    @pytest.mark.parametrize("n", [999, 4001])
+    def test_short_factors_frequent(self, n):
+        """Theorem 7.4 empirically: factors up to ~√n/12 occur Ω(n/|σ|) times.
+
+        The theorem's length cap is ``a·|ω|/|ρ| = Θ(√n)`` with a small
+        constant ``a = c₁/(c₂·μ^c)`` (c = 3 for this homomorphism, μ ≈ 2.41,
+        so a ≈ 1/14); beyond the cap a factor straddling the seed's 0/1
+        boundary may genuinely occur only once.
+        """
+        pair = xor_pair(n)
+        cap = max(1, int(n**0.5 / 12))
+        for word in (pair.i1, pair.i2):
+            for length in range(1, cap + 1):
+                for sigma in distinct_cyclic_substrings(word, length):
+                    count = cyclic_occurrences(sigma, word)
+                    assert count >= n / (30 * length), (length, sigma, count)
+
+    def test_joint_symmetry_index(self):
+        """The pair viewed as rings: every very short pattern frequent in both."""
+        n = 999
+        pair = xor_pair(n)
+        r1 = RingConfiguration.from_string(pair.i1)
+        r2 = RingConfiguration.from_string(pair.i2)
+        for k in (0, 1):
+            joint = symmetry_index_set([r1, r2], k)
+            assert joint >= 2 * n / (30 * (2 * k + 1))

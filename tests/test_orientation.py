@@ -1,0 +1,103 @@
+"""§4.2.2 / Figure 4: quasi-orientation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import orient_ring, quasi_orient
+from repro.algorithms.orientation import cycle_bound, message_bound
+from repro.core import ConfigurationError, RingConfiguration
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_exhaustive_orientations(self, n):
+        """Every orientation vector of every small size quasi-orients."""
+        for bits in itertools.product((0, 1), repeat=n):
+            config = RingConfiguration((0,) * n, bits)
+            switched, result = orient_ring(config)
+            assert switched.is_quasi_oriented, bits
+            if n % 2 == 1:
+                assert switched.is_oriented, bits
+
+    @pytest.mark.parametrize("n", [9, 15, 27, 51])
+    def test_random_odd_orients(self, n):
+        for seed in range(5):
+            config = RingConfiguration.random(n, random.Random(seed))
+            switched, _ = orient_ring(config)
+            assert switched.is_oriented
+
+    @pytest.mark.parametrize("n", [10, 16, 30])
+    def test_random_even_quasi_orients(self, n):
+        for seed in range(5):
+            config = RingConfiguration.random(n, random.Random(seed))
+            switched, _ = orient_ring(config)
+            assert switched.is_quasi_oriented
+
+    def test_already_oriented_stays(self):
+        """An oriented ring is case A with everyone marked: nobody switches."""
+        config = RingConfiguration.oriented([0] * 9)
+        result = quasi_orient(config)
+        assert all(bit == 0 for bit in result.outputs)
+
+    def test_two_half_rings(self):
+        """The Theorem 3.5 configuration ends alternating, not oriented."""
+        config = RingConfiguration.two_half_rings(4)
+        switched, _ = orient_ring(config)
+        assert switched.is_quasi_oriented
+        assert not switched.is_oriented  # symmetry forbids it
+
+    def test_alternating_input(self):
+        config = RingConfiguration.alternating([0] * 8)
+        switched, _ = orient_ring(config)
+        assert switched.is_quasi_oriented
+
+    def test_outputs_are_bits(self):
+        config = RingConfiguration.random(11, random.Random(3))
+        result = quasi_orient(config)
+        assert set(result.outputs) <= {0, 1}
+
+    def test_n1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quasi_orient(RingConfiguration.oriented([0]))
+
+
+class TestSymmetryObstruction:
+    @pytest.mark.parametrize("half", [2, 3, 4, 5])
+    def test_symmetric_pairs_get_equal_outputs(self, half):
+        """Lemma 3.1 in action: mirror processors of Figure 1 decide alike."""
+        config = RingConfiguration.two_half_rings(half)
+        result = quasi_orient(config)
+        n = config.n
+        for i in range(half):
+            assert result.outputs[i] == result.outputs[n - 1 - i]
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [4, 9, 16, 27, 64, 81])
+    def test_message_bound(self, n):
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed))
+            result = quasi_orient(config)
+            assert result.stats.messages <= message_bound(n)
+
+    @pytest.mark.parametrize("n", [4, 9, 16, 27, 64, 81])
+    def test_cycle_bound(self, n):
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed))
+            result = quasi_orient(config)
+            assert result.cycles <= cycle_bound(n)
+
+    def test_growth_subquadratic(self):
+        from repro.analysis import best_shape
+
+        ns, msgs = [], []
+        for n in (16, 32, 64, 128, 256):
+            config = RingConfiguration.random(n, random.Random(n))
+            result = quasi_orient(config)
+            ns.append(n)
+            msgs.append(result.stats.messages)
+        assert best_shape(ns, msgs) in ("nlogn", "linear")

@@ -1,0 +1,120 @@
+"""Cross-module property tests: the model-level invariants of the paper.
+
+These tie Lemma 3.1, Theorem 3.4, and the algorithms together: anonymous
+algorithms cannot distinguish renamed rings, schedules cannot change
+asynchronous outputs, and equal neighborhoods force equal behavior.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    XOR,
+    compute_and_sync,
+    compute_async,
+    distribute_inputs_async,
+    distribute_inputs_sync,
+    quasi_orient,
+)
+from repro.asynch import RandomScheduler
+from repro.core import RingConfiguration, RingView
+
+ring_sizes = st.integers(3, 9)
+
+
+def seeded_ring(n: int, seed: int, oriented: bool) -> RingConfiguration:
+    return RingConfiguration.random(n, random.Random(seed), oriented=oriented)
+
+
+class TestRotationEquivariance:
+    """Renaming processors (rotation) permutes outputs identically."""
+
+    @given(ring_sizes, st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_sync_and(self, n, seed, shift):
+        config = seeded_ring(n, seed, oriented=True)
+        base = compute_and_sync(config)
+        rotated = compute_and_sync(config.rotated(shift))
+        assert rotated.outputs == base.outputs[shift % n :] + base.outputs[: shift % n]
+        assert rotated.stats.messages == base.stats.messages
+
+    @given(ring_sizes, st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_sync_distribution(self, n, seed, shift):
+        config = seeded_ring(n, seed, oriented=True)
+        base = distribute_inputs_sync(config)
+        rotated = distribute_inputs_sync(config.rotated(shift))
+        assert (
+            rotated.outputs == base.outputs[shift % n :] + base.outputs[: shift % n]
+        )
+
+    @given(ring_sizes, st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_orientation_messages_invariant(self, n, seed, shift):
+        config = seeded_ring(n, seed, oriented=False)
+        base = quasi_orient(config)
+        rotated = quasi_orient(config.rotated(shift))
+        assert rotated.stats.messages == base.stats.messages
+
+
+class TestLemma31:
+    """Equal neighborhoods ⇒ equal outputs, on the real algorithms."""
+
+    @given(ring_sizes, st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_and_outputs_respect_neighborhood_classes(self, n, seed):
+        config = seeded_ring(n, seed, oriented=True)
+        result = compute_and_sync(config)
+        radius = n  # deep enough to cover the whole run
+        classes = {}
+        for i in range(n):
+            classes.setdefault(config.neighborhood(i, radius), set()).add(
+                result.outputs[i]
+            )
+        assert all(len(outputs) == 1 for outputs in classes.values())
+
+    @given(ring_sizes, st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_orientation_outputs_respect_neighborhood_classes(self, n, seed):
+        config = seeded_ring(n, seed, oriented=False)
+        result = quasi_orient(config)
+        classes = {}
+        for i in range(n):
+            classes.setdefault(config.neighborhood(i, n), set()).add(
+                result.outputs[i]
+            )
+        assert all(len(outputs) == 1 for outputs in classes.values())
+
+
+class TestScheduleIndependence:
+    @given(ring_sizes, st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_async_distribution(self, n, seed, sched_seed):
+        config = seeded_ring(n, seed, oriented=False)
+        a = distribute_inputs_async(config, scheduler=RandomScheduler(sched_seed))
+        b = distribute_inputs_async(config, scheduler=RandomScheduler(sched_seed + 1))
+        assert a.outputs == b.outputs
+        assert a.stats.messages == b.stats.messages  # count is schedule-free here
+
+
+class TestViewsAreGroundTruth:
+    @given(ring_sizes, st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_async_views(self, n, seed):
+        config = seeded_ring(n, seed, oriented=False)
+        result = distribute_inputs_async(config)
+        for i in range(n):
+            assert result.outputs[i] == RingView.from_configuration(config, i)
+
+    @given(ring_sizes, st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_function_values_consistent(self, n, seed):
+        config = seeded_ring(n, seed, oriented=True)
+        assert (
+            compute_async(config, XOR).unanimous_output()
+            == XOR.on_inputs(config.inputs)
+        )

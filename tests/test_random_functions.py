@@ -1,0 +1,70 @@
+"""Theorems 5.4 and 6.7: random computable functions are expensive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.lowerbounds import (
+    estimate_theorem_54,
+    estimate_theorem_67,
+    theorem_54_message_threshold,
+    theorem_54_probability_bound,
+    theorem_67_message_threshold,
+    theorem_67_probability_bound,
+    thue_morse_image_classes,
+)
+
+
+class TestClosedForms:
+    def test_54_bound_decays(self):
+        assert theorem_54_probability_bound(20) < theorem_54_probability_bound(10)
+        assert theorem_54_probability_bound(40) < 1e-20
+
+    def test_54_threshold(self):
+        assert theorem_54_message_threshold(10) == 25.0
+
+    def test_67_bound_decays(self):
+        assert theorem_67_probability_bound(256) < theorem_67_probability_bound(64)
+
+    def test_67_threshold_positive_for_large_n(self):
+        assert theorem_67_message_threshold(256) > 0
+
+
+class TestMonteCarlo54:
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_estimate_within_bound(self, n):
+        estimate = estimate_theorem_54(n, trials=300, seed=1)
+        assert estimate.within_bound
+        assert 0 <= estimate.estimate <= 1
+
+    def test_small_n_functions_often_cheap_eligible(self):
+        """n=4 has only a couple of relevant classes: bound is weak there."""
+        estimate = estimate_theorem_54(4, trials=200, seed=2)
+        assert estimate.bound > 0.5  # the theorem says nothing useful yet
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_theorem_54(5, trials=10)
+
+    def test_estimates_shrink_with_n(self):
+        e6 = estimate_theorem_54(6, trials=400, seed=3)
+        e12 = estimate_theorem_54(12, trials=400, seed=3)
+        assert e12.hits <= e6.hits
+
+
+class TestThueMorseClasses:
+    def test_n16(self):
+        classes = thue_morse_image_classes(16)
+        # 2^√16 = 16 images; at this tiny size rotations merge most of
+        # them (the theorem's count 2^√n/n = 1 is trivially satisfied).
+        assert 2 <= len(classes) <= 16
+        assert all(len(word) == 16 for word in classes)
+
+    def test_requires_power_of_four(self):
+        with pytest.raises(ConfigurationError):
+            thue_morse_image_classes(20)
+
+    def test_monte_carlo_67(self):
+        estimate = estimate_theorem_67(16, trials=300, seed=4)
+        assert estimate.within_bound

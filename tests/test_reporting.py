@@ -1,0 +1,82 @@
+"""The experiment runner and CLI."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import BoundCheck
+from repro.reporting import (
+    ExperimentRecord,
+    experiment_e1,
+    experiment_e2,
+    experiment_e6,
+    experiment_e15,
+    render_markdown,
+    run_all,
+)
+
+
+class TestExperiments:
+    def test_e1_exact(self):
+        record = experiment_e1(sizes=(9, 15))
+        assert record.ok
+        assert all(row.ratio == pytest.approx(1.0) for row in record.rows)
+
+    def test_e2(self):
+        assert experiment_e2(sizes=(16, 32)).ok
+
+    def test_e6_lower_bounds_met(self):
+        record = experiment_e6(sizes=(9, 15))
+        assert record.ok
+        lowers = [row for row in record.rows if row.kind == "lower"]
+        assert all(row.measured >= row.bound for row in lowers)
+
+    def test_e15_crossover(self):
+        assert experiment_e15(sizes=(16, 32)).ok
+
+    def test_record_ok_flag(self):
+        record = ExperimentRecord("X", "t", "c")
+        record.rows.append(BoundCheck("X", 4, 10.0, 5.0, "upper"))
+        assert not record.ok
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        record = ExperimentRecord("E99", "Demo", "a claim", notes="a note")
+        record.rows.append(BoundCheck("E99", 8, 3.0, 4.0, "upper"))
+        text = render_markdown([record])
+        assert "### E99 — Demo" in text
+        assert "a claim" in text and "a note" in text
+        assert "| E99 | 8 |" in text
+
+    def test_quick_run_is_green(self):
+        records = run_all(quick=True)
+        assert len(records) == 18
+        assert all(record.ok for record in records)
+
+
+class TestCli:
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_demo(self):
+        proc = self._run("demo")
+        assert proc.returncode == 0
+        assert "XOR" in proc.stdout and "orientation" in proc.stdout
+
+    def test_verify(self):
+        proc = self._run("verify")
+        assert proc.returncode == 0
+        assert "FAILED" not in proc.stdout
+
+    def test_bad_command(self):
+        proc = self._run("frobnicate")
+        assert proc.returncode != 0

@@ -1,0 +1,242 @@
+"""Ring configurations: geometry, neighborhoods, transformations."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    LEFT,
+    RIGHT,
+    Port,
+    RingConfiguration,
+    make_ring,
+)
+
+class TestConstruction:
+    def test_oriented(self):
+        ring = RingConfiguration.oriented([1, 2, 3])
+        assert ring.is_clockwise and ring.is_oriented
+
+    def test_counterclockwise(self):
+        ring = RingConfiguration.counterclockwise([1, 2, 3])
+        assert ring.is_counterclockwise and ring.is_oriented
+        assert not ring.is_clockwise
+
+    def test_alternating(self):
+        ring = RingConfiguration.alternating([0] * 6)
+        assert ring.is_alternating and ring.is_quasi_oriented
+        assert not ring.is_oriented
+
+    def test_alternating_odd_is_not(self):
+        ring = RingConfiguration((0,) * 5, (1, 0, 1, 0, 1))
+        assert not ring.is_alternating
+
+    def test_from_string(self):
+        ring = RingConfiguration.from_string("101", "110")
+        assert ring.inputs == (1, 0, 1)
+        assert ring.orientations == (1, 1, 0)
+
+    def test_from_string_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            RingConfiguration.from_string("101", "11")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingConfiguration((), ())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingConfiguration((1, 2), (1,))
+
+    def test_bad_orientation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingConfiguration((1, 2), (1, 2))
+
+    def test_two_half_rings(self):
+        ring = RingConfiguration.two_half_rings(3)
+        assert ring.n == 6
+        assert ring.orientations == (1, 1, 1, 0, 0, 0)
+
+    def test_half_reversed(self):
+        ring = RingConfiguration.half_reversed(7)
+        assert ring.orientations == (1, 1, 1, 0, 0, 0, 0)
+
+    def test_half_reversed_rejects_even(self):
+        with pytest.raises(ConfigurationError):
+            RingConfiguration.half_reversed(6)
+
+    def test_make_ring(self):
+        ring = make_ring(4, lambda i: i * i, lambda i: i % 2)
+        assert ring.inputs == (0, 1, 4, 9)
+        assert ring.orientations == (0, 1, 0, 1)
+
+
+class TestGeometry:
+    def test_clockwise_neighbors(self):
+        ring = RingConfiguration.oriented([0] * 5)
+        assert ring.right_of(2) == 3
+        assert ring.left_of(2) == 1
+        assert ring.right_of(4) == 0
+
+    def test_flipped_neighbors(self):
+        ring = RingConfiguration((0,) * 4, (1, 0, 1, 1))
+        assert ring.right_of(1) == 0
+        assert ring.left_of(1) == 2
+
+    def test_modular_indexing(self):
+        ring = RingConfiguration.oriented([10, 20, 30])
+        assert ring.input_of(4) == 20
+        assert ring.orientation_of(-1) == 1
+
+    def test_route_oriented(self):
+        ring = RingConfiguration.oriented([0] * 4)
+        receiver, in_port, step = ring.route(1, RIGHT)
+        assert (receiver, in_port, step) == (2, LEFT, 1)
+
+    def test_route_opposing(self):
+        # Receiver oriented opposite: message from the minus side arrives
+        # on its RIGHT port.
+        ring = RingConfiguration((0,) * 4, (1, 0, 1, 1))
+        receiver, in_port, step = ring.route(0, RIGHT)
+        assert receiver == 1 and step == 1
+        assert in_port is RIGHT
+
+    def test_route_n2_distinct_channels(self):
+        ring = RingConfiguration.oriented([0, 0])
+        r1 = ring.route(0, RIGHT)
+        r2 = ring.route(0, LEFT)
+        assert r1[0] == r2[0] == 1
+        assert r1[2] != r2[2]  # different physical channels
+
+    @given(st.integers(2, 10), st.integers(0, 1023), st.sampled_from([LEFT, RIGHT]))
+    def test_route_reciprocity(self, n, dseed, port):
+        orientations = tuple((dseed >> i) & 1 for i in range(n))
+        ring = RingConfiguration((0,) * n, orientations)
+        for sender in range(n):
+            receiver, in_port, step = ring.route(sender, port)
+            # Sending back through the arrival port returns to the sender
+            # along the reverse physical direction.
+            back, back_port, back_step = ring.route(receiver, in_port)
+            assert back == sender
+            assert back_step == -step
+
+    @given(st.integers(3, 10), st.integers(0, 1023))
+    def test_forwarding_moves_one_direction(self, n, dseed):
+        """Opposite-port forwarding continues in the same physical direction."""
+        orientations = tuple((dseed >> i) & 1 for i in range(n))
+        ring = RingConfiguration((0,) * n, orientations)
+        pos, port = 0, RIGHT
+        receiver, in_port, step = ring.route(pos, port)
+        for _ in range(2 * n):
+            nxt, nxt_in, nxt_step = ring.route(receiver, in_port.opposite)
+            assert nxt_step == step
+            assert nxt == (receiver + step) % n
+            receiver, in_port = nxt, nxt_in
+
+
+class TestNeighborhoods:
+    def test_oriented_neighborhood(self):
+        ring = RingConfiguration.oriented([0, 1, 2, 3, 4])
+        assert ring.neighborhood(2, 1) == ((1, 1), (1, 2), (1, 3))
+
+    def test_wraparound(self):
+        ring = RingConfiguration.oriented([0, 1, 2])
+        nb = ring.neighborhood(0, 1)
+        assert nb == ((1, 2), (1, 0), (1, 1))
+
+    def test_flipped_reads_reversed(self):
+        ring = RingConfiguration([0, 1, 2, 3, 4], (1, 1, 0, 1, 1))
+        # Processor 2 is flipped: reads right-to-left with complemented bits.
+        nb = ring.neighborhood(2, 1)
+        assert nb == ((0, 3), (1, 2), (0, 1))
+
+    def test_radius_zero(self):
+        ring = RingConfiguration([7, 8], (1, 0))
+        assert ring.neighborhood(0, 0) == ((1, 7),)
+        assert ring.neighborhood(1, 0) == ((1, 8),)
+
+    def test_negative_radius_rejected(self):
+        ring = RingConfiguration.oriented([0, 1])
+        with pytest.raises(ValueError):
+            ring.neighborhood(0, -1)
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(0, 511), st.integers(0, 4))
+    def test_reflection_preserves_neighborhood_multiset(self, n, iseed, dseed, k):
+        inputs = tuple((iseed >> i) & 1 for i in range(n))
+        orientations = tuple((dseed >> i) & 1 for i in range(n))
+        ring = RingConfiguration(inputs, orientations)
+        mirrored = ring.reflected()
+        assert sorted(map(hash, ring.neighborhoods(k))) == sorted(
+            map(hash, mirrored.neighborhoods(k))
+        )
+
+    @given(st.integers(2, 9), st.integers(0, 511), st.integers(1, 8), st.integers(0, 3))
+    def test_rotation_permutes_neighborhoods(self, n, iseed, shift, k):
+        inputs = tuple((iseed >> i) & 1 for i in range(n))
+        ring = RingConfiguration.oriented(inputs)
+        rotated = ring.rotated(shift)
+        for i in range(n):
+            assert rotated.neighborhood(i, k) == ring.neighborhood(i + shift, k)
+
+    def test_symmetric_pair_in_two_half_rings(self):
+        """The Figure 1 / Theorem 3.5 symmetry: i pairs with 2n−1−i."""
+        ring = RingConfiguration.two_half_rings(4)
+        n = ring.n
+        for i in range(4):
+            assert ring.neighborhood(i, n // 2) == ring.neighborhood(
+                n - 1 - i, n // 2
+            )
+
+
+class TestTransformations:
+    def test_rotated_identity(self):
+        ring = RingConfiguration.oriented([1, 2, 3])
+        assert ring.rotated(0) == ring
+        assert ring.rotated(3) == ring
+
+    def test_reflected_involution(self):
+        ring = RingConfiguration([1, 2, 3], (1, 0, 1))
+        assert ring.reflected().reflected() == ring
+
+    def test_reflect_flips_orientation(self):
+        ring = RingConfiguration.oriented([1, 2, 3])
+        assert ring.reflected().is_counterclockwise
+
+    def test_with_inputs(self):
+        ring = RingConfiguration.oriented([1, 2, 3])
+        assert ring.with_inputs([4, 5, 6]).inputs == (4, 5, 6)
+        with pytest.raises(ConfigurationError):
+            ring.with_inputs([1])
+
+    def test_with_orientations(self):
+        ring = RingConfiguration.oriented([1, 2, 3])
+        assert ring.with_orientations([0, 0, 0]).is_counterclockwise
+        with pytest.raises(ConfigurationError):
+            ring.with_orientations([0])
+
+    def test_apply_switches(self):
+        ring = RingConfiguration((0,) * 3, (1, 0, 1))
+        fixed = ring.apply_switches((0, 1, 0))
+        assert fixed.is_clockwise
+
+    def test_apply_switches_validates(self):
+        ring = RingConfiguration.oriented([0, 0])
+        with pytest.raises(ConfigurationError):
+            ring.apply_switches((1,))
+        with pytest.raises(ConfigurationError):
+            ring.apply_switches((1, 2))
+
+    def test_strings(self):
+        ring = RingConfiguration.from_string("101", "110")
+        assert ring.input_string() == "101"
+        assert ring.orientation_string() == "110"
+        assert "n=3" in ring.describe()
+
+    def test_describe_nonbinary(self):
+        ring = RingConfiguration.oriented(["a", "b"])
+        assert "n=2" in ring.describe()

@@ -1,0 +1,173 @@
+"""Edge cases and failure paths of both engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asynch import AsyncProcess, RoundRobinScheduler, run_asynchronous
+from repro.asynch.schedulers import GreedyChannelScheduler, RandomScheduler
+from repro.core import (
+    LEFT,
+    RIGHT,
+    NonTerminationError,
+    RingConfiguration,
+    SimulationError,
+)
+from repro.sync import ABSENT, Out, SyncProcess, WakeupSchedule, run_synchronous
+from repro.sync.simulator import default_cycle_budget
+
+
+class TestSyncEdges:
+    def test_n1_self_loop(self):
+        """A one-processor ring: both ports loop back to itself."""
+
+        class SelfTalk(SyncProcess):
+            def run(self):
+                received = yield Out(right="hi")
+                return (received.left, received.right)
+
+        result = run_synchronous(RingConfiguration.oriented([0]), SelfTalk)
+        # its right send arrives on its own left port
+        assert result.outputs[0] == ("hi", ABSENT)
+
+    def test_none_payload_is_delivered(self):
+        class Nil(SyncProcess):
+            def run(self):
+                received = yield Out(left=None)
+                return received.right is None  # neighbor's nil arrived
+
+        result = run_synchronous(RingConfiguration.oriented([0, 0]), Nil)
+        # in a 2-ring both left-sends cross; each receives a nil
+        assert any(result.outputs)
+
+    def test_default_budget_scales(self):
+        assert default_cycle_budget(64) > default_cycle_budget(8)
+
+    def test_per_processor_halt_times(self):
+        class Staggered(SyncProcess):
+            def run(self):
+                for _ in range(self.input):
+                    yield Out()
+                return self.input
+
+        config = RingConfiguration.oriented([1, 3, 5])
+        result = run_synchronous(config, Staggered)
+        assert result.halt_times == (1, 3, 5)
+        assert result.cycles == 5
+
+    def test_wake_message_vs_spontaneous_priority(self):
+        """A message arriving before the spontaneous time wins."""
+
+        class Probe(SyncProcess):
+            def run(self):
+                if self.woke_spontaneously:
+                    yield Out(right="wake")
+                    return "spont"
+                return ("woken", len(self.wake_inbox))
+
+        schedule = WakeupSchedule((0, 5))
+        result = run_synchronous(
+            RingConfiguration.oriented([0, 0]), Probe, wakeup=schedule
+        )
+        assert result.outputs[1] == ("woken", 1)
+        assert result.halt_times[1] == 1
+
+    def test_spontaneous_if_no_message_comes(self):
+        class Probe(SyncProcess):
+            def run(self):
+                return self.woke_spontaneously
+                yield  # pragma: no cover
+
+        schedule = WakeupSchedule((0, 2))
+        result = run_synchronous(
+            RingConfiguration.oriented([0, 0]), Probe, wakeup=schedule
+        )
+        assert result.outputs == (True, True)
+
+
+class TestAsyncEdges:
+    def test_scheduler_gets_sorted_pending(self):
+        seen = []
+
+        class Spy(RoundRobinScheduler):
+            def choose(self, pending):
+                seen.append(tuple(pending))
+                return super().choose(pending)
+
+        class Ping(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send_both(0)
+
+            def __init__(self, inp, n):
+                super().__init__(inp, n)
+                self.count = 0
+
+            def on_message(self, ctx, port, payload):
+                self.count += 1
+                if self.count == 2:
+                    ctx.halt(None)
+
+        run_asynchronous(RingConfiguration.oriented([0, 0, 0]), Ping, scheduler=Spy())
+        assert seen
+        assert all(list(batch) == sorted(batch) for batch in seen)
+
+    def test_greedy_drains_one_channel(self):
+        order = []
+
+        class Stream(AsyncProcess):
+            def __init__(self, inp, n):
+                super().__init__(inp, n)
+                self.got = 0
+
+            def on_start(self, ctx):
+                if self.input == "src":
+                    for i in range(3):
+                        ctx.send(RIGHT, i)
+                    ctx.halt(None)
+
+            def on_message(self, ctx, port, payload):
+                order.append((self.input, payload))
+                self.got += 1
+                if self.got == 3:
+                    ctx.halt(None)
+
+        run_asynchronous(
+            RingConfiguration.oriented(["src", "a"]),
+            Stream,
+            scheduler=GreedyChannelScheduler(),
+        )
+        assert [p for (_who, p) in order] == [0, 1, 2]
+
+    def test_random_scheduler_reproducible(self):
+        class Ping(AsyncProcess):
+            def __init__(self, inp, n):
+                super().__init__(inp, n)
+                self.count = 0
+
+            def on_start(self, ctx):
+                ctx.send_both(self.input)
+
+            def on_message(self, ctx, port, payload):
+                self.count += 1
+                if self.count == 2:
+                    ctx.halt(payload)
+
+        config = RingConfiguration.oriented([1, 2, 3, 4, 5])
+        a = run_asynchronous(config, Ping, scheduler=RandomScheduler(99))
+        b = run_asynchronous(config, Ping, scheduler=RandomScheduler(99))
+        assert a.outputs == b.outputs
+
+    def test_send_from_on_start_only(self):
+        """A processor may halt in on_start without ever receiving."""
+
+        class Instant(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send_both("bye")
+                ctx.halt("instant")
+
+            def on_message(self, ctx, port, payload):  # pragma: no cover
+                raise AssertionError("should never be called")
+
+        result = run_asynchronous(RingConfiguration.oriented([0, 0, 0]), Instant)
+        assert result.outputs == ("instant",) * 3
+        assert result.stats.messages == 6  # all sent, all dropped

@@ -1,0 +1,98 @@
+"""§4.2.3 / Figure 5: start synchronization."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import synchronize_start
+from repro.algorithms.start_sync import message_bound, run_with_random_schedule
+from repro.core import ConfigurationError, RingConfiguration
+from repro.homomorphisms import XOR_UNIFORM
+from repro.sync import WakeupSchedule
+
+
+def ring(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented((0,) * n)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 31])
+    def test_simultaneous_start(self, n):
+        result = synchronize_start(ring(n), WakeupSchedule.simultaneous(n))
+        assert len(set(result.halt_times)) == 1
+        assert len(set(result.outputs)) == 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_exhaustive_small_schedules(self, n):
+        """All realizable wake vectors with spread ≤ 2."""
+        for times in itertools.product(range(3), repeat=n):
+            if min(times) != 0:
+                continue
+            schedule = WakeupSchedule(tuple(times))
+            if not schedule.is_realizable():
+                continue
+            result = synchronize_start(ring(n), schedule)
+            assert len(set(result.halt_times)) == 1
+
+    @pytest.mark.parametrize("n", [8, 16, 27])
+    def test_random_schedules(self, n):
+        for seed in range(5):
+            _schedule, result = run_with_random_schedule(ring(n), seed)
+            assert len(set(result.halt_times)) == 1
+
+    def test_nonoriented_ring(self):
+        """Start synchronization never looks at orientations."""
+        config = RingConfiguration.random(9, random.Random(1))
+        schedule = WakeupSchedule.from_bits("110100101")
+        result = synchronize_start(config, schedule)
+        assert len(set(result.halt_times)) == 1
+
+    def test_unrealizable_schedule_still_synchronizes(self):
+        """Messages wake sleepers early, fixing any schedule."""
+        n = 6
+        schedule = WakeupSchedule((0, 0, 0, 9, 9, 9))
+        result = synchronize_start(ring(n), schedule)
+        assert len(set(result.halt_times)) == 1
+
+    def test_adversary_string_schedule(self):
+        """The §6.3.3 D0L schedule: synchronization still succeeds."""
+        omega = XOR_UNIFORM.iterate("0011", 2)  # n = 36
+        schedule = WakeupSchedule.from_bits(omega)
+        result = synchronize_start(ring(len(omega)), schedule)
+        assert len(set(result.halt_times)) == 1
+
+    def test_n1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synchronize_start(ring(1), WakeupSchedule.simultaneous(1))
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_message_bound_simultaneous(self, n):
+        result = synchronize_start(ring(n), WakeupSchedule.simultaneous(n))
+        assert result.stats.messages <= message_bound(n)
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_message_bound_random(self, n):
+        for seed in range(5):
+            _schedule, result = run_with_random_schedule(ring(n), seed)
+            assert result.stats.messages <= message_bound(n)
+
+    def test_adversary_string_within_bound(self):
+        omega = XOR_UNIFORM.iterate("0011", 3)  # n = 108
+        n = len(omega)
+        schedule = WakeupSchedule.from_bits(omega)
+        result = synchronize_start(ring(n), schedule)
+        assert result.stats.messages <= message_bound(n)
+
+    def test_adversary_string_forces_traffic(self):
+        """The §6.3.3 schedule is expensive: measured ≥ the Σβ/2 bound."""
+        from repro.lowerbounds import start_sync_instance
+
+        instance = start_sync_instance(3)
+        schedule = instance.schedule
+        result = synchronize_start(ring(instance.n), schedule)
+        assert result.stats.messages >= instance.message_lower_bound()

@@ -1,0 +1,109 @@
+"""§4.2.4: bit-efficient start synchronization (speed-1 / speed-½ pairs)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms.start_sync import message_bound as fig5_bound
+from repro.algorithms.start_sync_bits import (
+    cycle_bound,
+    message_bound,
+    synchronize_start_bits,
+)
+from repro.core import ConfigurationError, RingConfiguration
+from repro.homomorphisms import XOR_UNIFORM, start_sync_construction
+from repro.sync import WakeupSchedule
+
+
+def ring(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented((0,) * n)
+
+
+def random_schedule(n: int, seed: int) -> WakeupSchedule:
+    rng = random.Random(seed)
+    times = [0]
+    for _ in range(n - 1):
+        times.append(times[-1] + rng.choice((-1, 0, 1)))
+    while abs(times[-1] - times[0]) > 1:
+        times[-1] += 1 if times[-1] < times[0] else -1
+    return WakeupSchedule.from_times(times)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 31])
+    def test_simultaneous(self, n):
+        result = synchronize_start_bits(ring(n), WakeupSchedule.simultaneous(n))
+        assert len(set(result.halt_times)) == 1
+        assert len(set(result.outputs)) == 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_exhaustive_small_schedules(self, n):
+        for times in itertools.product(range(3), repeat=n):
+            if min(times) != 0:
+                continue
+            schedule = WakeupSchedule(tuple(times))
+            if not schedule.is_realizable():
+                continue
+            result = synchronize_start_bits(ring(n), schedule)
+            assert len(set(result.halt_times)) == 1
+
+    @pytest.mark.parametrize("n", [9, 16, 27])
+    def test_random_schedules(self, n):
+        for seed in range(5):
+            result = synchronize_start_bits(ring(n), random_schedule(n, seed))
+            assert len(set(result.halt_times)) == 1
+
+    def test_nonoriented_ring(self):
+        config = RingConfiguration.random(9, random.Random(4))
+        result = synchronize_start_bits(config, random_schedule(9, 7))
+        assert len(set(result.halt_times)) == 1
+
+    def test_adversarial_d0l_schedule(self):
+        omega = XOR_UNIFORM.iterate("0011", 2)
+        schedule = WakeupSchedule.from_bits(omega)
+        result = synchronize_start_bits(ring(len(omega)), schedule)
+        assert len(set(result.halt_times)) == 1
+
+    def test_two_stage_schedule(self):
+        construction = start_sync_construction(100)
+        result = synchronize_start_bits(ring(100), construction.schedule)
+        assert len(set(result.halt_times)) == 1
+
+    def test_n1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synchronize_start_bits(ring(1), WakeupSchedule.simultaneous(1))
+
+
+class TestBitEconomy:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_every_message_is_one_bit(self, n):
+        result = synchronize_start_bits(ring(n), WakeupSchedule.simultaneous(n))
+        assert result.stats.bits == result.stats.messages
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_message_bound(self, n):
+        for seed in range(4):
+            result = synchronize_start_bits(ring(n), random_schedule(n, seed))
+            assert result.stats.messages <= message_bound(n)
+            assert result.cycles <= cycle_bound(n)
+
+    def test_bits_beat_figure5(self):
+        """Same job, fewer bits than Figure 5 (which ships counters)."""
+        from repro.algorithms import synchronize_start
+
+        n = 64
+        schedule = random_schedule(n, 1)
+        plain = synchronize_start(ring(n), schedule)
+        frugal = synchronize_start_bits(ring(n), schedule)
+        assert frugal.stats.bits < plain.stats.bits
+        # ... at the price of 3n-cycle rounds instead of 2n.
+        assert frugal.cycles >= plain.cycles
+
+    def test_message_count_comparable_to_figure5(self):
+        n = 32
+        schedule = random_schedule(n, 2)
+        frugal = synchronize_start_bits(ring(n), schedule)
+        assert frugal.stats.messages <= 2 * fig5_bound(n)

@@ -1,0 +1,206 @@
+"""Cyclic-string utilities (repro.core.strings)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.strings import (
+    canonical_bracelet,
+    canonical_necklace,
+    complement,
+    cyclic_occurrences,
+    cyclic_substrings,
+    distinct_cyclic_substrings,
+    is_palindrome,
+    longest_palindrome_centered_at,
+    minimal_rotation,
+    occurs_cyclically,
+    parse_binary,
+    reverse_complement,
+    rotate,
+    rotations,
+    smallest_period,
+    to_binary,
+)
+
+binary = st.text(alphabet="01", min_size=1, max_size=24)
+
+
+class TestRotate:
+    def test_basic(self):
+        assert rotate("abcd", 1) == "bcda"
+        assert rotate("abcd", 0) == "abcd"
+        assert rotate("abcd", 4) == "abcd"
+
+    def test_negative(self):
+        assert rotate("abcd", -1) == "dabc"
+
+    def test_empty(self):
+        assert rotate("", 3) == ""
+
+    @given(binary, st.integers(-50, 50))
+    def test_rotation_preserves_multiset(self, word, shift):
+        assert sorted(rotate(word, shift)) == sorted(word)
+
+    @given(binary, st.integers(0, 50), st.integers(0, 50))
+    def test_rotation_composes(self, word, a, b):
+        assert rotate(rotate(word, a), b) == rotate(word, a + b)
+
+    def test_rotations_count(self):
+        assert len(list(rotations("0110"))) == 4
+
+
+class TestCyclicOccurrences:
+    def test_simple(self):
+        assert cyclic_occurrences("01", "0101") == 2
+        assert cyclic_occurrences("10", "0101") == 2
+
+    def test_wraparound(self):
+        # "11" occurs wrapping around in "10...01".
+        assert cyclic_occurrences("11", "1001") == 1
+
+    def test_full_word(self):
+        assert cyclic_occurrences("0101", "0101") == 2  # two cyclic alignments
+
+    def test_longer_than_word(self):
+        assert cyclic_occurrences("00000", "0001") == 0
+
+    def test_empty_pattern(self):
+        assert cyclic_occurrences("", "0101") == 4
+
+    def test_all_same(self):
+        assert cyclic_occurrences("1", "1111") == 4
+        assert cyclic_occurrences("11", "1111") == 4
+
+    @given(binary, st.integers(0, 23))
+    def test_matches_bruteforce(self, word, start):
+        length = min(len(word), 1 + start % len(word))
+        pattern = (word + word)[start % len(word) :][:length]
+        brute = sum(
+            1
+            for i in range(len(word))
+            if all(word[(i + j) % len(word)] == pattern[j] for j in range(length))
+        )
+        assert cyclic_occurrences(pattern, word) == brute
+
+    @given(binary, st.integers(1, 50))
+    def test_invariant_under_rotation(self, word, shift):
+        for length in (1, 2):
+            if length > len(word):
+                continue
+            for pattern in distinct_cyclic_substrings(word, length):
+                assert cyclic_occurrences(pattern, word) == cyclic_occurrences(
+                    pattern, rotate(word, shift)
+                )
+
+    def test_occurs_cyclically(self):
+        assert occurs_cyclically("11", "1001")
+        assert not occurs_cyclically("111", "1001")
+
+
+class TestCyclicSubstrings:
+    def test_enumeration(self):
+        assert list(cyclic_substrings("011", 2)) == ["01", "11", "10"]
+
+    def test_length_equals_n(self):
+        assert list(cyclic_substrings("011", 3)) == ["011", "110", "101"]
+
+    def test_too_long_raises(self):
+        with pytest.raises(ValueError):
+            list(cyclic_substrings("011", 4))
+
+    @given(binary, st.integers(1, 24))
+    def test_counts(self, word, length):
+        if length > len(word):
+            return
+        subs = list(cyclic_substrings(word, length))
+        assert len(subs) == len(word)
+        total = sum(cyclic_occurrences(s, word) for s in set(subs))
+        assert total == len(word)
+
+
+class TestMinimalRotation:
+    def test_known(self):
+        assert minimal_rotation("bca") == "abc"
+        assert minimal_rotation("1101") == "0111"
+        assert minimal_rotation("0000") == "0000"
+
+    @given(binary)
+    def test_is_a_rotation(self, word):
+        assert minimal_rotation(word) in set(rotations(word))
+
+    @given(binary)
+    def test_is_minimal(self, word):
+        assert minimal_rotation(word) == min(rotations(word))
+
+    @given(binary, st.integers(0, 40))
+    def test_rotation_invariant(self, word, shift):
+        assert minimal_rotation(word) == minimal_rotation(rotate(word, shift))
+
+    @given(binary)
+    def test_bracelet_reversal_invariant(self, word):
+        assert canonical_bracelet(word) == canonical_bracelet(word[::-1])
+
+    @given(binary)
+    def test_necklace_vs_bracelet(self, word):
+        assert canonical_bracelet(word) <= canonical_necklace(word)
+
+
+class TestPalindromes:
+    def test_is_palindrome(self):
+        assert is_palindrome("")
+        assert is_palindrome("0")
+        assert is_palindrome("010")
+        assert not is_palindrome("011")
+
+    def test_longest_centered(self):
+        assert longest_palindrome_centered_at("00100", 2) == "00100"
+        assert longest_palindrome_centered_at("10100", 2) == "010"
+
+    def test_center_out_of_range(self):
+        with pytest.raises(ValueError):
+            longest_palindrome_centered_at("010", 5)
+
+    @given(binary, st.integers(0, 23))
+    def test_result_is_palindrome(self, word, center):
+        center %= len(word)
+        pal = longest_palindrome_centered_at(word, center)
+        assert is_palindrome(pal)
+        assert word[center] == pal[len(pal) // 2]
+
+
+class TestComplementAndPeriod:
+    @given(binary)
+    def test_complement_involution(self, word):
+        assert complement(complement(word)) == word
+
+    @given(binary)
+    def test_reverse_complement(self, word):
+        assert reverse_complement(word) == complement(word)[::-1]
+        assert reverse_complement(reverse_complement(word)) == word
+
+    def test_smallest_period(self):
+        assert smallest_period("010101") == 2
+        assert smallest_period("0110") == 4
+        assert smallest_period("111") == 1
+
+    @given(binary)
+    def test_period_divides(self, word):
+        p = smallest_period(word)
+        assert len(word) % p == 0
+        assert word == word[:p] * (len(word) // p)
+
+
+class TestBinaryConversion:
+    def test_roundtrip(self):
+        assert to_binary(parse_binary("0110")) == "0110"
+
+    def test_parse_rejects(self):
+        with pytest.raises(ValueError):
+            parse_binary("012")
+
+    def test_to_binary_rejects(self):
+        with pytest.raises(ValueError):
+            to_binary([0, 2])

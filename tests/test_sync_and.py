@@ -1,0 +1,84 @@
+"""§4.2 linear-message synchronous AND."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import compute_and_sync
+from repro.algorithms.sync_and import SyncAnd
+from repro.core import ConfigurationError, RingConfiguration
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_exhaustive(self, n):
+        for bits in itertools.product((0, 1), repeat=n):
+            result = compute_and_sync(RingConfiguration.oriented(bits))
+            assert result.unanimous_output() == min(bits), bits
+
+    @pytest.mark.parametrize("n", [9, 16, 33, 64])
+    def test_random_large(self, n):
+        for seed in range(5):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = compute_and_sync(config)
+            assert result.unanimous_output() == min(config.inputs)
+
+    def test_nonoriented_ring(self):
+        """AND is orientation-blind: it works on arbitrary rings."""
+        config = RingConfiguration((1, 0, 1, 1, 1), (1, 0, 0, 1, 0))
+        result = compute_and_sync(config)
+        assert result.unanimous_output() == 0
+
+    def test_all_ones(self):
+        result = compute_and_sync(RingConfiguration.oriented([1] * 9))
+        assert result.unanimous_output() == 1
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_and_sync(RingConfiguration.oriented([1, 2]))
+
+    def test_n1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_and_sync(RingConfiguration.oriented([1]))
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_linear_messages(self, n):
+        """Never more than 2n messages, on any input."""
+        for seed in range(6):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = compute_and_sync(config)
+            assert result.stats.messages <= 2 * n
+
+    def test_all_ones_is_silent(self):
+        """The all-ones ring computes AND with zero messages — synchrony at work."""
+        result = compute_and_sync(RingConfiguration.oriented([1] * 12))
+        assert result.stats.messages == 0
+
+    def test_all_zeros_cost(self):
+        """Every zero announces in both directions: exactly 2n sends."""
+        n = 10
+        result = compute_and_sync(RingConfiguration.oriented([0] * n))
+        assert result.stats.messages == 2 * n
+
+    @pytest.mark.parametrize("n", [5, 9, 17])
+    def test_halts_within_deadline(self, n):
+        for seed in range(4):
+            config = RingConfiguration.random(n, random.Random(seed), oriented=True)
+            result = compute_and_sync(config)
+            assert result.cycles <= n // 2 + 2
+
+    def test_single_zero_wave(self):
+        """One zero: the announcement sweeps both half-rings."""
+        n = 11
+        bits = [1] * n
+        bits[0] = 0
+        result = compute_and_sync(RingConfiguration.oriented(bits))
+        assert result.unanimous_output() == 0
+        # 2 initial sends + each 1-processor forwards at least once on the
+        # path, bounded by 2n total.
+        assert 2 <= result.stats.messages <= 2 * n

@@ -1,0 +1,104 @@
+"""§4.2.1 unary time-encoding: k message types → k nil subcycles."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms.orientation import QuasiOrientation, quasi_orient
+from repro.algorithms.sync_and import SyncAnd
+from repro.algorithms.time_encoding import (
+    ORIENTATION_ALPHABET,
+    TimeEncoded,
+    run_time_encoded,
+    time_encode,
+)
+from repro.core import ConfigurationError, ProtocolError, RingConfiguration
+from repro.sync import Out, SyncProcess, run_synchronous
+
+
+class TestWrapper:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_orientation_outputs_identical(self, n):
+        for bits in itertools.product((0, 1), repeat=n):
+            config = RingConfiguration((0,) * n, bits)
+            plain = quasi_orient(config)
+            encoded = run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+            assert encoded.outputs == plain.outputs
+
+    @pytest.mark.parametrize("n", [9, 16, 27])
+    def test_orientation_random(self, n):
+        config = RingConfiguration.random(n, random.Random(n))
+        plain = quasi_orient(config)
+        encoded = run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+        assert encoded.outputs == plain.outputs
+        assert encoded.stats.messages == plain.stats.messages
+        assert encoded.stats.bits == encoded.stats.messages
+        k = len(ORIENTATION_ALPHABET)
+        assert encoded.cycles <= k * (plain.cycles + 1)
+
+    def test_and_with_single_symbol(self):
+        for bits in itertools.product((0, 1), repeat=5):
+            config = RingConfiguration.oriented(bits)
+            result = run_time_encoded(config, SyncAnd, [None])
+            assert result.unanimous_output() == min(bits)
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeEncoded(SyncAnd(1, 3), [], 1, 3)
+        with pytest.raises(ConfigurationError):
+            TimeEncoded(SyncAnd(1, 3), [None, None], 1, 3)
+
+    def test_out_of_alphabet_payload_rejected(self):
+        class Rogue(SyncProcess):
+            def run(self):
+                yield Out(right="not-in-alphabet")
+                return 0
+
+        config = RingConfiguration.oriented([0, 0, 0])
+        with pytest.raises(ProtocolError):
+            run_time_encoded(config, Rogue, [None])
+
+    def test_factory_helper(self):
+        factory = time_encode(SyncAnd, [None])
+        config = RingConfiguration.oriented([1, 0, 1])
+        result = run_synchronous(config, factory)
+        assert result.unanimous_output() == 0
+
+    def test_figure2_in_unary_time(self):
+        """The §8 trade-off's far end, measured: Figure 2 with unary-encoded
+        labels sends Θ(n log n) one-bit messages — at an exponential cycle
+        cost (alphabet of all binary tuples up to length n)."""
+        import itertools
+
+        from repro.algorithms.sync_input_distribution import (
+            SyncInputDistribution,
+            distribute_inputs_sync,
+        )
+
+        n = 4
+        alphabet = [
+            tuple(bits)
+            for length in range(n + 1)
+            for bits in itertools.product((0, 1), repeat=length)
+        ]
+        config = RingConfiguration.oriented([1, 0, 1, 1])
+        plain = distribute_inputs_sync(config)
+        encoded = run_time_encoded(config, SyncInputDistribution, alphabet)
+        assert encoded.outputs == plain.outputs
+        assert encoded.stats.messages == plain.stats.messages
+        assert encoded.stats.bits == encoded.stats.messages  # 1 bit each
+        assert encoded.stats.bits < plain.stats.bits
+        assert encoded.cycles > len(alphabet)  # the exponential time price
+
+    def test_cost_trade(self):
+        """Messages equal, bits collapse to 1 each, cycles multiply by k."""
+        n = 15
+        config = RingConfiguration.random(n, random.Random(3))
+        plain = quasi_orient(config)
+        encoded = run_time_encoded(config, QuasiOrientation, ORIENTATION_ALPHABET)
+        assert encoded.stats.messages == plain.stats.messages
+        assert encoded.stats.bits <= plain.stats.bits
+        assert encoded.cycles > plain.cycles

@@ -1,0 +1,62 @@
+"""TraceStats and RunResult accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Envelope, LEFT, RIGHT, RunResult, TraceStats
+
+
+def env(cycle: int, payload="0") -> Envelope:
+    return Envelope(0, 1, LEFT, RIGHT, payload, cycle)
+
+
+class TestTraceStats:
+    def test_record(self):
+        stats = TraceStats()
+        stats.record(env(0))
+        stats.record(env(0))
+        stats.record(env(2))
+        assert stats.messages == 3
+        assert stats.bits == 3
+        assert stats.per_cycle == {0: 2, 2: 1}
+
+    def test_active_cycles(self):
+        stats = TraceStats()
+        for cycle in (0, 0, 3, 7):
+            stats.record(env(cycle))
+        assert stats.active_cycles == 3
+        assert stats.messages_at(0) == 2
+        assert stats.messages_at(1) == 0
+
+    def test_log_disabled_by_default(self):
+        stats = TraceStats()
+        stats.record(env(0))
+        assert stats.log == []
+
+    def test_log_enabled(self):
+        stats = TraceStats(keep_log=True)
+        stats.record(env(0))
+        assert len(stats.log) == 1
+
+    def test_merge(self):
+        a, b = TraceStats(), TraceStats()
+        a.record(env(0))
+        b.record(env(0, "0000"))
+        b.record(env(1))
+        merged = a.merge(b)
+        assert merged.messages == 3
+        assert merged.bits == 6
+        assert merged.per_cycle == {0: 2, 1: 1}
+
+
+class TestRunResult:
+    def test_unanimous(self):
+        result = RunResult(outputs=(1, 1, 1), stats=TraceStats())
+        assert result.unanimous_output() == 1
+        assert result.n == 3
+
+    def test_disagreement_raises(self):
+        result = RunResult(outputs=(1, 0), stats=TraceStats())
+        with pytest.raises(AssertionError):
+            result.unanimous_output()

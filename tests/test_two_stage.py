@@ -1,0 +1,149 @@
+"""§7.2: two-stage constructions for arbitrary ring sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError, symmetry_index_set
+from repro.core.strings import cyclic_occurrences, distinct_cyclic_substrings, is_palindrome
+from repro.homomorphisms import (
+    orientation_construction,
+    prefix_xor_orientation,
+    start_sync_construction,
+)
+
+
+class TestPrefixXor:
+    def test_simple(self):
+        assert prefix_xor_orientation("1100") == (1, 0, 0, 0)
+
+    def test_needs_even_ones(self):
+        with pytest.raises(ConfigurationError):
+            prefix_xor_orientation("100")
+
+    def test_recurrence_closes(self):
+        omega = "110110"
+        bits = prefix_xor_orientation(omega)
+        n = len(omega)
+        for i in range(n):
+            assert bits[i] == bits[i - 1] ^ int(omega[i])
+
+
+class TestOrientationConstruction:
+    @pytest.mark.parametrize("n", [501, 999, 2001, 5001])
+    def test_valid(self, n):
+        oc = orientation_construction(n)
+        assert oc.n == n
+        assert len(oc.omega) == n
+        assert oc.omega.count("1") % 2 == 0
+        assert oc.ring_a.n == n and oc.ring_b.n == n
+
+    @pytest.mark.parametrize("n", [501, 999, 2001])
+    def test_rings_are_complements(self, n):
+        oc = orientation_construction(n)
+        assert oc.ring_b.orientations == tuple(1 - b for b in oc.ring_a.orientations)
+
+    @pytest.mark.parametrize("n", [501, 999])
+    def test_witness_pair(self, n):
+        """The palindrome center and its neighbor share a Θ(n)-deep
+        neighborhood inside D^a, yet have opposite orientations."""
+        oc = orientation_construction(n)
+        a, b = oc.pair_positions
+        assert oc.ring_a.orientations[a] != oc.ring_a.orientations[b]
+        assert oc.witness_radius >= n // 5
+        r = oc.witness_radius
+        assert oc.ring_a.neighborhood(a, r) == oc.ring_a.neighborhood(b, r)
+        assert oc.ring_a.neighborhood(a, r + 1) != oc.ring_a.neighborhood(b, r + 1)
+
+    @pytest.mark.parametrize("n", [501, 999])
+    def test_cross_ring_equality_is_shallower(self, n):
+        """Deviation note: the paper's four-way identity only holds to the
+        alternating-run radius Θ(√n) across D^a/D^b."""
+        oc = orientation_construction(n)
+        a, _b = oc.pair_positions
+        small = int(n**0.5 / 8)
+        assert oc.ring_a.neighborhood(a, small) == oc.ring_b.neighborhood(a, small)
+        assert oc.ring_a.neighborhood(a, oc.witness_radius) != oc.ring_b.neighborhood(
+            a, oc.witness_radius
+        )
+
+    def test_palindromic_block(self):
+        oc = orientation_construction(999)
+        center = oc.palindrome_center
+        assert oc.omega[center] == "1"
+        # A generous window around the center reads the same both ways.
+        radius = oc.witness_radius
+        window = "".join(
+            oc.omega[(center + d) % oc.n] for d in range(-radius, radius + 1)
+        )
+        assert is_palindrome(window)
+
+    def test_even_rejected(self):
+        with pytest.raises(ConfigurationError):
+            orientation_construction(1000)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            orientation_construction(9)
+
+    def test_block_sizes_positive_and_odd_s(self):
+        oc = orientation_construction(2001)
+        assert oc.r > 0 and oc.s > 0
+        assert oc.s % 2 == 1  # keeps the palindrome center a one
+        assert oc.r * oc.p + oc.s * oc.q == 2001
+
+    @pytest.mark.parametrize("n", [999, 3001])
+    def test_repetitive_in_the_large(self, n):
+        """Corollary 7.7: factors of length ≥ block size occur Ω(n/|σ|) times."""
+        oc = orientation_construction(n)
+        block = max(oc.r, oc.s)
+        length = 2 * block
+        counts = [
+            cyclic_occurrences(sigma, oc.omega)
+            for sigma in distinct_cyclic_substrings(oc.omega, length)
+        ]
+        assert min(counts) >= n / (60 * length)
+
+    def test_joint_symmetry_index(self):
+        oc = orientation_construction(501)
+        for k in (0, 1, 2):
+            joint = symmetry_index_set([oc.ring_a, oc.ring_b], k)
+            assert joint >= 2 * 501 / (60 * (2 * k + 1))
+
+
+class TestStartSyncConstruction:
+    @pytest.mark.parametrize("n", [100, 346, 1000, 2002])
+    def test_valid(self, n):
+        sc = start_sync_construction(n)
+        assert sc.n == n
+        assert sc.omega.count("1") == n // 2  # balanced walk
+        assert sc.schedule.n == n
+        assert sc.schedule.is_realizable()
+
+    def test_block_identities(self):
+        sc = start_sync_construction(1000)
+        m = 500
+        assert sc.r0 * sc.p + sc.s0 * sc.q == m
+        assert sc.r1 * sc.p + sc.s1 * sc.q == m
+        assert sc.r1 == sc.r0 + sc.q and sc.s1 == sc.s0 - sc.p
+
+    def test_odd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            start_sync_construction(999)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            start_sync_construction(4)
+
+    def test_dense_range(self):
+        """Every even n ≥ 100 in a range succeeds (no parameter gaps)."""
+        for n in range(100, 260, 2):
+            sc = start_sync_construction(n)
+            assert sc.n == n
+
+    def test_schedule_spread_is_order_sqrt_n(self):
+        """Wake times vary by Θ(√n): the adversary staggers maximally."""
+        import math
+
+        sc = start_sync_construction(4000)
+        assert sc.schedule.spread >= math.sqrt(4000) / 2

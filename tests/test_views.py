@@ -1,0 +1,110 @@
+"""RingView: the universal output of input distribution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, RingConfiguration, RingView
+
+
+def ring_from_seed(n: int, iseed: int, dseed: int) -> RingConfiguration:
+    return RingConfiguration(
+        tuple((iseed >> i) & 1 for i in range(n)),
+        tuple((dseed >> i) & 1 for i in range(n)),
+    )
+
+
+class TestConstruction:
+    def test_minimal(self):
+        view = RingView(((1, 7),))
+        assert view.n == 1 and view.own_input == 7
+
+    def test_viewer_must_be_self_oriented(self):
+        with pytest.raises(ConfigurationError):
+            RingView(((0, 7),))
+
+    def test_rel_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingView(((1, 7), (2, 8)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingView(())
+
+
+class TestFromConfiguration:
+    def test_clockwise(self):
+        ring = RingConfiguration.oriented([10, 20, 30])
+        view = RingView.from_configuration(ring, 0)
+        assert view.inputs_rightward() == (10, 20, 30)
+        assert all(rel == 1 for rel, _ in view.entries)
+
+    def test_flipped_viewer_reads_backwards(self):
+        ring = RingConfiguration([10, 20, 30], (1, 0, 1))
+        view = RingView.from_configuration(ring, 1)
+        # Processor 1's right is processor 0 (D=0), so rightward reading is
+        # 20, 10, 30; neighbors are oriented opposite to it.
+        assert view.inputs_rightward() == (20, 10, 30)
+        assert view.entries[1][0] == 0 and view.entries[2][0] == 0
+
+    def test_leftward(self):
+        ring = RingConfiguration.oriented([1, 2, 3, 4])
+        view = RingView.from_configuration(ring, 0)
+        assert view.inputs_leftward() == (1, 4, 3, 2)
+
+    def test_accessors(self):
+        ring = RingConfiguration.oriented([5, 6, 7])
+        view = RingView.from_configuration(ring, 1)
+        assert view.input_at(1) == 7
+        assert view.input_at(4) == 7  # modular
+        assert view.relative_orientation_at(2) == 1
+
+
+class TestConsistency:
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255))
+    def test_all_views_of_one_ring_consistent(self, n, iseed, dseed):
+        ring = ring_from_seed(n, iseed, dseed)
+        views = [RingView.from_configuration(ring, i) for i in range(n)]
+        base = views[0]
+        for view in views[1:]:
+            assert base.consistent_with(view)
+
+    def test_different_rings_inconsistent(self):
+        v1 = RingView.from_configuration(RingConfiguration.oriented([1, 1, 0]), 0)
+        v2 = RingView.from_configuration(RingConfiguration.oriented([1, 1, 1]), 0)
+        assert not v1.consistent_with(v2)
+
+    def test_different_sizes_inconsistent(self):
+        v1 = RingView.from_configuration(RingConfiguration.oriented([1, 1]), 0)
+        v2 = RingView.from_configuration(RingConfiguration.oriented([1, 1, 1]), 0)
+        assert not v1.consistent_with(v2)
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255), st.integers(0, 7))
+    def test_rotated_to_same_oriented_processor(self, n, iseed, dseed, d):
+        """For same-oriented processors, views are exact rotations."""
+        ring = ring_from_seed(n, iseed, dseed)
+        i = 0
+        view = RingView.from_configuration(ring, i)
+        d %= n
+        if view.relative_orientation_at(d) == 1:
+            step = 1 if ring.orientations[i] == 1 else -1
+            j = (i + step * d) % n
+            assert view.rotated_to(d) == RingView.from_configuration(ring, j)
+
+
+class TestAsConfiguration:
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip_preserves_function_inputs(self, n, iseed, dseed):
+        """The view's configuration is the ring up to renaming/reflection."""
+        ring = ring_from_seed(n, iseed, dseed)
+        view = RingView.from_configuration(ring, 0)
+        rebuilt = view.as_configuration()
+        assert sorted(rebuilt.inputs) == sorted(ring.inputs)
+        assert rebuilt.orientations[0] == 1
+
+    def test_clockwise_identity(self):
+        ring = RingConfiguration.oriented([4, 5, 6])
+        view = RingView.from_configuration(ring, 0)
+        assert view.as_configuration() == ring

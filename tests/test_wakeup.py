@@ -1,0 +1,104 @@
+"""Wake-up schedules (§4.2.3, §6.3.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.sync import WakeupSchedule
+
+
+class TestConstruction:
+    def test_simultaneous(self):
+        s = WakeupSchedule.simultaneous(4)
+        assert s.times == (0, 0, 0, 0)
+        assert s.spread == 0
+
+    def test_simultaneous_validates(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule.simultaneous(0)
+
+    def test_normalization(self):
+        s = WakeupSchedule.from_times([5, 6, 5])
+        assert s.times == (0, 1, 0)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule((1, 2))
+
+    def test_no_negative(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule((0, -1))
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule(())
+
+    def test_accessors(self):
+        s = WakeupSchedule((0, 2, 1))
+        assert s.n == 3
+        assert s[1] == 2
+        assert s[4] == 2  # modular
+        assert list(s) == [0, 2, 1]
+
+
+class TestRealizability:
+    def test_adjacent_gap_one_ok(self):
+        assert WakeupSchedule((0, 1, 2, 1)).is_realizable()
+
+    def test_big_gap_rejected(self):
+        assert not WakeupSchedule((0, 5)).is_realizable()
+
+    def test_wraparound_gap_counts(self):
+        # last and first are neighbors on the ring
+        assert not WakeupSchedule((0, 1, 2, 3)).is_realizable()
+
+
+class TestFromBits:
+    def test_simple_walk(self):
+        # 1 up, 0 down: "1100" walks 1,2,1,0 -> normalized (1,2,1,0)
+        s = WakeupSchedule.from_bits("1100")
+        assert s.times == (1, 2, 1, 0)
+        assert s.is_realizable()
+
+    def test_balanced_string_closes(self):
+        s = WakeupSchedule.from_bits("10" * 8)
+        assert s.is_realizable()
+        assert abs(s.times[-1] - s.times[0]) <= 1
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule.from_bits("1111")
+
+    def test_single_bit(self):
+        s = WakeupSchedule.from_bits("1")
+        assert s.times == (0,)
+
+    def test_bad_alphabet(self):
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule.from_bits("10a")
+        with pytest.raises(ConfigurationError):
+            WakeupSchedule.from_bits("")
+
+    @given(st.lists(st.sampled_from("01"), min_size=2, max_size=40))
+    def test_walks_always_realizable_when_legal(self, bits):
+        word = "".join(bits)
+        steps = [1 if ch == "1" else -1 for ch in word]
+        closure = abs(sum(steps) - steps[0])
+        if closure > 1:
+            with pytest.raises(ConfigurationError):
+                WakeupSchedule.from_bits(word)
+        else:
+            s = WakeupSchedule.from_bits(word)
+            assert s.is_realizable()
+
+    def test_section_633_instance(self):
+        """The ω = h^k(0011) schedule of §6.3.3 is legal."""
+        from repro.homomorphisms import XOR_UNIFORM
+
+        omega = XOR_UNIFORM.iterate("0011", 3)
+        s = WakeupSchedule.from_bits(omega)
+        assert s.n == 4 * 27
+        assert s.is_realizable()
