@@ -1,0 +1,54 @@
+"""Engine hot-path benchmarks (pytest-benchmark mirror of `repro bench`).
+
+These track the raw simulator loops the whole experiment suite stands on:
+the general asynchronous event loop (incremental pending structure), the
+Theorem 5.1 synchronizing adversary (double-buffered inflight store), and
+the synchronous lock-step engine (live halt counter, reused arrival
+buffers).  `python -m repro bench` writes the same workloads' throughput
+to BENCH_simulators.json for PR-over-PR trajectories; these rows give the
+statistical view.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.async_input_distribution import (
+    AsyncInputDistribution,
+    distribute_inputs_async,
+)
+from repro.algorithms.sync_input_distribution import distribute_inputs_sync
+from repro.asynch import RoundRobinScheduler, run_async_synchronized
+from repro.core import RingConfiguration
+
+
+def _ring(n: int) -> RingConfiguration:
+    return RingConfiguration.random(n, random.Random(n), oriented=True)
+
+
+def test_engine_async_event_loop(benchmark):
+    """General async engine on the n(n−1) input-distribution workload."""
+    config = _ring(33)
+    result = benchmark(
+        lambda: distribute_inputs_async(config, scheduler=RoundRobinScheduler())
+    )
+    assert result.stats.messages == 33 * 32
+
+
+def test_engine_synchronizing_adversary(benchmark):
+    """Theorem 5.1 adversary delivering the same n(n−1) messages in waves."""
+    config = _ring(33)
+    result = benchmark(
+        lambda: run_async_synchronized(
+            config,
+            lambda value, n: AsyncInputDistribution(value, n, assume_oriented=True),
+        )
+    )
+    assert result.stats.messages == 33 * 32
+
+
+def test_engine_sync_lockstep(benchmark):
+    """Synchronous engine on the Figure 2 O(n log n) workload."""
+    config = _ring(32)
+    result = benchmark(lambda: distribute_inputs_sync(config))
+    assert result.outputs[0] is not None

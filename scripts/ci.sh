@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests plus a quick-mode benchmark smoke run, so
+# the perf harness itself is exercised on every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== bench smoke (quick) =="
+python -m repro bench --quick --output BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+echo "ci.sh: all green"

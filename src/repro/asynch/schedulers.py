@@ -30,7 +30,13 @@ class Scheduler:
     """Chooses which pending channel delivers next."""
 
     def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
-        """Pick one of the (nonempty, sorted) pending channels."""
+        """Pick one of the (nonempty, sorted) pending channels.
+
+        ``pending`` is always sorted ascending.  It is the engine's
+        incrementally maintained live view of the nonempty channels —
+        schedulers must treat it as read-only and must not retain a
+        reference past the call (copy it if you need a snapshot).
+        """
         raise NotImplementedError
 
 

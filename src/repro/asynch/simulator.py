@@ -14,15 +14,29 @@ Two entry points:
   symmetric configuration symmetric, which is what forces the ``Ω(n²)``
   bounds of §5; it also produces a per-cycle trace, so the fooling-pair
   checker can count messages per cycle.
+
+Timing convention (see ``docs/model.md``): every start-event send is
+stamped ``send_time = 0``; the delivery clock starts at 1 with the first
+delivered message, so a send caused by the ``k``-th delivery event is
+stamped ``k``.  Under the synchronizing adversary ``send_time`` is the
+cycle number instead.
+
+Both engines are hot paths — every bound in the paper is checked by
+running them — so the event loops avoid per-event rebuilding: routing is
+resolved once per (sender, port), the set of nonempty channels is
+maintained incrementally in sorted order (never re-sorted from scratch),
+and trace accounting skips :class:`~repro.core.message.Envelope`
+construction unless a log is requested.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import NonTerminationError, SimulationError
-from ..core.message import Envelope, Port
+from ..core.message import Envelope, Port, bit_length
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
 from .process import AsyncFactory, AsyncProcess, Context
@@ -35,7 +49,7 @@ def default_event_budget(n: int) -> int:
 
 
 class _Engine:
-    """Shared machinery: processor table, halting, send dispatch."""
+    """Shared machinery: processor table, halting, routing, send accounting."""
 
     def __init__(self, config: RingConfiguration, factory: AsyncFactory, keep_log: bool):
         self.config = config
@@ -46,37 +60,45 @@ class _Engine:
         self.halted = [False] * self.n
         self.outputs: List[Any] = [None] * self.n
         self.stats = TraceStats(keep_log=keep_log)
+        self.keep_log = keep_log
+        # Each (sender, port) always maps to the same channel; resolve the
+        # routing once instead of per send.
+        self.routes: List[Dict[Port, Tuple[int, Port, int]]] = [
+            {port: config.route(i, port) for port in (Port.LEFT, Port.RIGHT)}
+            for i in range(self.n)
+        ]
 
-    def invoke_start(self, i: int, time: int) -> List[Tuple[Port, Any]]:
+    def invoke_start(self, i: int) -> List[Tuple[Port, Any]]:
         ctx = Context()
         self.processes[i].on_start(ctx)
-        return self._absorb(i, ctx, time)
+        return self._absorb(i, ctx)
 
-    def invoke_message(
-        self, i: int, port: Port, payload: Any, time: int
-    ) -> List[Tuple[Port, Any]]:
+    def invoke_message(self, i: int, port: Port, payload: Any) -> List[Tuple[Port, Any]]:
         ctx = Context()
         self.processes[i].on_message(ctx, port, payload)
-        return self._absorb(i, ctx, time)
+        return self._absorb(i, ctx)
 
-    def _absorb(self, i: int, ctx: Context, time: int) -> List[Tuple[Port, Any]]:
+    def _absorb(self, i: int, ctx: Context) -> List[Tuple[Port, Any]]:
         if ctx._halted:
             self.halted[i] = True
             self.outputs[i] = ctx._output
         return ctx._sends
 
     def record(self, sender: int, out_port: Port, payload: Any, time: int) -> Tuple[int, Port, int]:
-        receiver, in_port, step = self.config.route(sender, out_port)
-        self.stats.record(
-            Envelope(
-                sender=sender,
-                receiver=receiver,
-                out_port=out_port,
-                in_port=in_port,
-                payload=payload,
-                send_time=time,
+        receiver, in_port, step = self.routes[sender][out_port]
+        if self.keep_log:
+            self.stats.record(
+                Envelope(
+                    sender=sender,
+                    receiver=receiver,
+                    out_port=out_port,
+                    in_port=in_port,
+                    payload=payload,
+                    send_time=time,
+                )
             )
-        )
+        else:
+            self.stats.record_send(bit_length(payload), time)
         return receiver, in_port, step
 
     def check_all_halted(self) -> None:
@@ -102,6 +124,10 @@ def run_asynchronous(
     channel and its head message is delivered.  The run ends when no
     message is pending; every processor must have halted by then.
 
+    Start-event sends are stamped ``send_time = 0``; the delivery clock
+    starts after the start phase, so sends caused by the ``k``-th delivery
+    are stamped ``k``.
+
     Raises:
         NonTerminationError: the event budget was exhausted.
         SimulationError: quiescence was reached with processors not halted.
@@ -110,36 +136,53 @@ def run_asynchronous(
     n = config.n
     budget = max_events if max_events is not None else default_event_budget(n)
     scheduler = scheduler or RoundRobinScheduler()
-    queues: Dict[ChannelId, Deque[Tuple[Port, Any]]] = {}
-    clock = 0
 
-    def dispatch(sender: int, sends: List[Tuple[Port, Any]]) -> None:
+    # One FIFO queue per directed channel, created up front (a ring has at
+    # most 2n channels).  `pending` is the sorted list of channels whose
+    # queue is nonempty, maintained incrementally: a channel is inserted
+    # when its queue goes empty→nonempty and removed when it drains.  This
+    # replaces the seed engine's per-event `sorted(...)` rebuild while
+    # presenting the Scheduler with the exact same sorted sequence.
+    queues: Dict[ChannelId, Deque[Tuple[Port, Any]]] = {}
+    for i in range(n):
+        for port in (Port.LEFT, Port.RIGHT):
+            receiver, _in_port, step = engine.routes[i][port]
+            queues[(i, receiver, step)] = deque()
+    pending: List[ChannelId] = []
+
+    def dispatch(sender: int, sends: List[Tuple[Port, Any]], time: int) -> None:
         for out_port, payload in sends:
-            receiver, in_port, step = engine.record(sender, out_port, payload, clock)
+            receiver, in_port, step = engine.record(sender, out_port, payload, time)
             cid: ChannelId = (sender, receiver, step)
-            queues.setdefault(cid, deque()).append((in_port, payload))
+            queue = queues[cid]
+            if not queue:
+                insort(pending, cid)
+            queue.append((in_port, payload))
 
     for i in range(n):
-        dispatch(i, engine.invoke_start(i, clock))
-        clock += 1
+        dispatch(i, engine.invoke_start(i), 0)
 
+    clock = 0
     events = 0
-    while True:
-        pending = sorted(cid for cid, queue in queues.items() if queue)
-        if not pending:
-            break
+    choose = scheduler.choose
+    while pending:
         events += 1
         if events > budget:
             raise NonTerminationError(f"event budget {budget} exhausted")
-        cid = scheduler.choose(pending)
-        if cid not in queues or not queues[cid]:
+        cid = choose(pending)
+        queue = queues.get(cid)
+        if not queue:
             raise SimulationError(f"scheduler chose empty channel {cid!r}")
-        in_port, payload = queues[cid].popleft()
-        _, receiver, _ = cid
+        in_port, payload = queue.popleft()
+        if not queue:
+            # The channel drained; drop it from `pending` before the
+            # handler runs (an n=1 self-send may re-add the same channel).
+            del pending[bisect_left(pending, cid)]
+        receiver = cid[1]
         clock += 1
         if engine.halted[receiver]:
             continue  # dropped: late message to a halted processor
-        dispatch(receiver, engine.invoke_message(receiver, in_port, payload, clock))
+        dispatch(receiver, engine.invoke_message(receiver, in_port, payload), clock)
 
     engine.check_all_halted()
     return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=None)
@@ -167,33 +210,48 @@ def run_async_synchronized(
     n = config.n
     budget = max_cycles if max_cycles is not None else 8 * n + 64
 
-    # inflight[i] = messages to deliver to processor i next cycle, keyed by port.
+    # Double-buffered in-flight store: `inflight[i][port]` holds messages
+    # to deliver to processor i next cycle.  The two buffers are swapped
+    # each cycle and their lists cleared after consumption, so no per-cycle
+    # allocation happens.
     inflight: List[Dict[Port, List[Any]]] = [
         {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
     ]
+    spare: List[Dict[Port, List[Any]]] = [
+        {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
+    ]
+    pending_count = 0
 
     def dispatch(sender: int, sends: List[Tuple[Port, Any]], cycle: int) -> None:
+        nonlocal pending_count
         for out_port, payload in sends:
             receiver, in_port, _ = engine.record(sender, out_port, payload, cycle)
             inflight[receiver][in_port].append(payload)
+            pending_count += 1
 
     cycle = 0
     for i in range(n):
-        dispatch(i, engine.invoke_start(i, cycle), cycle)
+        dispatch(i, engine.invoke_start(i), cycle)
 
-    while any(batch[Port.LEFT] or batch[Port.RIGHT] for batch in inflight):
+    halted = engine.halted
+    while pending_count:
         cycle += 1
         if cycle > budget:
             raise NonTerminationError(f"cycle budget {budget} exhausted")
-        arriving, inflight = inflight, [
-            {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
-        ]
+        arriving, inflight = inflight, spare
+        spare = arriving
+        pending_count = 0
         for i in range(n):
+            batch = arriving[i]
             for port in (Port.LEFT, Port.RIGHT):
-                for payload in arriving[i][port]:
-                    if engine.halted[i]:
+                msgs = batch[port]
+                if not msgs:
+                    continue
+                for payload in msgs:
+                    if halted[i]:
                         continue
-                    dispatch(i, engine.invoke_message(i, port, payload, cycle), cycle)
+                    dispatch(i, engine.invoke_message(i, port, payload), cycle)
+                msgs.clear()
 
     engine.check_all_halted()
     return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=cycle)

@@ -45,6 +45,17 @@ class TraceStats:
         if self.keep_log:
             self.log.append(envelope)
 
+    def record_send(self, bits: int, cycle: int) -> None:
+        """Account for one sent message from pre-extracted fields.
+
+        The engines' hot paths use this when ``keep_log`` is false: it
+        updates the same totals and per-cycle histogram as :meth:`record`
+        without constructing an :class:`~repro.core.message.Envelope`.
+        """
+        self.messages += 1
+        self.bits += bits
+        self.per_cycle[cycle] = self.per_cycle.get(cycle, 0) + 1
+
     @property
     def active_cycles(self) -> int:
         """Number of cycles in which at least one message was sent (§6.1)."""
@@ -55,13 +66,21 @@ class TraceStats:
         return self.per_cycle.get(cycle, 0)
 
     def merge(self, other: "TraceStats") -> "TraceStats":
-        """Combine two traces (e.g. the two runs of a fooling-pair experiment)."""
-        merged = TraceStats(keep_log=False)
+        """Combine two traces (e.g. the two runs of a fooling-pair experiment).
+
+        The merged trace keeps a log only when *both* operands kept theirs
+        (this side's envelopes first); if either side dropped its log there
+        is nothing faithful to concatenate.
+        """
+        keep = self.keep_log and other.keep_log
+        merged = TraceStats(keep_log=keep)
         merged.messages = self.messages + other.messages
         merged.bits = self.bits + other.bits
         for source in (self.per_cycle, other.per_cycle):
             for cycle, count in source.items():
                 merged.per_cycle[cycle] = merged.per_cycle.get(cycle, 0) + count
+        if keep:
+            merged.log = list(self.log) + list(other.log)
         return merged
 
 

@@ -1,0 +1,30 @@
+"""Performance harness: the simulator benchmark-regression suite.
+
+``python -m repro bench`` runs :func:`run_bench` and writes
+``BENCH_simulators.json`` so engine throughput is tracked PR over PR; see
+:mod:`repro.perf.bench` for the workload definitions.
+"""
+
+from .bench import (
+    BENCH_FILENAME,
+    SCHEMA_VERSION,
+    BenchRecord,
+    Workload,
+    default_workloads,
+    measure,
+    render_table,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "Workload",
+    "default_workloads",
+    "measure",
+    "render_table",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,258 @@
+"""The simulator benchmark-regression suite behind ``python -m repro bench``.
+
+Every bound in the paper is checked by *running* the instrumented
+simulators, so engine throughput caps how large an ``n`` the
+``Θ(n log n)`` / ``Ω(n²)`` shape checks can sweep.  This module pins a
+fixed set of engine workloads — synchronous AND, Figure 2 input
+distribution, the §4.1 asynchronous ``n(n−1)`` distribution, and the
+Theorem 5.1 synchronizing adversary — runs each across an ``n``-sweep,
+and serializes wall time, events/sec and messages/sec to
+``BENCH_simulators.json`` so successive PRs accumulate a perf trajectory.
+
+"Events" is the engine's unit of work: delivered messages for the
+asynchronous engines (at quiescence every sent message has been delivered
+or popped-and-dropped, so events equals messages sent) and
+processor-cycle steps (``n × cycles``) for the synchronous engine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+
+#: Default output file, written to the current working directory.
+BENCH_FILENAME = "BENCH_simulators.json"
+
+#: Bumped when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_SEED = 0x5EED
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One (workload, n) measurement.
+
+    ``seconds`` is the best wall time over ``repeats`` runs; the
+    throughput fields are derived from it.
+    """
+
+    workload: str
+    engine: str
+    n: int
+    repeats: int
+    seconds: float
+    events: int
+    messages: int
+    bits: int
+    cycles: Optional[int]
+    events_per_sec: float
+    messages_per_sec: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named simulator workload swept over ring sizes.
+
+    Attributes:
+        name: stable identifier used in the JSON and regression diffs.
+        engine: which engine the workload exercises (``sync``, ``async``
+            or ``async-synchronized``).
+        run: builds and runs the workload at size ``n``.
+        events_of: extracts the engine's unit-of-work count from a result.
+        sizes: the full ``n``-sweep.
+        quick_sizes: the trimmed sweep used by ``--quick`` / CI smoke.
+    """
+
+    name: str
+    engine: str
+    run: Callable[[int], RunResult]
+    events_of: Callable[[RunResult], int]
+    sizes: Tuple[int, ...]
+    quick_sizes: Tuple[int, ...]
+
+
+def _binary_ring(n: int, oriented: bool = True) -> RingConfiguration:
+    """A deterministic pseudo-random 0/1 ring (stable across runs)."""
+    rng = random.Random(_SEED + n)
+    return RingConfiguration.random(n, rng, oriented=oriented)
+
+
+def _sync_events(result: RunResult) -> int:
+    cycles = result.cycles or 0
+    return result.n * max(1, cycles)
+
+
+def _async_events(result: RunResult) -> int:
+    # At quiescence every sent message was popped as one delivery event.
+    return result.stats.messages
+
+
+def _run_sync_and(n: int) -> RunResult:
+    from ..algorithms.sync_and import compute_and_sync
+
+    # A single zero makes the announcement wave cross the whole ring —
+    # the algorithm's worst case for both messages and cycles.
+    config = RingConfiguration.oriented((0,) + (1,) * (n - 1))
+    return compute_and_sync(config)
+
+
+def _run_sync_input_distribution(n: int) -> RunResult:
+    from ..algorithms.sync_input_distribution import distribute_inputs_sync
+
+    return distribute_inputs_sync(_binary_ring(n))
+
+
+def _run_async_input_distribution(n: int) -> RunResult:
+    from ..algorithms.async_input_distribution import distribute_inputs_async
+    from ..asynch.schedulers import RoundRobinScheduler
+
+    # Oriented ring: exactly n(n−1) messages at every size (§4.1).
+    return distribute_inputs_async(
+        _binary_ring(n), scheduler=RoundRobinScheduler(), assume_oriented=True
+    )
+
+
+def _run_async_synchronized(n: int) -> RunResult:
+    from ..algorithms.async_input_distribution import AsyncInputDistribution
+    from ..asynch.simulator import run_async_synchronized
+
+    return run_async_synchronized(
+        _binary_ring(n),
+        lambda value, size: AsyncInputDistribution(value, size, assume_oriented=True),
+    )
+
+
+def default_workloads() -> Tuple[Workload, ...]:
+    """The fixed benchmark suite (order and names are part of the contract)."""
+    return (
+        Workload(
+            name="sync_and",
+            engine="sync",
+            run=_run_sync_and,
+            events_of=_sync_events,
+            sizes=(16, 64, 256, 1024),
+            quick_sizes=(16, 64),
+        ),
+        Workload(
+            name="sync_input_distribution",
+            engine="sync",
+            run=_run_sync_input_distribution,
+            events_of=_sync_events,
+            sizes=(8, 16, 32, 64, 128),
+            quick_sizes=(8, 16),
+        ),
+        Workload(
+            name="async_input_distribution",
+            engine="async",
+            run=_run_async_input_distribution,
+            events_of=_async_events,
+            sizes=(8, 16, 32, 64, 128),
+            quick_sizes=(8, 16),
+        ),
+        Workload(
+            name="async_synchronized",
+            engine="async-synchronized",
+            run=_run_async_synchronized,
+            events_of=_async_events,
+            sizes=(8, 16, 32, 64, 128),
+            quick_sizes=(8, 16),
+        ),
+    )
+
+
+def measure(workload: Workload, n: int, repeats: int) -> BenchRecord:
+    """Run one workload at one size, keeping the best wall time."""
+    best = float("inf")
+    result: Optional[RunResult] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = workload.run(n)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    assert result is not None
+    events = workload.events_of(result)
+    # Guard against a 0.0 timer reading on very small workloads.
+    seconds = max(best, 1e-9)
+    return BenchRecord(
+        workload=workload.name,
+        engine=workload.engine,
+        n=n,
+        repeats=max(1, repeats),
+        seconds=best,
+        events=events,
+        messages=result.stats.messages,
+        bits=result.stats.bits,
+        cycles=result.cycles,
+        events_per_sec=events / seconds,
+        messages_per_sec=result.stats.messages / seconds,
+    )
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    sizes: Optional[Sequence[int]] = None,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> List[BenchRecord]:
+    """Run the suite; ``quick`` trims sweeps for CI smoke runs.
+
+    ``sizes`` overrides every workload's sweep (useful for ad-hoc probes);
+    ``repeats`` defaults to 1 in quick mode and 3 otherwise.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 3
+    records: List[BenchRecord] = []
+    for workload in workloads if workloads is not None else default_workloads():
+        sweep = tuple(sizes) if sizes else (
+            workload.quick_sizes if quick else workload.sizes
+        )
+        for n in sweep:
+            records.append(measure(workload, n, repeats))
+    return records
+
+
+def render_table(records: Sequence[BenchRecord]) -> str:
+    """A human-readable summary of a bench run."""
+    lines = [
+        f"{'workload':<26} {'n':>5} {'seconds':>9} {'events/s':>12} {'msgs/s':>12}",
+        "-" * 68,
+    ]
+    for record in records:
+        lines.append(
+            f"{record.workload:<26} {record.n:>5} {record.seconds:>9.4f} "
+            f"{record.events_per_sec:>12.0f} {record.messages_per_sec:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(
+    records: Sequence[BenchRecord],
+    path: Union[str, Path, None] = None,
+    quick: bool = False,
+) -> Path:
+    """Serialize a bench run to JSON; returns the path written."""
+    target = Path(path) if path is not None else Path(BENCH_FILENAME)
+    payload: Dict = {
+        "schema": SCHEMA_VERSION,
+        "suite": "simulator-engines",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": [asdict(record) for record in records],
+        "totals": {
+            "seconds": sum(record.seconds for record in records),
+            "messages": sum(record.messages for record in records),
+            "events": sum(record.events for record in records),
+        },
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return target

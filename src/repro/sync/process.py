@@ -82,7 +82,12 @@ class Out:
 
 
 class In:
-    """Messages a processor received in one cycle — at most one per port."""
+    """Messages a processor received in one cycle — at most one per port.
+
+    Treat instances as read-only: the engine shares one empty ``In``
+    across quiet cycles, so mutating a received inbox is undefined
+    behavior.
+    """
 
     __slots__ = ("left", "right")
 

@@ -12,19 +12,29 @@ A message delivered to a still-idle processor wakes it: it starts at the
 next cycle with the waking messages available in
 :attr:`repro.sync.process.SyncProcess.wake_inbox`.  A message delivered to
 a halted processor is dropped (it is still counted as sent, which is what
-the bounds measure).
+the bounds measure).  At most one message may land on a port per cycle —
+the engine enforces this for waking processors exactly as for awake ones.
 
 Processor indices exist only inside this engine; algorithms are built by a
 single factory from ``(input, n)``, so the ring stays anonymous.
+
+This engine is a hot path (every synchronous bound is checked by running
+it), so the loop keeps a live halted counter instead of scanning, reuses
+the per-cycle arrival buffers instead of reallocating them, resolves port
+routing once up front, and skips :class:`~repro.core.message.Envelope`
+construction unless a log is requested.  Delivered :class:`In` objects are
+allocated fresh only for processors that actually received something; the
+shared empty ``In`` handed out otherwise must be treated as read-only
+(processes only ever read their inbox).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import NonTerminationError, SimulationError
-from ..core.message import Envelope, Port
+from ..core.message import Envelope, Port, bit_length
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
 from .process import ABSENT, In, Out, ProcessGen, SyncProcess
@@ -33,15 +43,20 @@ from .wakeup import WakeupSchedule
 #: A factory building the (identical) program of every processor.
 ProcessFactory = Callable[[Any, int], SyncProcess]
 
+#: Shared "nothing arrived" inbox; never mutated (see module docstring).
+_EMPTY_IN = In()
+
 
 def default_cycle_budget(n: int) -> int:
     """A generous cycle budget: well above every algorithm in the paper.
 
     The slowest algorithm here is Figure 2's input distribution at
-    ``n(2·log₁.₅ n + 1)`` cycles; the budget leaves an order of magnitude of
-    headroom so hitting it reliably signals a deadlock bug.
+    ``n(2·log₁.₅ n + 1)`` cycles, so the budget scales with ``log₁.₅ n``
+    (not ``log₂``) and leaves over an order of magnitude of headroom —
+    hitting it reliably signals a deadlock bug.
     """
-    return 64 * n * max(4, math.ceil(math.log2(max(2, n)))) + 512
+    log15 = math.log(max(2, n), 1.5)
+    return 64 * n * max(4, math.ceil(log15)) + 512
 
 
 def run_synchronous(
@@ -77,15 +92,30 @@ def run_synchronous(
     gens: List[Optional[ProcessGen]] = [None] * n
     outputs: List[Any] = [None] * n
     halted = [False] * n
+    halted_count = 0
     halt_times = [0] * n
     wake_time = list(wakeup.times)
     wake_messages: List[List] = [[] for _ in range(n)]
-    last_in: List[In] = [In() for _ in range(n)]
+    last_in: List[In] = [_EMPTY_IN] * n
     stats = TraceStats(keep_log=keep_log)
     budget = max_cycles if max_cycles is not None else default_cycle_budget(n)
 
+    # Routing never changes during a run: resolve each (sender, port) once.
+    arrival: List[Dict[Port, Tuple[int, Port]]] = [
+        {port: config.arrival_port(i, port) for port in (Port.LEFT, Port.RIGHT)}
+        for i in range(n)
+    ]
+
+    # Reused across cycles: per-receiver arrival buffers plus the list of
+    # receivers that actually got something (so resetting is O(arrivals),
+    # not O(n) allocations per cycle).
+    arriving: List[Dict[Port, Any]] = [dict() for _ in range(n)]
+    touched: List[int] = []
+    prev_touched: List[int] = []
+    emissions: List[Tuple[int, Out]] = []
+
     cycle = 0
-    while not all(halted):
+    while halted_count < n:
         if cycle > budget:
             laggards = [i for i in range(n) if not halted[i]]
             raise NonTerminationError(
@@ -93,7 +123,7 @@ def run_synchronous(
             )
 
         # --- half-step 1: emissions -----------------------------------
-        emissions: List = []  # (sender, Out)
+        emissions.clear()
         for i in range(n):
             if halted[i] or wake_time[i] > cycle:
                 continue
@@ -110,6 +140,7 @@ def run_synchronous(
                     out = gen.send(last_in[i])
             except StopIteration as stop:
                 halted[i] = True
+                halted_count += 1
                 outputs[i] = stop.value
                 halt_times[i] = cycle
                 continue
@@ -120,40 +151,58 @@ def run_synchronous(
             emissions.append((i, out))
 
         # --- half-step 2: delivery ------------------------------------
-        arriving: List[Dict[Port, Any]] = [dict() for _ in range(n)]
         for sender, out in emissions:
+            sender_routes = arrival[sender]
             for port, payload in out.sends():
-                receiver, in_port = config.arrival_port(sender, port)
-                stats.record(
-                    Envelope(
-                        sender=sender,
-                        receiver=receiver,
-                        out_port=port,
-                        in_port=in_port,
-                        payload=payload,
-                        send_time=cycle,
+                receiver, in_port = sender_routes[port]
+                if keep_log:
+                    stats.record(
+                        Envelope(
+                            sender=sender,
+                            receiver=receiver,
+                            out_port=port,
+                            in_port=in_port,
+                            payload=payload,
+                            send_time=cycle,
+                        )
                     )
-                )
+                else:
+                    stats.record_send(bit_length(payload), cycle)
                 if halted[receiver]:
                     continue
                 if gens[receiver] is None and wake_time[receiver] > cycle:
                     # Wakes an idle processor: it starts next cycle with
-                    # the message in hand.
-                    wake_messages[receiver].append((in_port, payload))
+                    # the message in hand.  The one-message-per-port-per-
+                    # cycle rule applies to wake messages too (the inbox
+                    # only ever holds the waking cycle's arrivals).
+                    inbox = wake_messages[receiver]
+                    if any(prior_port is in_port for prior_port, _ in inbox):
+                        raise SimulationError(
+                            f"two messages on one port in one cycle at {receiver}"
+                        )
+                    inbox.append((in_port, payload))
                     wake_time[receiver] = cycle + 1
                     continue
-                if in_port in arriving[receiver]:
+                got = arriving[receiver]
+                if in_port in got:
                     raise SimulationError(
                         f"two messages on one port in one cycle at {receiver}"
                     )
-                arriving[receiver][in_port] = payload
+                if not got:
+                    touched.append(receiver)
+                got[in_port] = payload
 
-        for i in range(n):
+        for i in prev_touched:
+            last_in[i] = _EMPTY_IN
+        for i in touched:
             got = arriving[i]
             last_in[i] = In(
                 left=got.get(Port.LEFT, ABSENT),
                 right=got.get(Port.RIGHT, ABSENT),
             )
+            got.clear()
+        prev_touched, touched = touched, prev_touched
+        touched.clear()
 
         cycle += 1
 

@@ -1,0 +1,277 @@
+"""Straightforward reference implementations of both engines.
+
+These are the *semantic spec* the optimized engines in
+``repro.asynch.simulator`` / ``repro.sync.simulator`` must match: the
+seed engines' obviously-correct structure (re-sort the pending channels
+every event, rebuild every per-cycle structure from scratch, scan
+``all(halted)``) with the documented timing conventions applied —
+
+* asynchronous start-event sends are stamped ``send_time = 0`` and the
+  delivery clock starts after the start phase;
+* the one-message-per-port-per-cycle rule applies to waking processors
+  exactly as to awake ones.
+
+``tests/test_trace_equivalence.py`` asserts byte-identical traces between
+these and the optimized engines on randomized rings and schedules.  Keep
+these slow and simple: their value is being obviously right.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.asynch.process import AsyncFactory, Context
+from repro.asynch.schedulers import ChannelId, RoundRobinScheduler, Scheduler
+from repro.core.errors import NonTerminationError, SimulationError
+from repro.core.message import Envelope, Port
+from repro.core.ring import RingConfiguration
+from repro.core.tracing import RunResult, TraceStats
+from repro.sync.process import ABSENT, In, Out, ProcessGen, SyncProcess
+from repro.sync.simulator import ProcessFactory, default_cycle_budget
+from repro.sync.wakeup import WakeupSchedule
+from repro.asynch.simulator import default_event_budget
+
+
+class _RefEngine:
+    """Reference counterpart of the shared async machinery."""
+
+    def __init__(self, config: RingConfiguration, factory: AsyncFactory, keep_log: bool):
+        self.config = config
+        self.n = config.n
+        self.processes = [factory(config.inputs[i], config.n) for i in range(config.n)]
+        self.halted = [False] * self.n
+        self.outputs: List[Any] = [None] * self.n
+        self.stats = TraceStats(keep_log=keep_log)
+
+    def invoke_start(self, i: int) -> List[Tuple[Port, Any]]:
+        ctx = Context()
+        self.processes[i].on_start(ctx)
+        return self._absorb(i, ctx)
+
+    def invoke_message(self, i: int, port: Port, payload: Any) -> List[Tuple[Port, Any]]:
+        ctx = Context()
+        self.processes[i].on_message(ctx, port, payload)
+        return self._absorb(i, ctx)
+
+    def _absorb(self, i: int, ctx: Context) -> List[Tuple[Port, Any]]:
+        if ctx._halted:
+            self.halted[i] = True
+            self.outputs[i] = ctx._output
+        return ctx._sends
+
+    def record(self, sender: int, out_port: Port, payload: Any, time: int):
+        receiver, in_port, step = self.config.route(sender, out_port)
+        self.stats.record(
+            Envelope(
+                sender=sender,
+                receiver=receiver,
+                out_port=out_port,
+                in_port=in_port,
+                payload=payload,
+                send_time=time,
+            )
+        )
+        return receiver, in_port, step
+
+    def check_all_halted(self) -> None:
+        if not all(self.halted):
+            laggards = [i for i in range(self.n) if not self.halted[i]]
+            raise SimulationError(
+                f"deadlock: no messages pending but processors {laggards} "
+                "have not halted"
+            )
+
+
+def run_asynchronous_reference(
+    config: RingConfiguration,
+    factory: AsyncFactory,
+    scheduler: Optional[Scheduler] = None,
+    max_events: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Seed-style general async engine: re-sorts pending channels per event."""
+    engine = _RefEngine(config, factory, keep_log)
+    n = config.n
+    budget = max_events if max_events is not None else default_event_budget(n)
+    scheduler = scheduler or RoundRobinScheduler()
+    queues: Dict[ChannelId, Deque[Tuple[Port, Any]]] = {}
+
+    def dispatch(sender: int, sends: List[Tuple[Port, Any]], time: int) -> None:
+        for out_port, payload in sends:
+            receiver, in_port, step = engine.record(sender, out_port, payload, time)
+            queues.setdefault((sender, receiver, step), deque()).append(
+                (in_port, payload)
+            )
+
+    for i in range(n):
+        dispatch(i, engine.invoke_start(i), 0)
+
+    clock = 0
+    events = 0
+    while True:
+        pending = sorted(cid for cid, queue in queues.items() if queue)
+        if not pending:
+            break
+        events += 1
+        if events > budget:
+            raise NonTerminationError(f"event budget {budget} exhausted")
+        cid = scheduler.choose(pending)
+        if cid not in queues or not queues[cid]:
+            raise SimulationError(f"scheduler chose empty channel {cid!r}")
+        in_port, payload = queues[cid].popleft()
+        _, receiver, _ = cid
+        clock += 1
+        if engine.halted[receiver]:
+            continue
+        dispatch(receiver, engine.invoke_message(receiver, in_port, payload), clock)
+
+    engine.check_all_halted()
+    return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=None)
+
+
+def run_async_synchronized_reference(
+    config: RingConfiguration,
+    factory: AsyncFactory,
+    max_cycles: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Seed-style Theorem 5.1 adversary: rebuilds the inflight store per cycle."""
+    engine = _RefEngine(config, factory, keep_log)
+    n = config.n
+    budget = max_cycles if max_cycles is not None else 8 * n + 64
+
+    inflight: List[Dict[Port, List[Any]]] = [
+        {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
+    ]
+
+    def dispatch(sender: int, sends: List[Tuple[Port, Any]], cycle: int) -> None:
+        for out_port, payload in sends:
+            receiver, in_port, _ = engine.record(sender, out_port, payload, cycle)
+            inflight[receiver][in_port].append(payload)
+
+    cycle = 0
+    for i in range(n):
+        dispatch(i, engine.invoke_start(i), cycle)
+
+    while any(batch[Port.LEFT] or batch[Port.RIGHT] for batch in inflight):
+        cycle += 1
+        if cycle > budget:
+            raise NonTerminationError(f"cycle budget {budget} exhausted")
+        arriving, inflight = inflight, [
+            {Port.LEFT: [], Port.RIGHT: []} for _ in range(n)
+        ]
+        for i in range(n):
+            for port in (Port.LEFT, Port.RIGHT):
+                for payload in arriving[i][port]:
+                    if engine.halted[i]:
+                        continue
+                    dispatch(i, engine.invoke_message(i, port, payload), cycle)
+
+    engine.check_all_halted()
+    return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=cycle)
+
+
+def run_synchronous_reference(
+    config: RingConfiguration,
+    factory: ProcessFactory,
+    wakeup: Optional[WakeupSchedule] = None,
+    max_cycles: Optional[int] = None,
+    keep_log: bool = False,
+) -> RunResult:
+    """Seed-style synchronous engine: fresh structures every cycle."""
+    n = config.n
+    wakeup = wakeup or WakeupSchedule.simultaneous(n)
+    if wakeup.n != n:
+        raise SimulationError(f"schedule covers {wakeup.n} processors, ring has {n}")
+
+    processes: List[SyncProcess] = [factory(config.inputs[i], n) for i in range(n)]
+    gens: List[Optional[ProcessGen]] = [None] * n
+    outputs: List[Any] = [None] * n
+    halted = [False] * n
+    halt_times = [0] * n
+    wake_time = list(wakeup.times)
+    wake_messages: List[List] = [[] for _ in range(n)]
+    last_in: List[In] = [In() for _ in range(n)]
+    stats = TraceStats(keep_log=keep_log)
+    budget = max_cycles if max_cycles is not None else default_cycle_budget(n)
+
+    cycle = 0
+    while not all(halted):
+        if cycle > budget:
+            laggards = [i for i in range(n) if not halted[i]]
+            raise NonTerminationError(
+                f"cycle budget {budget} exhausted; still running: {laggards}"
+            )
+
+        emissions: List[Tuple[int, Out]] = []
+        for i in range(n):
+            if halted[i] or wake_time[i] > cycle:
+                continue
+            gen = gens[i]
+            try:
+                if gen is None:
+                    proc = processes[i]
+                    proc.wake_inbox = list(wake_messages[i])
+                    proc.woke_spontaneously = not wake_messages[i]
+                    gen = proc.run()
+                    gens[i] = gen
+                    out = next(gen)
+                else:
+                    out = gen.send(last_in[i])
+            except StopIteration as stop:
+                halted[i] = True
+                outputs[i] = stop.value
+                halt_times[i] = cycle
+                continue
+            if not isinstance(out, Out):
+                raise SimulationError(
+                    f"processor yielded {out!r}; processes must yield Out(...)"
+                )
+            emissions.append((i, out))
+
+        arriving: List[Dict[Port, Any]] = [dict() for _ in range(n)]
+        for sender, out in emissions:
+            for port, payload in out.sends():
+                receiver, in_port = config.arrival_port(sender, port)
+                stats.record(
+                    Envelope(
+                        sender=sender,
+                        receiver=receiver,
+                        out_port=port,
+                        in_port=in_port,
+                        payload=payload,
+                        send_time=cycle,
+                    )
+                )
+                if halted[receiver]:
+                    continue
+                if gens[receiver] is None and wake_time[receiver] > cycle:
+                    if any(p is in_port for p, _ in wake_messages[receiver]):
+                        raise SimulationError(
+                            f"two messages on one port in one cycle at {receiver}"
+                        )
+                    wake_messages[receiver].append((in_port, payload))
+                    wake_time[receiver] = cycle + 1
+                    continue
+                if in_port in arriving[receiver]:
+                    raise SimulationError(
+                        f"two messages on one port in one cycle at {receiver}"
+                    )
+                arriving[receiver][in_port] = payload
+
+        for i in range(n):
+            got = arriving[i]
+            last_in[i] = In(
+                left=got.get(Port.LEFT, ABSENT),
+                right=got.get(Port.RIGHT, ABSENT),
+            )
+
+        cycle += 1
+
+    return RunResult(
+        outputs=tuple(outputs),
+        stats=stats,
+        cycles=max(halt_times) if halt_times else 0,
+        halt_times=tuple(halt_times),
+    )

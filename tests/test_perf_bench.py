@@ -1,0 +1,115 @@
+"""The benchmark-regression harness: records, JSON artifact, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf import (
+    BENCH_FILENAME,
+    SCHEMA_VERSION,
+    default_workloads,
+    render_table,
+    run_bench,
+    write_bench,
+)
+
+
+class TestSuiteDefinition:
+    def test_workload_names_are_the_contract(self):
+        names = [workload.name for workload in default_workloads()]
+        assert names == [
+            "sync_and",
+            "sync_input_distribution",
+            "async_input_distribution",
+            "async_synchronized",
+        ]
+
+    def test_quick_sweeps_are_subsets(self):
+        for workload in default_workloads():
+            assert set(workload.quick_sizes) <= set(workload.sizes)
+
+
+class TestRunBench:
+    def test_records_have_consistent_throughput(self):
+        records = run_bench(quick=True, repeats=1, sizes=(5,))
+        assert len(records) == len(default_workloads())
+        for record in records:
+            assert record.n == 5
+            assert record.messages > 0
+            assert record.events > 0
+            assert record.seconds >= 0
+            assert record.events_per_sec > 0
+            assert record.messages_per_sec > 0
+
+    def test_async_distribution_counts_n_n_minus_1(self):
+        """The flagship workload must measure the exact §4.1 count."""
+        (record,) = run_bench(
+            quick=True,
+            repeats=1,
+            sizes=(9,),
+            workloads=[
+                w for w in default_workloads() if w.name == "async_input_distribution"
+            ],
+        )
+        assert record.messages == 9 * 8
+        assert record.events == record.messages
+
+    def test_render_table_mentions_every_workload(self):
+        records = run_bench(quick=True, repeats=1, sizes=(4,))
+        table = render_table(records)
+        for workload in default_workloads():
+            assert workload.name in table
+
+
+class TestArtifact:
+    def test_write_bench_schema(self, tmp_path):
+        records = run_bench(quick=True, repeats=1, sizes=(4,))
+        target = tmp_path / "bench.json"
+        written = write_bench(records, target, quick=True)
+        assert written == target
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["suite"] == "simulator-engines"
+        assert payload["quick"] is True
+        assert len(payload["records"]) == len(records)
+        first = payload["records"][0]
+        for key in (
+            "workload",
+            "engine",
+            "n",
+            "repeats",
+            "seconds",
+            "events",
+            "messages",
+            "bits",
+            "cycles",
+            "events_per_sec",
+            "messages_per_sec",
+        ):
+            assert key in first
+        assert payload["totals"]["messages"] == sum(r.messages for r in records)
+
+    def test_default_filename(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        records = run_bench(quick=True, repeats=1, sizes=(4,))
+        written = write_bench(records)
+        assert written.name == BENCH_FILENAME
+        assert (tmp_path / BENCH_FILENAME).exists()
+
+
+class TestCli:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        code = main(
+            ["bench", "--quick", "--sizes", "5", "--repeats", "1", "--output", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["quick"] is True
+        assert {r["n"] for r in payload["records"]} == {5}
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "async_input_distribution" in out

@@ -49,6 +49,17 @@ class TestTraceStats:
         assert merged.bits == 6
         assert merged.per_cycle == {0: 2, 1: 1}
 
+    def test_record_send_matches_record(self):
+        """The engines' fast path accumulates identical totals."""
+        slow, fast = TraceStats(), TraceStats()
+        for cycle, payload in ((0, "0"), (0, "0000"), (3, "01")):
+            envelope = env(cycle, payload)
+            slow.record(envelope)
+            fast.record_send(envelope.bits, envelope.send_time)
+        assert fast.messages == slow.messages
+        assert fast.bits == slow.bits
+        assert fast.per_cycle == slow.per_cycle
+
 
 class TestRunResult:
     def test_unanimous(self):
