@@ -33,8 +33,7 @@ def test_e8_xor(record_bound, benchmark):
         n = 3**k
         pair = xor_sync_pair(k)
         assert pair.verify_neighborhoods()
-        if k <= 4:
-            assert pair.verify_symmetry()
+        assert pair.verify_symmetry()
         bound = pair.message_lower_bound()
         record_bound(BoundCheck("E8 XOR Σβ/2 vs paper", n, bound,
                                 paper_bound_xor_sync(n), "lower"))
@@ -50,8 +49,7 @@ def test_e9_orientation(record_bound, benchmark):
         n = 3**k
         pair = orientation_sync_pair(k)
         assert pair.verify_neighborhoods()
-        if k <= 4:
-            assert pair.verify_symmetry()
+        assert pair.verify_symmetry()
         bound = pair.message_lower_bound()
         record_bound(BoundCheck("E9 orient Σβ/2 vs paper", n, bound,
                                 paper_bound_orientation_sync(n), "lower"))

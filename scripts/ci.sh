@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests plus a quick-mode benchmark smoke run, so
-# the perf harness itself is exercised on every PR.
+# CI entry point: tier-1 tests plus quick-mode smoke runs of both bench
+# suites and the symmetry-analysis pytest-benchmarks, so the perf
+# harness itself is exercised on every PR.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,5 +13,12 @@ python -m pytest -x -q
 echo "== bench smoke (quick) =="
 python -m repro bench --quick --output BENCH_smoke.json
 rm -f BENCH_smoke.json
+
+echo "== analysis bench smoke (quick) =="
+python -m repro bench --suite analysis --quick --output BENCH_analysis_smoke.json
+rm -f BENCH_analysis_smoke.json
+
+echo "== symmetry analysis benchmarks =="
+python -m pytest benchmarks/test_bench_symmetry.py -q
 
 echo "ci.sh: all green"

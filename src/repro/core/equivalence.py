@@ -1,0 +1,303 @@
+"""Prefix-doubling neighborhood-equivalence engine (§2, fast path).
+
+Every lower bound in the paper reduces to one question: *which processors
+have equal k-neighborhoods?*  The naive answer materializes each
+neighborhood as a length-``2k+1`` tuple — ``O(n·k)`` per radius and
+``O(n·K²)`` for a symmetry profile.  This module answers it without ever
+building a tuple, using the rank-doubling trick from suffix-array
+construction.
+
+Construction
+------------
+A k-neighborhood is a window of a cyclic token sequence.  For each ring
+we lay out two cycles of ``n`` tokens:
+
+* the **forward cycle** ``F[j] = (D(j), I(j))`` — the neighborhood of a
+  processor ``i`` with ``D(i) = 1`` is the window of ``F`` of length
+  ``2k+1`` centered at ``i``;
+* the **reverse cycle** ``G[j] = (1 − D(−j mod n), I(−j mod n))`` —
+  advancing in ``G`` walks the ring in decreasing index order with
+  complemented orientation bits, so the neighborhood of a processor
+  ``i`` with ``D(i) = 0`` is the window of ``G`` centered at
+  ``(−i) mod n``.  This is exactly the §2 reversal rule.
+
+All cycles of all configurations share one integer alphabet, so class
+IDs are comparable *across* configurations — that is what makes joint
+symmetry indices ``SI(R₁..R_j, k)`` and cross-ring witness search O(n).
+
+Rank doubling then assigns, level by level, a canonical integer to every
+window whose length is a power of two: level ``t+1`` re-ranks the pairs
+``(rank_t[p], rank_t[p + 2^t])`` with one radix pass — ``O(n)`` per
+level, ``O(n log K)`` for every radius up to ``K``.  An odd window of
+length ``L = 2k+1`` is ranked from the two overlapping power-of-two
+windows covering it, again one radix pass.  Window arithmetic is modular
+per cycle, so radii ``k ≥ n`` (wraparound) need no special casing.
+
+Stabilization
+-------------
+Growing the radius only ever *refines* the partition, and the partition
+at radius ``k+1`` is a function of the radius-``k`` classes at positions
+``p−1, p, p+1``.  Hence if one step does not refine (the class count
+stays put), no later step ever will — the profile is constant from
+there on.  The sweep in :meth:`EquivalenceEngine.symmetry_profile`
+exploits this: random rings stabilize at ``k = O(log n)``, so a full
+profile costs ``O(n log n)`` instead of ``O(n·K²)``.
+
+Engines are cached per configuration tuple (:func:`engine_for`);
+:mod:`repro.core.neighborhood` keeps the naive tuple-based twins as the
+oracle for property tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ring import Neighborhood, RingConfiguration
+
+#: Per-engine bounded caches (radius queries / odd-window ranks).
+_RADIUS_CACHE_SIZE = 48
+_WINDOW_CACHE_SIZE = 16
+
+
+class EquivalenceEngine:
+    """Neighborhood-equivalence classes for one or more ring configurations.
+
+    Class IDs returned for a given radius are opaque integers, consistent
+    across every configuration of *this* engine: two processors (possibly
+    of different configurations) share an ID iff their k-neighborhoods
+    are equal as §2 tuples.  IDs from different radii or different
+    engines are not comparable.
+    """
+
+    def __init__(self, configs: Sequence[RingConfiguration]):
+        configs = tuple(configs)
+        if not configs:
+            raise ValueError("need at least one configuration")
+        self.configs = configs
+
+        token_ids: Dict[Tuple[int, object], int] = {}
+        codes: List[int] = []
+        base: List[int] = []
+        length: List[int] = []
+        self._fwd_base: List[int] = []
+        self._rev_base: List[int] = []
+        offset = 0
+        for config in configs:
+            n = config.n
+            D, I = config.orientations, config.inputs
+            self._fwd_base.append(offset)
+            for j in range(n):
+                token = (D[j], I[j])
+                codes.append(token_ids.setdefault(token, len(token_ids)))
+            base.extend([offset] * n)
+            length.extend([n] * n)
+            offset += n
+            self._rev_base.append(offset)
+            for j in range(n):
+                jj = (-j) % n
+                token = (1 - D[jj], I[jj])
+                codes.append(token_ids.setdefault(token, len(token_ids)))
+            base.extend([offset] * n)
+            length.extend([n] * n)
+            offset += n
+
+        #: Total positions: two cycles of n tokens per configuration.
+        self._m = offset
+        self._base = np.asarray(base, dtype=np.int64)
+        self._len = np.asarray(length, dtype=np.int64)
+        self._off = np.arange(self._m, dtype=np.int64) - self._base
+
+        _, level0 = np.unique(np.asarray(codes, dtype=np.int64), return_inverse=True)
+        #: ``self._levels[t][p]``: class of the window of length ``2^t`` at ``p``.
+        self._levels: List[np.ndarray] = [level0.astype(np.int64)]
+
+        # radius -> (per-config processor class arrays, window class count)
+        self._radius_cache: "OrderedDict[int, Tuple[List[np.ndarray], int]]" = OrderedDict()
+        # odd window length -> (start-indexed class array, class count)
+        self._window_cache: "OrderedDict[int, Tuple[np.ndarray, int]]" = OrderedDict()
+        #: Smallest radius at which the partition is known to be stable.
+        self._stable_from: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _advanced(self, shift: int) -> np.ndarray:
+        """Position of every ``p`` advanced ``shift`` steps within its cycle."""
+        return self._base + (self._off + shift) % self._len
+
+    def _ensure_level(self, t: int) -> None:
+        while len(self._levels) <= t:
+            s = len(self._levels) - 1
+            cur = self._levels[s]
+            key = cur * self._m + cur[self._advanced(1 << s)]
+            _, nxt = np.unique(key, return_inverse=True)
+            self._levels.append(nxt.astype(np.int64))
+
+    def _window_ids(self, window: int) -> Tuple[np.ndarray, int]:
+        """Canonical class of the length-``window`` window starting at each position."""
+        cached = self._window_cache.get(window)
+        if cached is not None:
+            return cached
+        if window == 1:
+            ids = self._levels[0]
+        else:
+            # 2^t < window <= 2^(t+1): the two 2^t-windows at the ends overlap.
+            t = (window - 1).bit_length() - 1
+            self._ensure_level(t)
+            level = self._levels[t]
+            key = level * self._m + level[self._advanced(window - (1 << t))]
+            _, inverse = np.unique(key, return_inverse=True)
+            ids = inverse.astype(np.int64)
+        result = (ids, int(ids.max()) + 1)
+        self._window_cache[window] = result
+        if len(self._window_cache) > _WINDOW_CACHE_SIZE:
+            self._window_cache.popitem(last=False)
+        return result
+
+    def _radius(self, k: int) -> Tuple[List[np.ndarray], int]:
+        """Per-config processor class arrays at radius ``k``, plus the
+        total class count over *all* window positions (the refinement
+        signal the stabilization cutoff watches)."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        if self._stable_from is not None and k > self._stable_from:
+            k = self._stable_from
+        cached = self._radius_cache.get(k)
+        if cached is not None:
+            self._radius_cache.move_to_end(k)
+            return cached
+        window_ids, count = self._window_ids(2 * k + 1)
+        per_config: List[np.ndarray] = []
+        for c, config in enumerate(self.configs):
+            n = config.n
+            i_arr = np.arange(n, dtype=np.int64)
+            d = np.asarray(config.orientations, dtype=np.int64)
+            forward = self._fwd_base[c] + (i_arr - k) % n
+            reverse = self._rev_base[c] + (-i_arr - k) % n
+            per_config.append(window_ids[np.where(d == 1, forward, reverse)])
+        if count == self._m and (self._stable_from is None or k < self._stable_from):
+            # All windows distinct: the partition is discrete, hence stable.
+            self._stable_from = k
+        result = (per_config, count)
+        self._radius_cache[k] = result
+        if len(self._radius_cache) > _RADIUS_CACHE_SIZE:
+            self._radius_cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def stable_radius(self) -> Optional[int]:
+        """Smallest radius known (so far) to have a stable partition."""
+        return self._stable_from
+
+    def window_class_count(self, k: int) -> int:
+        """Number of distinct radius-``k`` windows over all positions."""
+        return self._radius(k)[1]
+
+    def class_ids(self, k: int) -> Tuple[Tuple[int, ...], ...]:
+        """Per-configuration class ID of every processor's k-neighborhood."""
+        return tuple(tuple(ids.tolist()) for ids in self._radius(k)[0])
+
+    def symmetry_index(self, k: int) -> int:
+        """``SI`` of the engine's configurations, jointly, at radius ``k``.
+
+        For a single configuration this is ``SI(R, k)``; for several it
+        is ``SI(R₁, …, R_j, k)`` — the minimum total occurrence count of
+        any neighborhood occurring in some configuration.
+        """
+        ids = np.concatenate(self._radius(k)[0])
+        counts = np.bincount(ids)
+        return int(counts[counts > 0].min())
+
+    def symmetry_profile(self, max_k: int) -> Dict[int, int]:
+        """``SI`` at every radius ``0 … max_k``, with stabilization cutoff."""
+        profile: Dict[int, int] = {}
+        previous_count: Optional[int] = None
+        k = 0
+        while k <= max_k:
+            if self._stable_from is not None and k >= self._stable_from:
+                si = self.symmetry_index(self._stable_from)
+                for kk in range(k, max_k + 1):
+                    profile[kk] = si
+                return profile
+            _, count = self._radius(k)
+            si = self.symmetry_index(k)
+            profile[k] = si
+            if count == previous_count:
+                # No refinement between k−1 and k: stable forever (see
+                # module docstring), so the rest of the profile is flat.
+                self._stable_from = k - 1
+                for kk in range(k + 1, max_k + 1):
+                    profile[kk] = si
+                return profile
+            previous_count = count
+            k += 1
+        return profile
+
+    def counts_table(self, k: int, index: int = 0) -> Dict[Neighborhood, int]:
+        """``g(R, ·)`` for configuration ``index``, keyed by actual tuples.
+
+        Counting is tuple-free; only one representative neighborhood per
+        class is materialized for the keys (``O(classes·k)``).
+        """
+        ids = self._radius(k)[0][index]
+        config = self.configs[index]
+        first: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for i, cid in enumerate(ids.tolist()):
+            first.setdefault(cid, i)
+            counts[cid] = counts.get(cid, 0) + 1
+        return {
+            config.neighborhood(i, k): counts[cid] for cid, i in first.items()
+        }
+
+    def witness_pairs(
+        self, k: int, a: int = 0, b: int = 1
+    ) -> Iterator[Tuple[int, int]]:
+        """Pairs ``(i, j)``: processor ``i`` of config ``a`` and ``j`` of
+        config ``b`` with equal k-neighborhoods, in ``(i, j)`` scan order."""
+        ids = self._radius(k)[0]
+        by_class: Dict[int, List[int]] = {}
+        for j, cid in enumerate(ids[b].tolist()):
+            by_class.setdefault(cid, []).append(j)
+        for i, cid in enumerate(ids[a].tolist()):
+            for j in by_class.get(cid, ()):
+                yield (i, j)
+
+    def first_witness(
+        self, k: int, a: int = 0, b: int = 1
+    ) -> Optional[Tuple[int, int]]:
+        """The first witness pair in ``(i, j)`` scan order, or ``None``."""
+        ids = self._radius(k)[0]
+        first: Dict[int, int] = {}
+        for j, cid in enumerate(ids[b].tolist()):
+            first.setdefault(cid, j)
+        for i, cid in enumerate(ids[a].tolist()):
+            j = first.get(cid)
+            if j is not None:
+                return (i, j)
+        return None
+
+
+@lru_cache(maxsize=64)
+def _cached_engine(configs: Tuple[RingConfiguration, ...]) -> EquivalenceEngine:
+    return EquivalenceEngine(configs)
+
+
+def engine_for(*configs: RingConfiguration) -> EquivalenceEngine:
+    """The (cached) equivalence engine for this configuration tuple.
+
+    Configurations compare by value, so equal rings share an engine —
+    and with it every level table and radius query computed so far.
+    """
+    if not configs:
+        raise ValueError("need at least one configuration")
+    return _cached_engine(configs)

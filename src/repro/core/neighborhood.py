@@ -7,21 +7,109 @@ number of processors of ``R`` whose k-neighborhood equals ``σ``.  The
 High symmetry index forces message traffic: whenever one processor sends,
 every processor sharing its neighborhood sends too (Lemma 3.1 /
 Theorem 5.1), which is the engine of every lower bound in the paper.
+
+The public functions route through the prefix-doubling equivalence
+engine (:mod:`repro.core.equivalence`): ``O(n log K)`` shared setup plus
+``O(n)`` per radius, no tuple materialization, cached per configuration.
+The ``naive_*`` twins keep the direct ``O(n·k)``-per-radius tuple
+semantics of §2; they are the oracle the property tests (and the
+``analysis`` benchmark suite) compare the fast path against.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 from typing import Dict, Iterable, Sequence
 
+from .equivalence import engine_for
 from .ring import Neighborhood, RingConfiguration
+
+# ----------------------------------------------------------------------
+# naive oracle (§2 semantics, tuple by tuple)
+# ----------------------------------------------------------------------
+
+
+def naive_neighborhood_counts(
+    config: RingConfiguration, k: int
+) -> Dict[Neighborhood, int]:
+    """``g(R, ·)`` by materializing every k-neighborhood tuple."""
+    return dict(Counter(config.neighborhoods(k)))
+
+
+def naive_occurrences(config: RingConfiguration, sigma: Neighborhood) -> int:
+    """``g(R, σ)`` by rescanning all ``n`` neighborhoods."""
+    if len(sigma) % 2 != 1:
+        raise ValueError("a k-neighborhood has odd length 2k+1")
+    k = len(sigma) // 2
+    return sum(1 for nb in config.neighborhoods(k) if nb == sigma)
+
+
+def naive_symmetry_index(config: RingConfiguration, k: int) -> int:
+    """``SI(R, k)`` over materialized neighborhood tuples."""
+    return min(naive_neighborhood_counts(config, k).values())
+
+
+def naive_symmetry_index_set(
+    configs: Sequence[RingConfiguration], k: int
+) -> int:
+    """``SI(R₁, …, R_j, k)`` over materialized neighborhood tuples."""
+    if not configs:
+        raise ValueError("need at least one configuration")
+    total: Counter = Counter()
+    for config in configs:
+        total.update(config.neighborhoods(k))
+    return min(total.values())
+
+
+def naive_symmetry_profile(
+    config: RingConfiguration, max_k: int
+) -> Dict[int, int]:
+    """``SI(R, k)`` for every ``k``, recomputed from scratch per radius."""
+    return {k: naive_symmetry_index(config, k) for k in range(max_k + 1)}
+
+
+def naive_symmetry_profile_set(
+    configs: Sequence[RingConfiguration], max_k: int
+) -> Dict[int, int]:
+    """``SI(R₁, …, R_j, k)`` for every ``k``, from scratch per radius."""
+    return {k: naive_symmetry_index_set(configs, k) for k in range(max_k + 1)}
+
+
+def naive_shared_neighborhood_pairs(
+    config_a: RingConfiguration,
+    config_b: RingConfiguration,
+    k: int,
+) -> Iterable:
+    """Cross-ring shared-neighborhood pairs via a tuple-keyed table."""
+    by_neighborhood: Dict[Neighborhood, list] = {}
+    for j in range(config_b.n):
+        by_neighborhood.setdefault(config_b.neighborhood(j, k), []).append(j)
+    for i in range(config_a.n):
+        for j in by_neighborhood.get(config_a.neighborhood(i, k), ()):
+            yield (i, j)
+
+
+# ----------------------------------------------------------------------
+# fast path (prefix-doubling equivalence engine)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=256)
+def _counts_table(config: RingConfiguration, k: int) -> Dict[Neighborhood, int]:
+    return engine_for(config).counts_table(k)
 
 
 def neighborhood_counts(
     config: RingConfiguration, k: int
 ) -> Dict[Neighborhood, int]:
-    """``g(R, ·)``: occurrence count of every k-neighborhood in ``R``."""
-    return dict(Counter(config.neighborhoods(k)))
+    """``g(R, ·)``: occurrence count of every k-neighborhood in ``R``.
+
+    Counted class-wise by the equivalence engine; one representative
+    tuple per class is materialized for the keys.  Cached per
+    ``(configuration, k)``.
+    """
+    return dict(_counts_table(config, k))
 
 
 def occurrences(config: RingConfiguration, sigma: Neighborhood) -> int:
@@ -29,7 +117,7 @@ def occurrences(config: RingConfiguration, sigma: Neighborhood) -> int:
     if len(sigma) % 2 != 1:
         raise ValueError("a k-neighborhood has odd length 2k+1")
     k = len(sigma) // 2
-    return sum(1 for nb in config.neighborhoods(k) if nb == sigma)
+    return _counts_table(config, k).get(sigma, 0)
 
 
 def symmetry_index(config: RingConfiguration, k: int) -> int:
@@ -38,8 +126,7 @@ def symmetry_index(config: RingConfiguration, k: int) -> int:
     Equals ``n`` for a fully symmetric configuration (all inputs and
     orientations equal) and 1 whenever some local pattern is unique.
     """
-    counts = neighborhood_counts(config, k)
-    return min(counts.values())
+    return engine_for(config).symmetry_index(k)
 
 
 def symmetry_index_set(
@@ -55,24 +142,23 @@ def symmetry_index_set(
     """
     if not configs:
         raise ValueError("need at least one configuration")
-    total: Counter = Counter()
-    for config in configs:
-        total.update(config.neighborhoods(k))
-    return min(total.values())
+    return engine_for(*configs).symmetry_index(k)
 
 
 def symmetry_profile(
     config: RingConfiguration, max_k: int
 ) -> Dict[int, int]:
     """``SI(R, k)`` for every ``k`` in ``0 … max_k``."""
-    return {k: symmetry_index(config, k) for k in range(max_k + 1)}
+    return engine_for(config).symmetry_profile(max_k)
 
 
 def symmetry_profile_set(
     configs: Sequence[RingConfiguration], max_k: int
 ) -> Dict[int, int]:
     """``SI(R₁, …, R_j, k)`` for every ``k`` in ``0 … max_k``."""
-    return {k: symmetry_index_set(configs, k) for k in range(max_k + 1)}
+    if not configs:
+        raise ValueError("need at least one configuration")
+    return engine_for(*configs).symmetry_profile(max_k)
 
 
 def shared_neighborhood_pairs(
@@ -86,9 +172,4 @@ def shared_neighborhood_pairs(
     / (6a).  Yields pairs lazily; for an ``n``-processor ring with high
     symmetry there can be ``Θ(n²)`` of them.
     """
-    by_neighborhood: Dict[Neighborhood, list] = {}
-    for j in range(config_b.n):
-        by_neighborhood.setdefault(config_b.neighborhood(j, k), []).append(j)
-    for i in range(config_a.n):
-        for j in by_neighborhood.get(config_a.neighborhood(i, k), ()):
-            yield (i, j)
+    return engine_for(config_a, config_b).witness_pairs(k)

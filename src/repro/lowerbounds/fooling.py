@@ -20,8 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
+from ..core.equivalence import engine_for
 from ..core.errors import ConfigurationError
-from ..core.neighborhood import symmetry_index, symmetry_index_set
 from ..core.ring import RingConfiguration
 from ..homomorphisms.catalog import ORIENT_UNIFORM, XOR_UNIFORM
 from ..homomorphisms.dol import WordHom
@@ -69,25 +69,25 @@ class FoolingPair:
 
     def verify_neighborhoods(self) -> bool:
         """Condition (5a)/(6a), structural half: witnesses share the α-neighborhood."""
-        return self.ring_a.neighborhood(
-            self.witness_a, self.alpha
-        ) == self.ring_b.neighborhood(self.witness_b, self.alpha)
+        ids = engine_for(self.ring_a, self.ring_b).class_ids(self.alpha)
+        return (
+            ids[0][self.witness_a % self.ring_a.n]
+            == ids[1][self.witness_b % self.ring_b.n]
+        )
 
     def verify_symmetry(self, max_k: Optional[int] = None) -> bool:
         """Condition (5b)/(6b): recomputed SI dominates the claimed β.
 
-        ``max_k`` truncates the check for large rings (SI computation is
-        ``O(n·k)`` per radius).
+        The whole profile comes from the prefix-doubling engine in
+        ``O(n log α)``, so the full check is affordable even for large
+        rings; ``max_k`` still truncates it if asked.
         """
         top = self.alpha if max_k is None else min(max_k, self.alpha)
-        for k in range(top + 1):
-            if self.synchronous:
-                actual = symmetry_index_set([self.ring_a, self.ring_b], k)
-            else:
-                actual = symmetry_index(self.ring_a, k)
-            if actual < self.beta[k]:
-                return False
-        return True
+        if self.synchronous:
+            profile = engine_for(self.ring_a, self.ring_b).symmetry_profile(top)
+        else:
+            profile = engine_for(self.ring_a).symmetry_profile(top)
+        return all(profile[k] >= self.beta[k] for k in range(top + 1))
 
 
 # ----------------------------------------------------------------------
@@ -171,15 +171,11 @@ def orientation_async_pair(n: int) -> FoolingPair:
     ring_a = RingConfiguration.oriented((0,) * n)
     ring_b = RingConfiguration.half_reversed(n)
     alpha = (n - 2) // 4
-    # Find a witness in ring_b sharing ring_a's (uniform) neighborhood:
-    target = ring_a.neighborhood(0, alpha)
-    witness_b = None
-    for i in range(n):
-        if ring_b.neighborhood(i, alpha) == target:
-            witness_b = i
-            break
-    if witness_b is None:
+    # Find a witness in ring_b sharing ring_a's (uniform) neighborhood.
+    found = engine_for(ring_a, ring_b).first_witness(alpha)
+    if found is None:
         raise AssertionError("Figure 6 construction failed self-check")
+    witness_b = found[1]
     return FoolingPair(
         ring_a=ring_a,
         ring_b=ring_b,
@@ -312,14 +308,10 @@ def _matching_positions(
     ring_a: RingConfiguration, ring_b: RingConfiguration, alpha: int
 ) -> Tuple[int, int]:
     """Any pair of positions sharing an α-neighborhood across the rings."""
-    table = {}
-    for j in range(ring_b.n):
-        table.setdefault(ring_b.neighborhood(j, alpha), j)
-    for i in range(ring_a.n):
-        j = table.get(ring_a.neighborhood(i, alpha))
-        if j is not None:
-            return i, j
-    raise ConfigurationError("no shared neighborhood at this radius")
+    found = engine_for(ring_a, ring_b).first_witness(alpha)
+    if found is None:
+        raise ConfigurationError("no shared neighborhood at this radius")
+    return found
 
 
 # ----------------------------------------------------------------------

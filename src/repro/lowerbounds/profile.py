@@ -8,14 +8,14 @@ implies a shared k-neighborhood), so sampling SI at geometrically spaced
 radii yields a certified pointwise lower bound: for any ``k`` between
 samples, ``SI(k) ≥ SI(next sample)``.  That staircase is a legitimate
 ``β`` for Theorem 5.1/6.2 and is cheap — ``O(log α)`` SI evaluations
-instead of ``α``.
+instead of ``α``, each ``O(n)`` on the shared prefix-doubling engine.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from ..core.neighborhood import symmetry_index_set
+from ..core.equivalence import engine_for
 from ..core.ring import RingConfiguration
 
 
@@ -46,7 +46,8 @@ def staircase_beta(
     ``≥ k``; monotonicity makes this a valid lower bound at every ``k``.
     """
     radii = sample_radii(alpha, samples)
-    measured = {r: symmetry_index_set(configs, r) for r in radii}
+    engine = engine_for(*configs)
+    measured = {r: engine.symmetry_index(r) for r in radii}
     beta: List[float] = []
     idx = 0
     for k in range(alpha + 1):

@@ -1,10 +1,26 @@
-"""Performance harness: the simulator benchmark-regression suite.
+"""Performance harness: the benchmark-regression suites.
 
-``python -m repro bench`` runs :func:`run_bench` and writes
-``BENCH_simulators.json`` so engine throughput is tracked PR over PR; see
-:mod:`repro.perf.bench` for the workload definitions.
+``python -m repro bench`` runs :func:`run_bench` (simulator engines →
+``BENCH_simulators.json``); ``python -m repro bench --suite analysis``
+runs :func:`run_analysis_bench` (symmetry/fooling analysis paths, engine
+vs naive → ``BENCH_analysis.json``).  Both artifacts carry the git
+commit and a UTC timestamp (schema v2), so throughput is tracked PR over
+PR; see :mod:`repro.perf.bench` and :mod:`repro.perf.analysis` for the
+workload definitions.
 """
 
+from .analysis import (
+    ANALYSIS_FILENAME,
+    AnalysisRecord,
+    AnalysisWorkload,
+    analysis_speedups,
+    default_analysis_workloads,
+    measure_analysis,
+    profile_radius,
+    render_analysis_table,
+    run_analysis_bench,
+    write_analysis_bench,
+)
 from .bench import (
     BENCH_FILENAME,
     SCHEMA_VERSION,
@@ -18,13 +34,23 @@ from .bench import (
 )
 
 __all__ = [
+    "ANALYSIS_FILENAME",
+    "AnalysisRecord",
+    "AnalysisWorkload",
     "BENCH_FILENAME",
     "SCHEMA_VERSION",
     "BenchRecord",
     "Workload",
+    "analysis_speedups",
+    "default_analysis_workloads",
     "default_workloads",
     "measure",
+    "measure_analysis",
+    "profile_radius",
+    "render_analysis_table",
     "render_table",
+    "run_analysis_bench",
     "run_bench",
+    "write_analysis_bench",
     "write_bench",
 ]

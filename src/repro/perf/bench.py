@@ -20,8 +20,10 @@ from __future__ import annotations
 import json
 import platform
 import random
+import subprocess
 import time
 from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -32,9 +34,32 @@ from ..core.tracing import RunResult
 BENCH_FILENAME = "BENCH_simulators.json"
 
 #: Bumped when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: payloads carry ``git_commit`` and ``timestamp`` so the PR-over-PR
+#: trajectory is self-describing.
+SCHEMA_VERSION = 2
 
 _SEED = 0x5EED
+
+
+def _git_commit() -> Optional[str]:
+    """The HEAD commit of the source checkout, or None outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def _utc_timestamp() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 @dataclass(frozen=True)
@@ -234,6 +259,31 @@ def render_table(records: Sequence[BenchRecord]) -> str:
     return "\n".join(lines)
 
 
+def write_payload(
+    records: Sequence[object],
+    path: Path,
+    *,
+    suite: str,
+    quick: bool,
+    extras: Optional[Dict] = None,
+) -> Path:
+    """Shared JSON writer for every bench suite (schema v2 envelope)."""
+    payload: Dict = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "quick": quick,
+        "git_commit": _git_commit(),
+        "timestamp": _utc_timestamp(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": [asdict(record) for record in records],
+    }
+    if extras:
+        payload.update(extras)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
 def write_bench(
     records: Sequence[BenchRecord],
     path: Union[str, Path, None] = None,
@@ -241,18 +291,16 @@ def write_bench(
 ) -> Path:
     """Serialize a bench run to JSON; returns the path written."""
     target = Path(path) if path is not None else Path(BENCH_FILENAME)
-    payload: Dict = {
-        "schema": SCHEMA_VERSION,
-        "suite": "simulator-engines",
-        "quick": quick,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "records": [asdict(record) for record in records],
-        "totals": {
-            "seconds": sum(record.seconds for record in records),
-            "messages": sum(record.messages for record in records),
-            "events": sum(record.events for record in records),
+    return write_payload(
+        records,
+        target,
+        suite="simulator-engines",
+        quick=quick,
+        extras={
+            "totals": {
+                "seconds": sum(record.seconds for record in records),
+                "messages": sum(record.messages for record in records),
+                "events": sum(record.events for record in records),
+            },
         },
-    }
-    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return target
+    )

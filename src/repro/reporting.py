@@ -210,7 +210,7 @@ def experiment_e8(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
     for k in ks:
         n = 3**k
         pair = xor_sync_pair(k)
-        assert pair.verify_neighborhoods()
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
         cost = compute_sync(pair.ring_a, XOR).stats.messages
         record.rows.append(
             BoundCheck("E8 Σβ/2≥paper", n, pair.message_lower_bound(),
@@ -231,7 +231,7 @@ def experiment_e9(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
     for k in ks:
         n = 3**k
         pair = orientation_sync_pair(k)
-        assert pair.verify_neighborhoods()
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
         cost = quasi_orient(pair.ring_a).stats.messages
         record.rows.append(
             BoundCheck("E9 Σβ/2≥paper", n, pair.message_lower_bound(),
@@ -286,7 +286,7 @@ def experiment_e12(sizes: Sequence[int] = (100, 150, 243)) -> ExperimentRecord:
     )
     for n in sizes:
         pair = xor_arbitrary_pair(n)
-        assert pair.verify_neighborhoods()
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
         cost = compute_sync(pair.ring_a, XOR).stats.messages
         record.rows.append(
             BoundCheck("E12", n, cost, pair.message_lower_bound(), "lower")
@@ -302,7 +302,7 @@ def experiment_e13(sizes: Sequence[int] = (501, 999)) -> ExperimentRecord:
     )
     for n in sizes:
         pair = orientation_arbitrary_pair(n, max_alpha=96)
-        assert pair.verify_neighborhoods()
+        assert pair.verify_neighborhoods() and pair.verify_symmetry()
         cost = quasi_orient(pair.ring_a).stats.messages
         record.rows.append(
             BoundCheck("E13 orient", n, cost, pair.message_lower_bound(), "lower")

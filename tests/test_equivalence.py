@@ -1,0 +1,218 @@
+"""Prefix-doubling equivalence engine vs the naive §2 oracle.
+
+The oracle is :meth:`RingConfiguration.neighborhood` itself: every
+engine answer is compared against recomputation from materialized
+neighborhood tuples — byte-identical SI profiles, identical counts
+dicts, identical witness-pair sequences — on randomized rings with mixed
+orientations, reflections, rotations, tiny rings (n ∈ {1, 2, 3}), and
+wraparound radii ``k ≥ n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RingConfiguration
+from repro.core.equivalence import EquivalenceEngine, engine_for
+from repro.core.neighborhood import (
+    naive_neighborhood_counts,
+    naive_occurrences,
+    naive_shared_neighborhood_pairs,
+    naive_symmetry_index,
+    naive_symmetry_index_set,
+    naive_symmetry_profile,
+    naive_symmetry_profile_set,
+    neighborhood_counts,
+    occurrences,
+    shared_neighborhood_pairs,
+    symmetry_index,
+    symmetry_index_set,
+    symmetry_profile,
+    symmetry_profile_set,
+)
+
+
+def ring_from_seed(n: int, iseed: int, dseed: int) -> RingConfiguration:
+    return RingConfiguration(
+        tuple((iseed >> i) & 1 for i in range(n)),
+        tuple((dseed >> i) & 1 for i in range(n)),
+    )
+
+
+rings = st.builds(
+    ring_from_seed,
+    st.integers(1, 9),
+    st.integers(0, 511),
+    st.integers(0, 511),
+)
+
+
+class TestClassStructure:
+    """Class IDs must mean exactly: equal IDs ⇔ equal §2 tuples."""
+
+    @given(rings, st.integers(0, 21))
+    def test_partition_matches_tuples(self, ring, k):
+        (ids,) = engine_for(ring).class_ids(k)
+        tuples = [ring.neighborhood(i, k) for i in range(ring.n)]
+        for i in range(ring.n):
+            for j in range(ring.n):
+                assert (ids[i] == ids[j]) == (tuples[i] == tuples[j])
+
+    @given(rings, st.integers(0, 12))
+    def test_cross_ring_partition(self, ring, k):
+        """Joint engine IDs are comparable across configurations."""
+        other = ring.reflected()
+        ids_a, ids_b = engine_for(ring, other).class_ids(k)
+        for i in range(ring.n):
+            for j in range(other.n):
+                assert (ids_a[i] == ids_b[j]) == (
+                    ring.neighborhood(i, k) == other.neighborhood(j, k)
+                )
+
+    def test_fresh_engine_matches_cached(self):
+        ring = ring_from_seed(7, 0b1011010, 0b0110011)
+        assert EquivalenceEngine([ring]).symmetry_profile(10) == engine_for(
+            ring
+        ).symmetry_profile(10)
+
+
+class TestProfiles:
+    @given(rings)
+    def test_profile_byte_identical(self, ring):
+        """Full profile (through wraparound radii) equals the oracle's."""
+        max_k = 2 * ring.n + 3
+        assert symmetry_profile(ring, max_k) == naive_symmetry_profile(ring, max_k)
+
+    @given(rings, st.integers(0, 21))
+    def test_symmetry_index(self, ring, k):
+        assert symmetry_index(ring, k) == naive_symmetry_index(ring, k)
+
+    @given(rings, st.integers(1, 8), st.integers(0, 511), st.integers(0, 511))
+    @settings(max_examples=60)
+    def test_profile_set(self, ring, shift, iseed, dseed):
+        others = [
+            ring.rotated(shift),
+            ring.reflected(),
+            ring_from_seed(ring.n, iseed, dseed),
+        ]
+        max_k = ring.n + 2
+        for other in others:
+            assert symmetry_profile_set([ring, other], max_k) == (
+                naive_symmetry_profile_set([ring, other], max_k)
+            )
+
+    @given(rings, st.integers(0, 12))
+    def test_index_set_three_configs(self, ring, k):
+        configs = [ring, ring.reflected(), ring.rotated(1)]
+        assert symmetry_index_set(configs, k) == naive_symmetry_index_set(configs, k)
+
+    def test_tiny_rings(self):
+        """n ∈ {1, 2, 3} with every orientation pattern, deep radii."""
+        for n in (1, 2, 3):
+            for iseed in range(2**n):
+                for dseed in range(2**n):
+                    ring = ring_from_seed(n, iseed, dseed)
+                    for k in (0, 1, n, 2 * n + 1, 7):
+                        assert symmetry_index(ring, k) == naive_symmetry_index(
+                            ring, k
+                        ), (n, iseed, dseed, k)
+
+    def test_wraparound_radius(self):
+        ring = ring_from_seed(5, 0b10110, 0b01101)
+        for k in (5, 9, 17):
+            assert neighborhood_counts(ring, k) == naive_neighborhood_counts(ring, k)
+
+    def test_negative_k_raises(self):
+        ring = RingConfiguration.oriented((0, 1))
+        with pytest.raises(ValueError):
+            symmetry_index(ring, -1)
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            symmetry_index_set([], 0)
+        with pytest.raises(ValueError):
+            symmetry_profile_set([], 3)
+
+
+class TestCountsAndOccurrences:
+    @given(rings, st.integers(0, 14))
+    def test_counts_byte_identical(self, ring, k):
+        """Same keys (actual tuples), same counts, as the oracle."""
+        assert neighborhood_counts(ring, k) == naive_neighborhood_counts(ring, k)
+
+    @given(rings, st.integers(0, 9), st.integers(0, 8))
+    def test_occurrences_present(self, ring, k, i):
+        sigma = ring.neighborhood(i % ring.n, k)
+        assert occurrences(ring, sigma) == naive_occurrences(ring, sigma)
+
+    def test_occurrences_absent(self):
+        ring = RingConfiguration.oriented((0, 0, 0))
+        sigma = ((1, 1), (1, 1), (1, 1))
+        assert occurrences(ring, sigma) == 0
+
+    def test_occurrences_validates_length(self):
+        ring = RingConfiguration.oriented((0, 0, 0))
+        with pytest.raises(ValueError):
+            occurrences(ring, ((1, 0), (1, 0)))
+
+    def test_counts_dict_is_caller_owned(self):
+        """Mutating a returned counts dict must not poison the cache."""
+        ring = RingConfiguration.oriented((0, 1, 0, 1))
+        first = neighborhood_counts(ring, 1)
+        first.clear()
+        assert neighborhood_counts(ring, 1) == naive_neighborhood_counts(ring, 1)
+
+    def test_non_binary_inputs(self):
+        ring = RingConfiguration(("a", "b", "a", "b", "c"), (1, 0, 1, 1, 0))
+        for k in (0, 1, 3, 6):
+            assert neighborhood_counts(ring, k) == naive_neighborhood_counts(ring, k)
+
+
+class TestWitnessPairs:
+    @given(rings, st.integers(0, 9))
+    @settings(max_examples=60)
+    def test_pairs_identical_sequence(self, ring, k):
+        """Same pairs in the same scan order as the oracle, lazily."""
+        for other in (ring.reflected(), ring.rotated(1)):
+            assert list(shared_neighborhood_pairs(ring, other, k)) == list(
+                naive_shared_neighborhood_pairs(ring, other, k)
+            )
+
+    def test_pairs_empty(self):
+        r1 = RingConfiguration.oriented((1, 1))
+        r2 = RingConfiguration.oriented((0, 0))
+        assert list(shared_neighborhood_pairs(r1, r2, 0)) == []
+
+    def test_figure6_witness_sets(self):
+        """The Theorem 5.3 search: identical witness-pair sets at α."""
+        for n in (9, 15, 21):
+            ring_a = RingConfiguration.oriented((0,) * n)
+            ring_b = RingConfiguration.half_reversed(n)
+            alpha = (n - 2) // 4
+            fast = set(shared_neighborhood_pairs(ring_a, ring_b, alpha))
+            slow = set(naive_shared_neighborhood_pairs(ring_a, ring_b, alpha))
+            assert fast == slow and fast
+
+
+class TestStabilization:
+    def test_profile_flat_after_stabilization(self):
+        """Once the partition stops refining, SI stays put — and the
+        cutoff must not change any value vs the oracle."""
+        ring = ring_from_seed(8, 0b10110100, 0b11001010)
+        engine = EquivalenceEngine([ring])
+        profile = engine.symmetry_profile(40)
+        assert engine.stable_radius is not None
+        assert profile == naive_symmetry_profile(ring, 40)
+
+    def test_symmetric_ring_never_refines(self):
+        """The fully symmetric ring stabilizes immediately at SI = n."""
+        ring = RingConfiguration.oriented((1,) * 6)
+        profile = symmetry_profile(ring, 25)
+        assert set(profile.values()) == {6}
+
+    def test_two_half_rings_profile(self):
+        """Figure 1 configuration: profile matches the oracle exactly."""
+        ring = RingConfiguration.two_half_rings(6)
+        assert symmetry_profile(ring, 15) == naive_symmetry_profile(ring, 15)

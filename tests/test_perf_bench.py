@@ -10,9 +10,15 @@ from repro.__main__ import main
 from repro.perf import (
     BENCH_FILENAME,
     SCHEMA_VERSION,
+    analysis_speedups,
+    default_analysis_workloads,
     default_workloads,
+    measure_analysis,
+    render_analysis_table,
     render_table,
+    run_analysis_bench,
     run_bench,
+    write_analysis_bench,
     write_bench,
 )
 
@@ -71,9 +77,13 @@ class TestArtifact:
         written = write_bench(records, target, quick=True)
         assert written == target
         payload = json.loads(target.read_text())
-        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["schema"] == SCHEMA_VERSION == 2
         assert payload["suite"] == "simulator-engines"
         assert payload["quick"] is True
+        # Schema v2: the trajectory is self-describing.
+        assert "git_commit" in payload
+        assert payload["git_commit"] is None or len(payload["git_commit"]) == 40
+        assert "timestamp" in payload and payload["timestamp"].startswith("20")
         assert len(payload["records"]) == len(records)
         first = payload["records"][0]
         for key in (
@@ -100,6 +110,78 @@ class TestArtifact:
         assert (tmp_path / BENCH_FILENAME).exists()
 
 
+class TestAnalysisSuite:
+    def test_workload_names_are_the_contract(self):
+        points = [(w.name, w.impl) for w in default_analysis_workloads()]
+        assert points == [
+            ("symmetry_profile", "engine"),
+            ("symmetry_profile", "naive"),
+            ("symmetry_profile_structured", "engine"),
+            ("symmetry_profile_structured", "naive"),
+            ("fooling_verification", "engine"),
+            ("fooling_verification", "naive"),
+            ("witness_pairs", "engine"),
+            ("witness_pairs", "naive"),
+        ]
+
+    def test_quick_sweeps_are_subsets(self):
+        for workload in default_analysis_workloads():
+            assert set(workload.quick_sizes) <= set(workload.sizes)
+
+    def test_engine_and_naive_agree(self):
+        """Engine/naive twins must produce identical checksums."""
+        by_name = {}
+        for workload in default_analysis_workloads():
+            by_name.setdefault(workload.name, {})[workload.impl] = workload
+        for name, impls in by_name.items():
+            n = min(impls["naive"].quick_sizes)
+            engine = measure_analysis(impls["engine"], n, repeats=1)
+            naive = measure_analysis(impls["naive"], n, repeats=1)
+            assert engine.checksum == naive.checksum, name
+            assert engine.max_k == naive.max_k, name
+
+    def test_speedups_cover_shared_points(self):
+        records = run_analysis_bench(quick=True, repeats=1)
+        speedups = analysis_speedups(records)
+        # Every naive point has an engine twin at the same size in quick mode.
+        naive_points = {
+            (r.workload, r.n) for r in records if r.impl == "naive"
+        }
+        engine_points = {
+            (r.workload, r.n) for r in records if r.impl == "engine"
+        }
+        for name, n in naive_points & engine_points:
+            assert f"{name}/n={n}" in speedups
+
+    def test_render_table_mentions_every_workload(self):
+        records = run_analysis_bench(quick=True, repeats=1)
+        table = render_analysis_table(records)
+        for workload in default_analysis_workloads():
+            assert workload.name in table
+
+    def test_write_analysis_schema(self, tmp_path):
+        records = run_analysis_bench(quick=True, repeats=1)
+        target = tmp_path / "analysis.json"
+        written = write_analysis_bench(records, target, quick=True)
+        payload = json.loads(written.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["suite"] == "symmetry-analysis"
+        assert "git_commit" in payload and "timestamp" in payload
+        assert "speedups" in payload
+        first = payload["records"][0]
+        for key in (
+            "workload",
+            "impl",
+            "n",
+            "max_k",
+            "repeats",
+            "seconds",
+            "checksum",
+            "cells_per_sec",
+        ):
+            assert key in first
+
+
 class TestCli:
     def test_bench_subcommand_writes_json(self, tmp_path, capsys):
         target = tmp_path / "out.json"
@@ -113,3 +195,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "wrote" in out
         assert "async_input_distribution" in out
+
+    def test_bench_analysis_suite(self, tmp_path, capsys):
+        target = tmp_path / "analysis.json"
+        code = main(
+            ["bench", "--suite", "analysis", "--quick", "--repeats", "1",
+             "--output", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["suite"] == "symmetry-analysis"
+        assert {r["impl"] for r in payload["records"]} == {"engine", "naive"}
+        out = capsys.readouterr().out
+        assert "symmetry_profile" in out
+
+    def test_bench_all_rejects_output(self, capsys):
+        code = main(["bench", "--suite", "all", "--quick", "--output", "x.json"])
+        assert code == 2
+
+    def test_bench_analysis_rejects_sizes(self, capsys):
+        code = main(["bench", "--suite", "analysis", "--quick", "--sizes", "7"])
+        assert code == 2
