@@ -21,4 +21,10 @@ rm -f BENCH_analysis_smoke.json
 echo "== symmetry analysis benchmarks =="
 python -m pytest benchmarks/test_bench_symmetry.py -q
 
+echo "== schedule-fuzz smoke (fixed seed) =="
+# Small fixed-seed sweep so schedule-dependent regressions in the engine
+# or the algorithms fail fast; exits nonzero on any invariant violation.
+python -m repro fuzz --quick --seed 20240501 --output FUZZ_smoke.json
+rm -f FUZZ_smoke.json
+
 echo "ci.sh: all green"

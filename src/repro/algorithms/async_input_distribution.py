@@ -58,6 +58,13 @@ class AsyncInputDistribution(AsyncProcess):
             something a processor could discover.
     """
 
+    #: Schedule freedom only: the algorithm decodes *distance* from arrival
+    #: counts on FIFO links, so a lost message deadlocks the expected-count
+    #: wait and a duplicated one shifts every later distance estimate —
+    #: neither "drop" nor "dup" can be tolerated, and a crashed processor
+    #: silences everything routed through it.
+    fault_tolerance = frozenset({"delay"})
+
     def __init__(self, input_value: Any, n: int, assume_oriented: bool = False) -> None:
         super().__init__(input_value, n)
         if n < 2:

@@ -39,7 +39,15 @@ class ChangRoberts(AsyncProcess):
     """Unidirectional max-election: candidates circulate, larger swallows.
 
     Output: the elected leader's label (every processor agrees).
+
+    Tolerates message duplication: a duplicated candidacy either carries a
+    non-maximal label (swallowed at the first larger processor, exactly
+    like the original) or the maximum (triggering a redundant ``leader``
+    announcement that halted processors drop); either way every processor
+    still halts with the maximum.  The fuzzer exercises this declaration.
     """
+
+    fault_tolerance = AsyncProcess.fault_tolerance | {"dup"}
 
     def on_start(self, ctx: Context) -> None:
         ctx.send(Port.RIGHT, (_CAND, self.input))

@@ -1,9 +1,20 @@
 """Asynchronous model: event-driven simulator, schedulers, adversaries."""
 
+from .adversary import (
+    FAULT_PROFILES,
+    Action,
+    Adversary,
+    CrashEvent,
+    FaultInjector,
+    FaultSpec,
+    ReplayAdversary,
+)
 from .process import AsyncFactory, AsyncProcess, Context
 from .schedulers import (
+    BoundedDelayScheduler,
     ChannelId,
     GreedyChannelScheduler,
+    PendingView,
     RandomScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -15,12 +26,21 @@ from .simulator import (
 )
 
 __all__ = [
+    "FAULT_PROFILES",
+    "Action",
+    "Adversary",
     "AsyncFactory",
     "AsyncProcess",
+    "BoundedDelayScheduler",
     "ChannelId",
     "Context",
+    "CrashEvent",
+    "FaultInjector",
+    "FaultSpec",
     "GreedyChannelScheduler",
+    "PendingView",
     "RandomScheduler",
+    "ReplayAdversary",
     "RoundRobinScheduler",
     "Scheduler",
     "default_event_budget",

@@ -1,0 +1,170 @@
+"""Fault adversaries for the asynchronous engine.
+
+The paper's asynchronous model (§2, §5) is fault-free: the adversary
+controls only *when* each message arrives.  Real rings also lose,
+duplicate, and crash.  This module layers those faults on the scheduler
+API without touching algorithm code: at every scheduling event the engine
+asks an :class:`Adversary` what to do with the chosen channel's head
+message — deliver it, drop it, or deliver a duplicate copy — and which
+processors crash-stop at this event index.
+
+Semantics (see ``docs/model.md`` for the precise timing rules):
+
+* **drop** — the head message is dequeued and discarded; the receiver
+  never sees it.  Counted in ``TraceStats.dropped`` (alongside ordinary
+  drops at halted processors) and, like them, does **not** advance the
+  delivery clock.
+* **duplicate** — a copy of the head message is delivered while the
+  original stays at the head of its FIFO queue, exactly as a link-layer
+  retransmission would: copies are adjacent, so FIFO order is preserved.
+  Counted in ``TraceStats.duplicated``; the delivery itself counts as a
+  normal delivery.
+* **crash-stop** — from the given event index on, the processor executes
+  no further handlers; messages addressed to it are dropped (and counted
+  as drops).  A crashed processor produces no output (``None``) and is
+  excused from the end-of-run "everyone halted" check.
+
+Every decision an adversary makes is recorded so the schedule-fuzzing
+layer (:mod:`repro.faults`) can replay a faulty run byte-identically
+from ``(seed, trace)``.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, List, Sequence, Tuple
+
+from .schedulers import ChannelId
+
+#: Crash plan entry: (event index at which the crash takes effect, processor).
+CrashEvent = Tuple[int, int]
+
+
+class Action(IntEnum):
+    """What the adversary does to the scheduled channel's head message."""
+
+    DELIVER = 0
+    DROP = 1
+    DUPLICATE = 2
+
+
+class Adversary:
+    """Per-event fault decisions; the default is entirely benign."""
+
+    def crashes_at(self, event_index: int) -> Iterable[int]:
+        """Processors that crash-stop just before this event executes."""
+        return ()
+
+    def on_delivery(self, event_index: int, cid: ChannelId) -> Action:
+        """Fate of the head message of ``cid`` at this event."""
+        return Action.DELIVER
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault environment: rates, crash count, and delay bound.
+
+    ``drop_rate`` / ``dup_rate`` are per-delivery-event probabilities;
+    ``crashes`` is the number of crash-stop events to plant; a nonzero
+    ``delay_bound`` asks the fuzzer to drive the run with a
+    :class:`~repro.asynch.schedulers.BoundedDelayScheduler` of that bound
+    (delay is a schedule, not an engine fault, so it has no rate here).
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    crashes: int = 0
+    delay_bound: int = 0
+
+    def kinds(self) -> frozenset:
+        """The fault kinds this spec actually exercises (beyond scheduling)."""
+        kinds = set()
+        if self.drop_rate > 0:
+            kinds.add("drop")
+        if self.dup_rate > 0:
+            kinds.add("dup")
+        if self.crashes > 0:
+            kinds.add("crash")
+        if self.delay_bound > 0:
+            kinds.add("delay")
+        return frozenset(kinds)
+
+
+#: Named fault environments used by ``python -m repro fuzz``.
+FAULT_PROFILES = {
+    "none": FaultSpec(),
+    "drop": FaultSpec(drop_rate=0.05),
+    "dup": FaultSpec(dup_rate=0.05),
+    "crash": FaultSpec(crashes=1),
+    "delay": FaultSpec(delay_bound=8),
+    "mixed": FaultSpec(drop_rate=0.03, dup_rate=0.03, crashes=1, delay_bound=8),
+}
+
+
+class FaultInjector(Adversary):
+    """Seeded randomized adversary implementing a :class:`FaultSpec`.
+
+    Crash events are planned up front (so they are part of the replayable
+    state): ``spec.crashes`` distinct processors crash at event indices
+    drawn uniformly from ``[1, horizon]``.  Per-event drop/duplicate
+    decisions are drawn lazily from the same seeded RNG and appended to
+    :attr:`actions`, which together with the planned :attr:`crashes`
+    makes the whole fault history a pure function of ``(spec, seed)``.
+    """
+
+    def __init__(self, spec: FaultSpec, n: int, horizon: int, seed: int) -> None:
+        self.spec = spec
+        self.seed = seed
+        self._rng = _random.Random(seed)
+        crashes: List[CrashEvent] = []
+        for victim in self._rng.sample(range(n), min(spec.crashes, n)):
+            crashes.append((self._rng.randint(1, max(1, horizon)), victim))
+        #: Planned crash events, sorted by event index.
+        self.crashes: Tuple[CrashEvent, ...] = tuple(sorted(crashes))
+        #: Recorded per-event actions, in event order (event 1 first).
+        self.actions: List[Action] = []
+
+    def crashes_at(self, event_index: int) -> Iterable[int]:
+        return tuple(p for when, p in self.crashes if when == event_index)
+
+    def on_delivery(self, event_index: int, cid: ChannelId) -> Action:
+        roll = self._rng.random()
+        spec = self.spec
+        if roll < spec.drop_rate:
+            action = Action.DROP
+        elif roll < spec.drop_rate + spec.dup_rate:
+            action = Action.DUPLICATE
+        else:
+            action = Action.DELIVER
+        self.actions.append(action)
+        return action
+
+
+class ReplayAdversary(Adversary):
+    """Replays a recorded fault history verbatim.
+
+    Beyond the recorded actions every message is delivered faithfully
+    (the benign default), so a truncated action prefix still defines a
+    complete, deterministic run — which is what lets the shrinker cut a
+    failing trace down to a minimal prefix.
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[int] = (),
+        crashes: Sequence[CrashEvent] = (),
+    ) -> None:
+        self._actions = tuple(Action(a) for a in actions)
+        self.crashes: Tuple[CrashEvent, ...] = tuple(
+            (int(when), int(victim)) for when, victim in crashes
+        )
+
+    def crashes_at(self, event_index: int) -> Iterable[int]:
+        return tuple(p for when, p in self.crashes if when == event_index)
+
+    def on_delivery(self, event_index: int, cid: ChannelId) -> Action:
+        if event_index - 1 < len(self._actions):
+            return self._actions[event_index - 1]
+        return Action.DELIVER

@@ -56,7 +56,21 @@ class AsyncProcess:
     Subclasses override :meth:`on_start` (the conceptual start transition)
     and :meth:`on_message`.  Like their synchronous counterparts, processes
     are built from ``(input, n)`` only.
+
+    :attr:`fault_tolerance` declares which fault kinds (see
+    :mod:`repro.asynch.adversary`) the algorithm survives with correct
+    output.  Every algorithm correct in the asynchronous model tolerates
+    ``"delay"`` — bounded delay is just another schedule, and §2 defines
+    correctness over *all* schedules — so that is the base declaration.
+    ``"drop"``, ``"dup"``, and ``"crash"`` go beyond the paper's model and
+    must be declared explicitly; the fuzz harness
+    (``python -m repro fuzz``) holds algorithms to exactly what they
+    declare: full output checking for tolerated faults, clean-failure and
+    accounting checks for the rest.
     """
+
+    #: Fault kinds under which this algorithm still produces correct output.
+    fault_tolerance: frozenset = frozenset({"delay"})
 
     def __init__(self, input_value: Any, n: int) -> None:
         self.input = input_value

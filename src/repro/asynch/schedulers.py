@@ -6,24 +6,64 @@ next is adversary-controlled.  A :class:`Scheduler` is that adversary: at
 each step it picks one nonempty directed channel and the engine delivers
 its head message.
 
-Three adversaries matter here:
+Four adversaries live here:
 
 * :class:`RoundRobinScheduler` — fair and deterministic, good for tests;
 * :class:`RandomScheduler` — seeded random interleavings, good for
   property tests (algorithm correctness must not depend on the schedule);
+* :class:`BoundedDelayScheduler` — random, but no channel is starved for
+  more than ``bound`` consecutive choices: the classic bounded-delay
+  adversary, the mildest departure from synchrony;
 * the *synchronizing adversary* of Theorem 5.1 — implemented separately in
   :func:`repro.asynch.simulator.run_async_synchronized` because it also
   fixes the order of deliveries within a step (all of a round's messages,
   left neighbor before right).
+
+The schedule-fuzzing layer (:mod:`repro.faults`) wraps any of these in a
+recording scheduler and can replay the recorded choices byte-identically;
+see ``docs/model.md`` for the trace format.
 """
 
 from __future__ import annotations
 
 import random as _random
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence as _SequenceABC
+from typing import Dict, Optional, Sequence, Tuple
 
 #: Directed channel id: (sender index, receiver index, physical step ±1).
 ChannelId = Tuple[int, int, int]
+
+
+class PendingView(_SequenceABC):
+    """Read-only live view of the engine's nonempty-channel list.
+
+    The engine maintains the sorted pending list incrementally and hands
+    schedulers this wrapper instead of the list itself, so a buggy or
+    hostile scheduler cannot mutate engine state (there is no ``append``,
+    ``pop``, ``__setitem__``, …).  The view is *live*: it always reflects
+    the current pending set, so retaining it across calls never yields a
+    stale snapshot — copy it (``tuple(view)``) if you need one.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Sequence[ChannelId]) -> None:
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:
+        return f"PendingView({list(self._items)!r})"
 
 
 class Scheduler:
@@ -32,10 +72,10 @@ class Scheduler:
     def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
         """Pick one of the (nonempty, sorted) pending channels.
 
-        ``pending`` is always sorted ascending.  It is the engine's
-        incrementally maintained live view of the nonempty channels —
-        schedulers must treat it as read-only and must not retain a
-        reference past the call (copy it if you need a snapshot).
+        ``pending`` is always sorted ascending.  The engine passes a
+        read-only :class:`PendingView` of its incrementally maintained
+        live list; the view cannot be mutated, and because it is live a
+        retained reference is never a snapshot (copy it if you need one).
         """
         raise NotImplementedError
 
@@ -57,9 +97,19 @@ class RoundRobinScheduler(Scheduler):
 
 
 class RandomScheduler(Scheduler):
-    """Uniformly random channel choice, with a seed for reproducibility."""
+    """Uniformly random channel choice, seeded for reproducibility.
+
+    When ``seed`` is omitted one is drawn from the process RNG and
+    exposed as :attr:`seed`, so *every* run — including "just fuzz with
+    whatever" runs — can be replayed by constructing
+    ``RandomScheduler(seed=scheduler.seed)``.
+    """
 
     def __init__(self, seed: Optional[int] = None) -> None:
+        if seed is None:
+            seed = _random.randrange(2**63)
+        #: The effective seed; always an int, never ``None``.
+        self.seed = seed
         self._rng = _random.Random(seed)
 
     def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
@@ -75,3 +125,49 @@ class GreedyChannelScheduler(Scheduler):
 
     def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
         return pending[0]
+
+
+class BoundedDelayScheduler(Scheduler):
+    """Random choices under a fairness bound: no channel starves > ``bound``.
+
+    Each ``choose`` call ages every currently pending channel by one; a
+    channel whose age exceeds ``bound`` is served immediately (oldest
+    first, ties broken by channel id), otherwise the choice is uniformly
+    random.  Only one overdue channel can be served per event, so the
+    hard guarantee is: a channel pending alongside at most ``c − 1``
+    others is served within ``bound + c`` scheduling opportunities.
+    This is the bounded-delay adversary — the weakest liveness
+    assumption under which timeout arguments are sound.  Like any
+    scheduler it is only a *schedule*; algorithms correct in the
+    asynchronous model must tolerate it.
+    """
+
+    def __init__(self, bound: int = 8, seed: Optional[int] = None) -> None:
+        if bound < 1:
+            raise ValueError("delay bound must be >= 1")
+        self.bound = bound
+        if seed is None:
+            seed = _random.randrange(2**63)
+        self.seed = seed
+        self._rng = _random.Random(seed)
+        self._ages: Dict[ChannelId, int] = {}
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        ages = self._ages
+        stale = set(ages)
+        overdue: Optional[ChannelId] = None
+        overdue_age = self.bound
+        for cid in pending:
+            age = ages.get(cid, 0) + 1
+            ages[cid] = age
+            stale.discard(cid)
+            if age > overdue_age:
+                overdue, overdue_age = cid, age
+        for cid in stale:  # drained channels no longer accrue age
+            del ages[cid]
+        if overdue is not None:
+            choice = overdue
+        else:
+            choice = pending[self._rng.randrange(len(pending))]
+        ages[choice] = 0
+        return choice

@@ -17,9 +17,16 @@ Two entry points:
 
 Timing convention (see ``docs/model.md``): every start-event send is
 stamped ``send_time = 0``; the delivery clock starts at 1 with the first
-delivered message, so a send caused by the ``k``-th delivery event is
-stamped ``k``.  Under the synchronizing adversary ``send_time`` is the
-cycle number instead.
+*actual* delivery, so a send caused by the ``k``-th delivered message is
+stamped ``k``.  Scheduling events whose message is dropped — receiver
+halted or crashed, or a fault adversary lost it — do not advance the
+clock; they are counted in ``TraceStats.dropped`` instead.  Under the
+synchronizing adversary ``send_time`` is the cycle number instead.
+
+Fault injection: :func:`run_asynchronous` accepts an optional
+:class:`repro.asynch.adversary.Adversary` that may crash-stop processors
+at chosen event indices and drop or duplicate the scheduled message; see
+that module for the exact semantics and accounting.
 
 Both engines are hot paths — every bound in the paper is checked by
 running them — so the event loops avoid per-event rebuilding: routing is
@@ -39,8 +46,9 @@ from ..core.errors import NonTerminationError, SimulationError
 from ..core.message import Envelope, Port, bit_length
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
+from .adversary import Action, Adversary
 from .process import AsyncFactory, AsyncProcess, Context
-from .schedulers import ChannelId, RoundRobinScheduler, Scheduler
+from .schedulers import ChannelId, PendingView, RoundRobinScheduler, Scheduler
 
 
 def default_event_budget(n: int) -> int:
@@ -58,6 +66,7 @@ class _Engine:
             factory(config.inputs[i], config.n) for i in range(config.n)
         ]
         self.halted = [False] * self.n
+        self.crashed = [False] * self.n
         self.outputs: List[Any] = [None] * self.n
         self.stats = TraceStats(keep_log=keep_log)
         self.keep_log = keep_log
@@ -102,8 +111,11 @@ class _Engine:
         return receiver, in_port, step
 
     def check_all_halted(self) -> None:
-        if not all(self.halted):
-            laggards = [i for i in range(self.n) if not self.halted[i]]
+        """Quiescence check: everyone halted, crashed processors excused."""
+        laggards = [
+            i for i in range(self.n) if not self.halted[i] and not self.crashed[i]
+        ]
+        if laggards:
             raise SimulationError(
                 f"deadlock: no messages pending but processors {laggards} "
                 "have not halted"
@@ -116,21 +128,27 @@ def run_asynchronous(
     scheduler: Optional[Scheduler] = None,
     max_events: Optional[int] = None,
     keep_log: bool = False,
+    adversary: Optional[Adversary] = None,
 ) -> RunResult:
     """Run an asynchronous computation under an arbitrary schedule.
 
     Start events fire for every processor (in index order) before any
     delivery; thereafter the scheduler repeatedly picks a nonempty FIFO
     channel and its head message is delivered.  The run ends when no
-    message is pending; every processor must have halted by then.
+    message is pending; every processor must have halted by then (crashed
+    processors are excused and output ``None``).
 
     Start-event sends are stamped ``send_time = 0``; the delivery clock
-    starts after the start phase, so sends caused by the ``k``-th delivery
-    are stamped ``k``.
+    counts actual deliveries, so sends caused by the ``k``-th delivered
+    message are stamped ``k``.  Drops — at halted or crashed processors,
+    or injected by the ``adversary`` — are counted in ``stats.dropped``
+    and do not advance the clock.
 
     Raises:
         NonTerminationError: the event budget was exhausted.
-        SimulationError: quiescence was reached with processors not halted.
+        SimulationError: quiescence was reached with processors not
+            halted, or the scheduler chose a channel with no pending
+            message (the error names the scheduler class).
     """
     engine = _Engine(config, factory, keep_log)
     n = config.n
@@ -162,6 +180,13 @@ def run_asynchronous(
     for i in range(n):
         dispatch(i, engine.invoke_start(i), 0)
 
+    # Schedulers see a read-only live view of `pending`, never the list
+    # itself: a scheduler that tries to mutate it fails loudly instead of
+    # silently corrupting the engine's incremental bookkeeping.
+    view = PendingView(pending)
+    halted = engine.halted
+    crashed = engine.crashed
+    stats = engine.stats
     clock = 0
     events = 0
     choose = scheduler.choose
@@ -169,19 +194,40 @@ def run_asynchronous(
         events += 1
         if events > budget:
             raise NonTerminationError(f"event budget {budget} exhausted")
-        cid = choose(pending)
+        if adversary is not None:
+            for victim in adversary.crashes_at(events):
+                crashed[victim] = True
+        cid = choose(view)
         queue = queues.get(cid)
         if not queue:
-            raise SimulationError(f"scheduler chose empty channel {cid!r}")
-        in_port, payload = queue.popleft()
-        if not queue:
-            # The channel drained; drop it from `pending` before the
-            # handler runs (an n=1 self-send may re-add the same channel).
-            del pending[bisect_left(pending, cid)]
+            raise SimulationError(
+                f"{type(scheduler).__name__} chose channel {cid!r}, which has "
+                "no pending message (schedulers must return one of the "
+                "channels in the pending view)"
+            )
+        action = (
+            Action.DELIVER if adversary is None else adversary.on_delivery(events, cid)
+        )
+        if action is Action.DUPLICATE:
+            # Deliver a copy; the original stays at the head of the FIFO
+            # queue (adjacent copies, so link order is preserved) and the
+            # channel stays pending.
+            in_port, payload = queue[0]
+            stats.duplicated += 1
+        else:
+            in_port, payload = queue.popleft()
+            if not queue:
+                # The channel drained; drop it from `pending` before the
+                # handler runs (an n=1 self-send may re-add the same channel).
+                del pending[bisect_left(pending, cid)]
         receiver = cid[1]
+        if action is Action.DROP or halted[receiver] or crashed[receiver]:
+            # Lost by the adversary, or a late message to a halted/crashed
+            # processor: no delivery, and the delivery clock does not tick.
+            stats.dropped += 1
+            continue
+        stats.delivered += 1
         clock += 1
-        if engine.halted[receiver]:
-            continue  # dropped: late message to a halted processor
         dispatch(receiver, engine.invoke_message(receiver, in_port, payload), clock)
 
     engine.check_all_halted()
@@ -234,6 +280,7 @@ def run_async_synchronized(
         dispatch(i, engine.invoke_start(i), cycle)
 
     halted = engine.halted
+    stats = engine.stats
     while pending_count:
         cycle += 1
         if cycle > budget:
@@ -249,7 +296,9 @@ def run_async_synchronized(
                     continue
                 for payload in msgs:
                     if halted[i]:
+                        stats.dropped += 1
                         continue
+                    stats.delivered += 1
                     dispatch(i, engine.invoke_message(i, port, payload), cycle)
                 msgs.clear()
 

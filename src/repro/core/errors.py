@@ -40,6 +40,20 @@ class SimulationError(ReproError):
     """The simulator detected an inconsistent internal state."""
 
 
+class OutputDisagreement(SimulationError):
+    """Processors that must agree produced different outputs.
+
+    Raised by :meth:`repro.core.tracing.RunResult.unanimous_output` (and by
+    the fuzz harness) instead of a bare ``AssertionError``, so the failure
+    survives ``python -O`` and is distinguishable from harness bugs.  The
+    full per-processor output tuple rides along in :attr:`outputs`.
+    """
+
+    def __init__(self, outputs: tuple) -> None:
+        super().__init__(f"outputs disagree: {outputs!r}")
+        self.outputs = outputs
+
+
 class NonTerminationError(SimulationError):
     """A simulation exceeded its cycle or event budget without halting.
 

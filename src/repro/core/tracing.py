@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .errors import OutputDisagreement
 from .message import Envelope
 
 
@@ -27,12 +28,25 @@ class TraceStats:
         bits: total payload bits sent (see :func:`repro.core.message.bit_length`).
         per_cycle: messages sent at each cycle index (sync runs; async runs
             under the synchronizing adversary also populate this).
+        delivered: messages actually handed to a live processor's handler
+            (asynchronous engines).
+        dropped: delivery attempts that went nowhere — the receiver had
+            halted or crashed, or a fault adversary lost the message.
+        duplicated: extra copies manufactured by a duplication adversary.
         log: full message log, kept only when ``keep_log`` is true.
+
+    For a completed (quiescent) asynchronous run the counters satisfy the
+    conservation law ``messages + duplicated == delivered + dropped``:
+    every send or duplicate eventually reaches exactly one delivery or
+    drop.  The fuzz harness checks this invariant on every run.
     """
 
     messages: int = 0
     bits: int = 0
     per_cycle: Dict[int, int] = field(default_factory=dict)
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
     keep_log: bool = False
     log: List[Envelope] = field(default_factory=list)
 
@@ -76,6 +90,9 @@ class TraceStats:
         merged = TraceStats(keep_log=keep)
         merged.messages = self.messages + other.messages
         merged.bits = self.bits + other.bits
+        merged.delivered = self.delivered + other.delivered
+        merged.dropped = self.dropped + other.dropped
+        merged.duplicated = self.duplicated + other.duplicated
         for source in (self.per_cycle, other.per_cycle):
             for cycle, count in source.items():
                 merged.per_cycle[cycle] = merged.per_cycle.get(cycle, 0) + count
@@ -108,8 +125,14 @@ class RunResult:
         return len(self.outputs)
 
     def unanimous_output(self) -> Any:
-        """The common output, asserting all processors agree."""
+        """The common output of all processors.
+
+        Raises:
+            OutputDisagreement: some pair of processors disagrees.  (A
+                dedicated error rather than ``assert`` so the check
+                survives ``python -O`` and carries the outputs tuple.)
+        """
         first = self.outputs[0]
         if any(out != first for out in self.outputs[1:]):
-            raise AssertionError(f"outputs disagree: {self.outputs!r}")
+            raise OutputDisagreement(self.outputs)
         return first

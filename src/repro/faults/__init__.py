@@ -1,0 +1,40 @@
+"""Schedule fuzzing, deterministic replay, and fault injection.
+
+The paper defines asynchronous correctness with a universal quantifier:
+the ring output must be right under *every* schedule (§2, §5).  This
+package turns that quantifier into an executable check:
+
+* :mod:`repro.faults.trace` — every scheduler choice and fault decision
+  of a run recorded as a compact :class:`ScheduleTrace` that replays
+  byte-identically from ``(seed, trace)``;
+* :mod:`repro.faults.fuzzer` — seeded randomized schedules (optionally
+  with drop/duplicate/crash fault injection) driven against the
+  algorithm registry, with invariant checking and delta-debugging of any
+  failing schedule down to a minimal failing prefix;
+* :mod:`repro.faults.registry` — the fuzzable algorithms and their
+  declared fault tolerance;
+* :mod:`repro.faults.report` — deterministic JSON campaign reports for
+  ``python -m repro fuzz``.
+"""
+
+from .fuzzer import FuzzCase, Violation, run_case, run_fuzz, shrink_trace
+from .registry import FuzzTarget, default_targets, target_by_name
+from .report import render_summary, write_report
+from .trace import RecordingScheduler, ReplayDivergence, ReplayScheduler, ScheduleTrace
+
+__all__ = [
+    "FuzzCase",
+    "FuzzTarget",
+    "RecordingScheduler",
+    "ReplayDivergence",
+    "ReplayScheduler",
+    "ScheduleTrace",
+    "Violation",
+    "default_targets",
+    "render_summary",
+    "run_case",
+    "run_fuzz",
+    "shrink_trace",
+    "target_by_name",
+    "write_report",
+]

@@ -1,0 +1,409 @@
+"""The schedule-fuzzing harness: sweep, check, shrink, replay.
+
+One fuzz **case** drives a single algorithm on a seeded random ring
+through a seeded random schedule (optionally with fault injection),
+records the full decision trace, and checks invariants:
+
+* **wrong output** — the run's outputs differ from a reference run under
+  the deterministic round-robin schedule (§2's ∀-schedule correctness:
+  any two schedules must agree);
+* **disagreement / deadlock / budget** — clean-failure modes that are
+  violations whenever the exercised faults are within the algorithm's
+  declared tolerance;
+* **accounting** — the transport conservation law
+  ``messages + duplicated == delivered + dropped`` must hold at
+  quiescence whatever happens;
+* **harness errors** — any non-:class:`~repro.core.errors.ReproError`
+  exception is always a violation.
+
+Faults outside the declared tolerance relax the output and termination
+checks (the algorithm never promised to survive), but the engine must
+still fail *cleanly* and account exactly.
+
+On a violation the harness delta-debugs the recorded trace down to a
+minimal failing prefix: replaying ``trace[:L]`` (round-robin + benign
+delivery beyond the prefix) is a complete deterministic run, so a binary
+search over ``L`` followed by a linear polish finds a locally minimal
+prefix that still reproduces the same violation kind.  The minimized
+witness is then replayed twice more to certify byte-identical
+reproduction from ``(seed, trace)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..asynch.adversary import (
+    FAULT_PROFILES,
+    Adversary,
+    FaultInjector,
+    FaultSpec,
+    ReplayAdversary,
+)
+from ..asynch.schedulers import (
+    BoundedDelayScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from ..asynch.simulator import run_asynchronous
+from ..core.errors import (
+    NonTerminationError,
+    OutputDisagreement,
+    ReproError,
+    SimulationError,
+)
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from .registry import FuzzTarget, default_targets
+from .trace import RecordingScheduler, ReplayScheduler, ScheduleTrace
+
+_SEED_SPAN = 2**63
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """Coordinates of one fuzz run (everything needed to regenerate it)."""
+
+    target: str
+    n: int
+    case_seed: int
+    profile: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, with enough detail to act on."""
+
+    kind: str
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# Single-run execution and classification
+# ----------------------------------------------------------------------
+
+
+def _execute(
+    config: RingConfiguration,
+    target: FuzzTarget,
+    scheduler: Scheduler,
+    adversary: Optional[Adversary],
+    keep_log: bool = False,
+) -> Tuple[Optional[RunResult], Optional[BaseException]]:
+    try:
+        result = run_asynchronous(
+            config,
+            target.factory,
+            scheduler=scheduler,
+            keep_log=keep_log,
+            adversary=adversary,
+        )
+        return result, None
+    except Exception as error:  # noqa: BLE001 - classification happens below
+        return None, error
+
+
+def _classify(
+    result: Optional[RunResult],
+    error: Optional[BaseException],
+    reference: RunResult,
+    strict: bool,
+) -> Optional[Violation]:
+    """Map one run's outcome to a violation (or ``None`` if acceptable)."""
+    if error is not None:
+        if not isinstance(error, ReproError):
+            return Violation("harness-error", f"{type(error).__name__}: {error}")
+        if not strict:
+            return None  # clean failure under untolerated faults
+        if isinstance(error, NonTerminationError):
+            return Violation("budget", str(error))
+        if isinstance(error, OutputDisagreement):
+            return Violation("disagreement", str(error))
+        if isinstance(error, SimulationError) and "deadlock" in str(error):
+            return Violation("deadlock", str(error))
+        return Violation("error", f"{type(error).__name__}: {error}")
+    assert result is not None
+    stats = result.stats
+    if stats.messages + stats.duplicated != stats.delivered + stats.dropped:
+        return Violation(
+            "accounting",
+            f"messages({stats.messages}) + duplicated({stats.duplicated}) != "
+            f"delivered({stats.delivered}) + dropped({stats.dropped})",
+        )
+    if strict and result.outputs != reference.outputs:
+        return Violation(
+            "wrong-output",
+            f"outputs {result.outputs!r} != round-robin reference "
+            f"{reference.outputs!r}",
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Replay and shrinking
+# ----------------------------------------------------------------------
+
+
+def _replay(
+    config: RingConfiguration,
+    target: FuzzTarget,
+    trace: ScheduleTrace,
+    keep_log: bool = False,
+) -> Tuple[Optional[RunResult], Optional[BaseException]]:
+    """Re-run a recorded (possibly truncated) trace deterministically."""
+    scheduler = ReplayScheduler(trace.choices)
+    adversary = ReplayAdversary(trace.actions, trace.crashes)
+    return _execute(config, target, scheduler, adversary, keep_log=keep_log)
+
+
+def shrink_trace(
+    config: RingConfiguration,
+    target: FuzzTarget,
+    trace: ScheduleTrace,
+    reference: RunResult,
+    strict: bool,
+    kind: str,
+) -> Tuple[ScheduleTrace, bool]:
+    """Delta-debug ``trace`` to a minimal failing prefix.
+
+    Returns ``(minimized trace, reproduced)`` where ``reproduced`` says
+    whether even the *full* trace replayed to the same violation kind —
+    if it did not, the original failure was not schedule-determined and
+    the full trace is returned unshrunk.
+
+    The search is a binary descent over prefix length followed by a
+    linear polish, so the result is locally minimal: dropping one more
+    recorded event loses the failure.
+    """
+
+    def fails(length: int) -> bool:
+        result, error = _replay(config, target, trace.truncated(length))
+        violation = _classify(result, error, reference, strict)
+        return violation is not None and violation.kind == kind
+
+    if not fails(len(trace)):
+        return trace, False
+    lo, hi = 0, len(trace)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fails(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    while hi > 0 and fails(hi - 1):  # polish: binary descent can overshoot
+        hi -= 1
+    return trace.truncated(hi), True
+
+
+def _certify_replay(
+    config: RingConfiguration,
+    target: FuzzTarget,
+    trace: ScheduleTrace,
+    reference: RunResult,
+    strict: bool,
+    kind: str,
+) -> bool:
+    """Replay the minimized witness twice; both runs must match exactly."""
+    first = _replay(config, target, trace, keep_log=True)
+    second = _replay(config, target, trace, keep_log=True)
+    for result, error in (first, second):
+        violation = _classify(result, error, reference, strict)
+        if violation is None or violation.kind != kind:
+            return False
+    a, b = first[0], second[0]
+    if (a is None) != (b is None):
+        return False
+    if a is None or b is None:
+        return repr(first[1]) == repr(second[1])
+    return (
+        a.outputs == b.outputs
+        and a.stats.messages == b.stats.messages
+        and a.stats.bits == b.stats.bits
+        and a.stats.per_cycle == b.stats.per_cycle
+        and a.stats.delivered == b.stats.delivered
+        and a.stats.dropped == b.stats.dropped
+        and a.stats.duplicated == b.stats.duplicated
+        and a.stats.log == b.stats.log
+    )
+
+
+# ----------------------------------------------------------------------
+# Case and campaign drivers
+# ----------------------------------------------------------------------
+
+
+def run_case(target: FuzzTarget, case: FuzzCase) -> Dict[str, Any]:
+    """Run one fuzz case end to end; returns a JSON-able case record."""
+    spec: FaultSpec = FAULT_PROFILES[case.profile]
+    rng = random.Random(case.case_seed)
+    config = target.make_config(case.n, rng)
+    schedule_seed = rng.randrange(_SEED_SPAN)
+    fault_seed = rng.randrange(_SEED_SPAN)
+
+    reference, ref_error = _execute(config, target, RoundRobinScheduler(), None)
+    record: Dict[str, Any] = {
+        "target": case.target,
+        "n": case.n,
+        "case_seed": case.case_seed,
+        "profile": case.profile,
+    }
+    if ref_error is not None:
+        record["status"] = "violation"
+        record["violation"] = {
+            "kind": "reference-failure",
+            "detail": f"{type(ref_error).__name__}: {ref_error}",
+            "config": _describe_config(config),
+        }
+        return record
+    assert reference is not None
+
+    if spec.delay_bound:
+        base: Scheduler = BoundedDelayScheduler(spec.delay_bound, seed=schedule_seed)
+    else:
+        base = RandomScheduler(seed=schedule_seed)
+    scheduler = RecordingScheduler(base)
+    injector: Optional[FaultInjector] = None
+    if spec.kinds() - {"delay"}:
+        horizon = max(1, reference.stats.delivered)
+        injector = FaultInjector(spec, config.n, horizon, fault_seed)
+
+    strict = spec.kinds() <= target.tolerates
+    result, error = _execute(config, target, scheduler, injector)
+    trace = ScheduleTrace(
+        choices=tuple(scheduler.choices),
+        actions=tuple(injector.actions) if injector else (),
+        crashes=injector.crashes if injector else (),
+    )
+    violation = _classify(result, error, reference, strict)
+
+    if violation is None:
+        if error is not None:
+            record["status"] = "tolerated-failure"
+            record["failure"] = type(error).__name__
+        else:
+            record["status"] = "ok"
+        return record
+
+    minimized, reproduced = shrink_trace(
+        config, target, trace, reference, strict, violation.kind
+    )
+    deterministic = reproduced and _certify_replay(
+        config, target, minimized, reference, strict, violation.kind
+    )
+    record["status"] = "violation"
+    record["violation"] = {
+        "kind": violation.kind,
+        "detail": violation.detail,
+        "config": _describe_config(config),
+        "strict": strict,
+        "scheduler": type(base).__name__,
+        "scheduler_seed": base.seed,
+        "fault_seed": fault_seed if injector else None,
+        "trace": trace.to_json(),
+        "minimized": {
+            "trace": minimized.to_json(),
+            "events": len(minimized),
+            "reproduced": reproduced,
+            "replay_deterministic": deterministic,
+        },
+    }
+    return record
+
+
+def _describe_config(config: RingConfiguration) -> Dict[str, Any]:
+    return {
+        "inputs": list(config.inputs),
+        "orientations": list(config.orientations),
+    }
+
+
+def _case_seed(master_seed: int, target: str, n: int, profile: str, index: int) -> int:
+    """A stable per-case seed: a pure function of the coordinates.
+
+    Seeding :class:`random.Random` with a string uses its own hashing
+    (not ``hash()``), so this is reproducible across processes and
+    ``PYTHONHASHSEED`` values.
+    """
+    key = f"{master_seed}|{target}|{n}|{profile}|{index}"
+    return random.Random(key).randrange(_SEED_SPAN)
+
+
+def run_fuzz(
+    seed: int,
+    targets: Optional[Tuple[FuzzTarget, ...]] = None,
+    sizes: Optional[Tuple[int, ...]] = None,
+    profiles: Tuple[str, ...] = ("none", "drop", "dup", "crash", "delay", "mixed"),
+    cases_per_campaign: int = 8,
+) -> Dict[str, Any]:
+    """Sweep the registry; returns the full JSON-able fuzz report.
+
+    The report is a pure function of the arguments: same seed, same
+    byte-identical report (no timestamps, no ambient randomness).
+    """
+    targets = targets if targets is not None else default_targets()
+    campaigns: List[Dict[str, Any]] = []
+    total_cases = 0
+    total_violations = 0
+    for target in targets:
+        target_sizes = sizes if sizes is not None else target.sizes
+        for n in target_sizes:
+            if target.name == "orientation" and n % 2 == 0:
+                continue  # shape constraint: the majority vote needs odd n
+            for profile in profiles:
+                records = []
+                for index in range(cases_per_campaign):
+                    case = FuzzCase(
+                        target=target.name,
+                        n=n,
+                        case_seed=_case_seed(seed, target.name, n, profile, index),
+                        profile=profile,
+                    )
+                    records.append(run_case(target, case))
+                violations = [r["violation"] | {"case_seed": r["case_seed"]}
+                              for r in records if r["status"] == "violation"]
+                tolerated = sum(1 for r in records if r["status"] == "tolerated-failure")
+                total_cases += len(records)
+                total_violations += len(violations)
+                campaigns.append(
+                    {
+                        "target": target.name,
+                        "n": n,
+                        "profile": profile,
+                        "strict": FAULT_PROFILES[profile].kinds() <= target.tolerates,
+                        "cases": len(records),
+                        "ok": sum(1 for r in records if r["status"] == "ok"),
+                        "tolerated_failures": tolerated,
+                        "violations": violations,
+                    }
+                )
+    return {
+        "schema": 1,
+        "tool": "python -m repro fuzz",
+        "seed": seed,
+        "profiles": {
+            name: {
+                "drop_rate": FAULT_PROFILES[name].drop_rate,
+                "dup_rate": FAULT_PROFILES[name].dup_rate,
+                "crashes": FAULT_PROFILES[name].crashes,
+                "delay_bound": FAULT_PROFILES[name].delay_bound,
+            }
+            for name in profiles
+        },
+        "targets": {
+            target.name: {
+                "description": target.description,
+                "tolerates": sorted(target.tolerates),
+                "sizes": list(sizes if sizes is not None else target.sizes),
+            }
+            for target in targets
+        },
+        "campaigns": campaigns,
+        "totals": {
+            "campaigns": len(campaigns),
+            "cases": total_cases,
+            "violations": total_violations,
+        },
+    }

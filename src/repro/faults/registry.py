@@ -1,0 +1,149 @@
+"""The fuzzable algorithm registry.
+
+Each :class:`FuzzTarget` packages everything the fuzzer needs to drive
+one algorithm through :func:`repro.asynch.simulator.run_asynchronous`
+directly: a process factory, a seeded ring generator for each size, and
+the algorithm's declared fault tolerance (read off the process class's
+``fault_tolerance`` attribute, see
+:class:`repro.asynch.process.AsyncProcess`).
+
+The default registry covers the asynchronous algorithms of the paper —
+§4.1 input distribution, function computation (AND) and odd-ring
+orientation on top of it — plus the labeled-ring leader-election
+baselines, so a fuzz sweep exercises every asynchronous code path in
+:mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..algorithms.async_input_distribution import AsyncInputDistribution
+from ..algorithms.functions import AND
+from ..algorithms.leader_election import (
+    ChangRoberts,
+    Franklin,
+    HirschbergSinclair,
+    Peterson,
+)
+from ..algorithms.orientation_async import majority_switch_bit
+from ..asynch.process import AsyncFactory
+from ..core.errors import ConfigurationError
+from ..core.ring import RingConfiguration
+
+ConfigMaker = Callable[[int, random.Random], RingConfiguration]
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """One fuzzable algorithm: factory, ring generator, sizes, tolerance."""
+
+    name: str
+    factory: AsyncFactory
+    make_config: ConfigMaker
+    sizes: Tuple[int, ...]
+    description: str = ""
+
+    @property
+    def tolerates(self) -> frozenset:
+        """Declared fault tolerance of the underlying process class."""
+        return getattr(self.factory, "fault_tolerance", frozenset({"delay"}))
+
+
+class _AndOfView(AsyncInputDistribution):
+    """§4.1 input distribution, halting with AND of the reconstructed view."""
+
+    def _build_view(self) -> Any:  # type: ignore[override]
+        return AND.on_view(super()._build_view())
+
+
+class _OrientationVote(AsyncInputDistribution):
+    """§4.1 remark: halt with the majority-orientation switch bit (odd n)."""
+
+    def _build_view(self) -> Any:  # type: ignore[override]
+        return majority_switch_bit(super()._build_view())
+
+
+def _random_ring(n: int, rng: random.Random) -> RingConfiguration:
+    return RingConfiguration.random(n, rng)
+
+
+def _odd_ring(n: int, rng: random.Random) -> RingConfiguration:
+    if n % 2 == 0:
+        raise ConfigurationError(f"orientation target needs odd n, got {n}")
+    return RingConfiguration.random(n, rng)
+
+
+def _labeled_ring(n: int, rng: random.Random) -> RingConfiguration:
+    """Clockwise ring with distinct labels (what the election baselines need)."""
+    labels = list(range(1, n + 1))
+    rng.shuffle(labels)
+    return RingConfiguration.oriented(tuple(labels))
+
+
+def default_targets() -> Tuple[FuzzTarget, ...]:
+    """The standard registry swept by ``python -m repro fuzz``."""
+    return (
+        FuzzTarget(
+            name="input-distribution",
+            factory=AsyncInputDistribution,
+            make_config=_random_ring,
+            sizes=(2, 3, 4, 5, 7),
+            description="§4.1 input distribution on random rings",
+        ),
+        FuzzTarget(
+            name="and",
+            factory=_AndOfView,
+            make_config=_random_ring,
+            sizes=(2, 3, 4, 5, 7),
+            description="AND via input distribution (§4.1 corollary)",
+        ),
+        FuzzTarget(
+            name="orientation",
+            factory=_OrientationVote,
+            make_config=_odd_ring,
+            sizes=(3, 5, 7),
+            description="odd-ring orientation by majority vote (§4.1 remark)",
+        ),
+        FuzzTarget(
+            name="chang-roberts",
+            factory=ChangRoberts,
+            make_config=_labeled_ring,
+            sizes=(2, 3, 5, 8),
+            description="unidirectional leader election (labeled baseline)",
+        ),
+        FuzzTarget(
+            name="franklin",
+            factory=Franklin,
+            make_config=_labeled_ring,
+            sizes=(2, 3, 5, 8),
+            description="bidirectional round-based election (labeled baseline)",
+        ),
+        FuzzTarget(
+            name="hirschberg-sinclair",
+            factory=HirschbergSinclair,
+            make_config=_labeled_ring,
+            sizes=(2, 3, 5, 8),
+            description="doubling-probe election (labeled baseline)",
+        ),
+        FuzzTarget(
+            name="peterson",
+            factory=Peterson,
+            make_config=_labeled_ring,
+            sizes=(2, 3, 5, 8),
+            description="unidirectional temporary-id election (labeled baseline)",
+        ),
+    )
+
+
+def target_by_name(name: str) -> FuzzTarget:
+    """Look up a registry target, with a helpful error on typos."""
+    targets: Dict[str, FuzzTarget] = {t.name: t for t in default_targets()}
+    try:
+        return targets[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fuzz target {name!r}; choose from {sorted(targets)}"
+        ) from None

@@ -1,0 +1,57 @@
+"""Deterministic JSON reports and terminal summaries for fuzz campaigns.
+
+Reports are byte-identical for identical ``run_fuzz`` arguments: keys are
+sorted, there are no timestamps, and every number in the report derives
+from the master seed.  That makes ``FUZZ.json`` diffable across machines
+and lets CI assert "same seed, same report".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """The canonical serialized form (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(report: Dict[str, Any], path: str = "FUZZ.json") -> Path:
+    """Write the canonical JSON form; returns the path written."""
+    target = Path(path)
+    target.write_text(report_json(report))
+    return target
+
+
+def render_summary(report: Dict[str, Any]) -> str:
+    """A compact per-campaign table plus minimized-witness details."""
+    lines: List[str] = []
+    header = f"{'target':<22} {'n':>3} {'profile':<8} {'mode':<8} {'cases':>5} {'ok':>4} {'tol':>4} {'viol':>4}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for campaign in report["campaigns"]:
+        lines.append(
+            f"{campaign['target']:<22} {campaign['n']:>3} "
+            f"{campaign['profile']:<8} "
+            f"{'strict' if campaign['strict'] else 'lenient':<8} "
+            f"{campaign['cases']:>5} {campaign['ok']:>4} "
+            f"{campaign['tolerated_failures']:>4} {len(campaign['violations']):>4}"
+        )
+    totals = report["totals"]
+    lines.append(
+        f"totals: {totals['campaigns']} campaigns, {totals['cases']} cases, "
+        f"{totals['violations']} violations (seed {report['seed']})"
+    )
+    for campaign in report["campaigns"]:
+        for violation in campaign["violations"]:
+            minimized = violation.get("minimized", {})
+            lines.append(
+                f"  VIOLATION {campaign['target']} n={campaign['n']} "
+                f"profile={campaign['profile']} case_seed={violation['case_seed']}: "
+                f"{violation['kind']} — {violation['detail']} "
+                f"(minimized to {minimized.get('events', '?')} events, "
+                f"replay_deterministic={minimized.get('replay_deterministic')})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Replayable schedule traces: record once, replay byte-identically.
+
+A fuzzed run is driven by two seeded random streams — the scheduler's
+channel choices and the fault adversary's per-event actions.  Replaying
+from the seeds alone would be fragile (any drift in RNG consumption
+breaks it) and, worse, unshrinkable.  So the fuzzer records the *effect*
+of every decision instead:
+
+* per scheduling event, the **index** of the chosen channel within the
+  engine's sorted pending view (a small int — channel ids themselves
+  never need to be stored);
+* per scheduling event, the adversary's **action** (deliver / drop /
+  duplicate, as an int);
+* the planned **crash events** ``(event_index, processor)``.
+
+Because the engine is deterministic given these streams, a
+:class:`ScheduleTrace` pins down the entire execution.  Truncating the
+streams to a prefix still defines a complete run — the replay scheduler
+falls back to deterministic round-robin and the replay adversary to
+benign delivery — which is exactly the structure the shrinker needs to
+delta-debug a failure to a minimal failing prefix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..asynch.adversary import CrashEvent
+from ..asynch.schedulers import ChannelId, RoundRobinScheduler, Scheduler
+from ..core.errors import SimulationError
+
+
+class ReplayDivergence(SimulationError):
+    """A replayed run did not match its recording.
+
+    Raised when a recorded channel-choice index falls outside the current
+    pending view: the run being replayed is not the run that was recorded
+    (nondeterministic algorithm, mutated config, or an engine bug).
+    """
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """The complete decision record of one asynchronous run.
+
+    Attributes:
+        choices: per scheduling event, the index of the chosen channel in
+            the (sorted) pending view.
+        actions: per scheduling event, the adversary's
+            :class:`~repro.asynch.adversary.Action` as an int; empty for
+            fault-free runs (implicitly all ``DELIVER``).
+        crashes: planned crash-stop events ``(event_index, processor)``.
+    """
+
+    choices: Tuple[int, ...] = ()
+    actions: Tuple[int, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def truncated(self, length: int) -> "ScheduleTrace":
+        """The prefix of this trace covering the first ``length`` events.
+
+        Crash events are kept whole — they are part of the fault plan,
+        not of the per-event decision streams being shrunk.
+        """
+        return ScheduleTrace(
+            choices=self.choices[:length],
+            actions=self.actions[:length],
+            crashes=self.crashes,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Compact JSON form (plain lists of ints)."""
+        return {
+            "choices": list(self.choices),
+            "actions": list(self.actions),
+            "crashes": [list(event) for event in self.crashes],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ScheduleTrace":
+        return cls(
+            choices=tuple(int(c) for c in data.get("choices", ())),
+            actions=tuple(int(a) for a in data.get("actions", ())),
+            crashes=tuple(
+                (int(when), int(victim)) for when, victim in data.get("crashes", ())
+            ),
+        )
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps any scheduler, recording each choice as a pending-view index.
+
+    The pending view is always sorted ascending, so the index both is
+    compact and can be recovered with a binary search no matter how the
+    wrapped scheduler picked the channel.
+    """
+
+    def __init__(self, base: Scheduler) -> None:
+        self.base = base
+        self.choices: list = []
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        choice = self.base.choose(pending)
+        index = bisect_left(pending, choice)
+        self.choices.append(index)
+        return choice
+
+
+class ReplayScheduler(Scheduler):
+    """Replays recorded pending-view indices, then falls back deterministically.
+
+    Once the recorded choices are exhausted the scheduler delegates to a
+    fresh round-robin — so a truncated trace still defines a complete,
+    deterministic run (the property the shrinker relies on).
+    """
+
+    def __init__(
+        self,
+        choices: Sequence[int],
+        fallback: Optional[Scheduler] = None,
+    ) -> None:
+        self._choices = tuple(choices)
+        self._next = 0
+        self._fallback = fallback or RoundRobinScheduler()
+
+    def choose(self, pending: Sequence[ChannelId]) -> ChannelId:
+        if self._next >= len(self._choices):
+            return self._fallback.choose(pending)
+        index = self._choices[self._next]
+        self._next += 1
+        if index >= len(pending):
+            raise ReplayDivergence(
+                f"recorded choice #{self._next} is index {index}, but only "
+                f"{len(pending)} channels are pending — the replayed run "
+                "diverged from its recording"
+            )
+        return pending[index]

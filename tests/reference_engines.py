@@ -7,7 +7,8 @@ every event, rebuild every per-cycle structure from scratch, scan
 ``all(halted)``) with the documented timing conventions applied —
 
 * asynchronous start-event sends are stamped ``send_time = 0`` and the
-  delivery clock starts after the start phase;
+  delivery clock counts actual deliveries only — drops at halted
+  processors are tallied in ``stats.dropped`` and do not tick the clock;
 * the one-message-per-port-per-cycle rule applies to waking processors
   exactly as to awake ones.
 
@@ -116,14 +117,20 @@ def run_asynchronous_reference(
         events += 1
         if events > budget:
             raise NonTerminationError(f"event budget {budget} exhausted")
-        cid = scheduler.choose(pending)
+        cid = scheduler.choose(tuple(pending))
         if cid not in queues or not queues[cid]:
-            raise SimulationError(f"scheduler chose empty channel {cid!r}")
+            raise SimulationError(
+                f"{type(scheduler).__name__} chose channel {cid!r}, which has "
+                "no pending message (schedulers must return one of the "
+                "channels in the pending view)"
+            )
         in_port, payload = queues[cid].popleft()
         _, receiver, _ = cid
-        clock += 1
         if engine.halted[receiver]:
+            engine.stats.dropped += 1
             continue
+        engine.stats.delivered += 1
+        clock += 1
         dispatch(receiver, engine.invoke_message(receiver, in_port, payload), clock)
 
     engine.check_all_halted()
@@ -165,7 +172,9 @@ def run_async_synchronized_reference(
             for port in (Port.LEFT, Port.RIGHT):
                 for payload in arriving[i][port]:
                     if engine.halted[i]:
+                        engine.stats.dropped += 1
                         continue
+                    engine.stats.delivered += 1
                     dispatch(i, engine.invoke_message(i, port, payload), cycle)
 
     engine.check_all_halted()

@@ -57,6 +57,9 @@ def assert_equivalent(got, want):
     assert a.stats.messages == b.stats.messages
     assert a.stats.bits == b.stats.bits
     assert a.stats.per_cycle == b.stats.per_cycle
+    assert a.stats.delivered == b.stats.delivered
+    assert a.stats.dropped == b.stats.dropped
+    assert a.stats.duplicated == b.stats.duplicated
     assert a.stats.log == b.stats.log  # byte-identical envelope sequence
 
 

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Envelope, LEFT, RIGHT, RunResult, TraceStats
+from repro.core import (
+    Envelope,
+    LEFT,
+    OutputDisagreement,
+    RIGHT,
+    RunResult,
+    SimulationError,
+    TraceStats,
+)
 
 
 def env(cycle: int, payload="0") -> Envelope:
@@ -68,6 +76,15 @@ class TestRunResult:
         assert result.n == 3
 
     def test_disagreement_raises(self):
+        """Regression: a dedicated error, not a bare ``assert``.
+
+        ``AssertionError`` vanishes under ``python -O`` and is
+        indistinguishable from harness bugs; ``OutputDisagreement`` is a
+        :class:`SimulationError` and carries the outputs tuple.
+        """
         result = RunResult(outputs=(1, 0), stats=TraceStats())
-        with pytest.raises(AssertionError):
+        with pytest.raises(OutputDisagreement) as excinfo:
             result.unanimous_output()
+        assert excinfo.value.outputs == (1, 0)
+        assert isinstance(excinfo.value, SimulationError)
+        assert not isinstance(excinfo.value, AssertionError)
