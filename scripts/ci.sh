@@ -7,24 +7,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
+echo "== lint (ruff) =="
+# Config lives in pyproject.toml ([tool.ruff]); tolerated as a no-op
+# where the ruff binary isn't installed.
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+else
+    echo "ruff not installed; skipping lint"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== bench smoke (quick) =="
-python -m repro bench --quick --output BENCH_smoke.json
+echo "== bench smoke (quick, --jobs 2) =="
+python -m repro bench --quick --jobs 2 --output BENCH_smoke.json
 rm -f BENCH_smoke.json
 
-echo "== analysis bench smoke (quick) =="
-python -m repro bench --suite analysis --quick --output BENCH_analysis_smoke.json
+echo "== analysis bench smoke (quick, --jobs 2) =="
+python -m repro bench --suite analysis --quick --jobs 2 --output BENCH_analysis_smoke.json
 rm -f BENCH_analysis_smoke.json
 
 echo "== symmetry analysis benchmarks =="
 python -m pytest benchmarks/test_bench_symmetry.py -q
 
-echo "== schedule-fuzz smoke (fixed seed) =="
+echo "== schedule-fuzz smoke (fixed seed, --jobs 2) =="
 # Small fixed-seed sweep so schedule-dependent regressions in the engine
 # or the algorithms fail fast; exits nonzero on any invariant violation.
-python -m repro fuzz --quick --seed 20240501 --output FUZZ_smoke.json
+# --jobs 2 exercises the multiprocessing path (reports are identical for
+# every job count).
+python -m repro fuzz --quick --seed 20240501 --jobs 2 --output FUZZ_smoke.json
 rm -f FUZZ_smoke.json
 
 echo "ci.sh: all green"
+
+# Docs refresh (not run in CI): after a change that moves any measured
+# number, regenerate the committed experiment tables in place with
+#   python -m repro report --output EXPERIMENTS.md --jobs "$(nproc)"
+# and commit the diff.  The file's footer carries no timestamps, so an
+# unchanged report regenerates byte-identically.

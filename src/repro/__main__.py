@@ -19,6 +19,32 @@ import sys
 import time
 
 
+def _make_runner(args: argparse.Namespace):
+    """A Runner honouring ``--jobs`` and ``--cache`` / $REPRO_CACHE_DIR."""
+    from .runtime import ResultCache, Runner, default_cache
+
+    if getattr(args, "cache", None):
+        cache = ResultCache(args.cache)
+    else:
+        cache = default_cache()
+    return Runner(jobs=args.jobs, cache=cache)
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for every value)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import random
 
@@ -60,17 +86,20 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .reporting import render_markdown, run_all
+    from .reporting import render_markdown, report_footer, run_all, write_markdown
 
     start = time.time()
-    records = run_all(quick=args.quick)
-    body = render_markdown(records)
-    print(body)
+    records = run_all(quick=args.quick, runner=_make_runner(args))
     ok = all(record.ok for record in records)
-    print(
-        f"<!-- generated by `python -m repro report` in "
-        f"{time.time() - start:.0f}s; all satisfied: {ok} -->"
-    )
+    if args.output is not None:
+        write_markdown(records, args.output)
+        print(f"wrote {args.output} ({len(records)} experiments)", file=sys.stderr)
+    else:
+        # stdout carries only deterministic text (byte-identical for
+        # every --jobs value); the timing goes to stderr.
+        print(render_markdown(records))
+        print(report_footer(records))
+    print(f"report took {time.time() - start:.1f}s", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -128,6 +157,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    runner = _make_runner(args)
     for suite in suites:
         start = time.time()
         if suite == "simulators":
@@ -135,11 +165,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 quick=args.quick,
                 repeats=args.repeats,
                 sizes=tuple(args.sizes) if args.sizes else None,
+                runner=runner,
             )
             path = write_bench(records, args.output, quick=args.quick)
             print(render_table(records))
         else:
-            records = run_analysis_bench(quick=args.quick, repeats=args.repeats)
+            records = run_analysis_bench(
+                quick=args.quick, repeats=args.repeats, runner=runner
+            )
             path = write_analysis_bench(records, args.output, quick=args.quick)
             print(render_analysis_table(records))
         print(f"wrote {path} ({len(records)} records in {time.time() - start:.1f}s)")
@@ -168,6 +201,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         sizes=sizes,
         profiles=profiles,
         cases_per_campaign=cases,
+        runner=_make_runner(args),
     )
     path = write_report(report, args.output)
     print(render_summary(report))
@@ -188,6 +222,14 @@ def main(argv=None) -> int:
     sub.add_parser("demo", help="30-second tour").set_defaults(fn=_cmd_demo)
     report = sub.add_parser("report", help="run all experiments, print EXPERIMENTS body")
     report.add_argument("--quick", action="store_true", help="trimmed sweeps")
+    report.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="regenerate a markdown file in place (e.g. EXPERIMENTS.md) "
+        "instead of printing to stdout",
+    )
+    _add_runner_arguments(report)
     report.set_defaults(fn=_cmd_report)
     sub.add_parser("verify", help="re-verify lower-bound constructions").set_defaults(
         fn=_cmd_verify
@@ -214,6 +256,7 @@ def main(argv=None) -> int:
         default=None,
         help="output path (default: the suite's ./BENCH_*.json)",
     )
+    _add_runner_arguments(bench)
     bench.set_defaults(fn=_cmd_bench)
     fuzz = sub.add_parser(
         "fuzz",
@@ -250,6 +293,7 @@ def main(argv=None) -> int:
     fuzz.add_argument(
         "--output", default="FUZZ.json", help="report path (default ./FUZZ.json)"
     )
+    _add_runner_arguments(fuzz)
     fuzz.set_defaults(fn=_cmd_fuzz)
     args = parser.parse_args(argv)
     return args.fn(args)

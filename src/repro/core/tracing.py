@@ -51,20 +51,23 @@ class TraceStats:
     log: List[Envelope] = field(default_factory=list)
 
     def record(self, envelope: Envelope) -> None:
-        """Account for one sent message."""
-        self.messages += 1
-        self.bits += envelope.bits
-        cycle = envelope.send_time
-        self.per_cycle[cycle] = self.per_cycle.get(cycle, 0) + 1
+        """Account for one sent message (and log it under ``keep_log``).
+
+        Delegates the counter updates to :meth:`record_send` — the
+        accounting lives in exactly one place, so a logged run and an
+        unlogged run of the same schedule accumulate identical
+        ``messages`` / ``bits`` / ``per_cycle`` counters by construction.
+        """
+        self.record_send(envelope.bits, envelope.send_time)
         if self.keep_log:
             self.log.append(envelope)
 
     def record_send(self, bits: int, cycle: int) -> None:
         """Account for one sent message from pre-extracted fields.
 
-        The engines' hot paths use this when ``keep_log`` is false: it
-        updates the same totals and per-cycle histogram as :meth:`record`
-        without constructing an :class:`~repro.core.message.Envelope`.
+        The engines' hot paths use this directly when ``keep_log`` is
+        false, skipping :class:`~repro.core.message.Envelope`
+        construction; :meth:`record` funnels through it otherwise.
         """
         self.messages += 1
         self.bits += bits

@@ -57,7 +57,8 @@ from ..core.errors import (
 )
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult
-from .registry import FuzzTarget, default_targets
+from ..runtime.runner import Runner, TaskCall, derive_seed, task_digest
+from .registry import FuzzTarget, default_targets, target_by_name
 from .trace import RecordingScheduler, ReplayScheduler, ScheduleTrace
 
 _SEED_SPAN = 2**63
@@ -323,12 +324,44 @@ def _describe_config(config: RingConfiguration) -> Dict[str, Any]:
 def _case_seed(master_seed: int, target: str, n: int, profile: str, index: int) -> int:
     """A stable per-case seed: a pure function of the coordinates.
 
-    Seeding :class:`random.Random` with a string uses its own hashing
-    (not ``hash()``), so this is reproducible across processes and
-    ``PYTHONHASHSEED`` values.
+    Delegates to :func:`repro.runtime.runner.derive_seed` (string-keyed
+    :class:`random.Random`, not ``hash()``), so the same coordinates
+    yield the same seed in every process, on every worker of a pool,
+    for every ``PYTHONHASHSEED``.
     """
-    key = f"{master_seed}|{target}|{n}|{profile}|{index}"
-    return random.Random(key).randrange(_SEED_SPAN)
+    return derive_seed(master_seed, target, n, profile, index)
+
+
+def run_named_case(target_name: str, case: FuzzCase) -> Dict[str, Any]:
+    """Run one case of a *default-registry* target, resolved by name.
+
+    This is the pool-worker entry point for parallel fuzzing: only the
+    target's name and the case coordinates travel to the worker, which
+    resolves the factory from :mod:`repro.runtime.registry` locally.
+    """
+    return run_case(target_by_name(target_name), case)
+
+
+def _case_calls(
+    targets: Tuple[FuzzTarget, ...], flat: List[Tuple[FuzzTarget, FuzzCase]]
+) -> List[TaskCall]:
+    """One TaskCall per case; default targets travel by name, others by value.
+
+    A custom target (e.g. a test's planted-bug target) is shipped
+    pickled, which requires its factory and config maker to be
+    module-level — the same rule any multiprocessing payload obeys.
+    """
+    named = {t.name: t for t in default_targets()}
+    calls = []
+    for target, case in flat:
+        key = task_digest("fuzz-case", target.name, case.n, case.case_seed, case.profile)
+        if named.get(target.name) == target:
+            calls.append(
+                TaskCall("repro.faults.fuzzer:run_named_case", (target.name, case), key)
+            )
+        else:
+            calls.append(TaskCall("repro.faults.fuzzer:run_case", (target, case), key))
+    return calls
 
 
 def run_fuzz(
@@ -337,23 +370,30 @@ def run_fuzz(
     sizes: Optional[Tuple[int, ...]] = None,
     profiles: Tuple[str, ...] = ("none", "drop", "dup", "crash", "delay", "mixed"),
     cases_per_campaign: int = 8,
+    jobs: int = 1,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Any]:
     """Sweep the registry; returns the full JSON-able fuzz report.
 
     The report is a pure function of the arguments: same seed, same
-    byte-identical report (no timestamps, no ambient randomness).
+    byte-identical report (no timestamps, no ambient randomness), for
+    every ``jobs`` value — each case is an independent task fanned over
+    the runner's pool and reassembled in campaign order.
     """
     targets = targets if targets is not None else default_targets()
-    campaigns: List[Dict[str, Any]] = []
-    total_cases = 0
-    total_violations = 0
+    runner = runner if runner is not None else Runner(jobs=jobs)
+
+    # Enumerate every campaign's cases up front (order is the report
+    # order), fan the flat case list over the runner, then reassemble.
+    campaign_coords: List[Tuple[FuzzTarget, int, str]] = []
+    flat: List[Tuple[FuzzTarget, FuzzCase]] = []
     for target in targets:
         target_sizes = sizes if sizes is not None else target.sizes
         for n in target_sizes:
             if target.name == "orientation" and n % 2 == 0:
                 continue  # shape constraint: the majority vote needs odd n
             for profile in profiles:
-                records = []
+                campaign_coords.append((target, n, profile))
                 for index in range(cases_per_campaign):
                     case = FuzzCase(
                         target=target.name,
@@ -361,24 +401,33 @@ def run_fuzz(
                         case_seed=_case_seed(seed, target.name, n, profile, index),
                         profile=profile,
                     )
-                    records.append(run_case(target, case))
-                violations = [r["violation"] | {"case_seed": r["case_seed"]}
-                              for r in records if r["status"] == "violation"]
-                tolerated = sum(1 for r in records if r["status"] == "tolerated-failure")
-                total_cases += len(records)
-                total_violations += len(violations)
-                campaigns.append(
-                    {
-                        "target": target.name,
-                        "n": n,
-                        "profile": profile,
-                        "strict": FAULT_PROFILES[profile].kinds() <= target.tolerates,
-                        "cases": len(records),
-                        "ok": sum(1 for r in records if r["status"] == "ok"),
-                        "tolerated_failures": tolerated,
-                        "violations": violations,
-                    }
-                )
+                    flat.append((target, case))
+    flat_records = runner.map(_case_calls(targets, flat))
+
+    campaigns: List[Dict[str, Any]] = []
+    total_cases = 0
+    total_violations = 0
+    cursor = 0
+    for target, n, profile in campaign_coords:
+        records = flat_records[cursor : cursor + cases_per_campaign]
+        cursor += cases_per_campaign
+        violations = [r["violation"] | {"case_seed": r["case_seed"]}
+                      for r in records if r["status"] == "violation"]
+        tolerated = sum(1 for r in records if r["status"] == "tolerated-failure")
+        total_cases += len(records)
+        total_violations += len(violations)
+        campaigns.append(
+            {
+                "target": target.name,
+                "n": n,
+                "profile": profile,
+                "strict": FAULT_PROFILES[profile].kinds() <= target.tolerates,
+                "cases": len(records),
+                "ok": sum(1 for r in records if r["status"] == "ok"),
+                "tolerated_failures": tolerated,
+                "violations": violations,
+            }
+        )
     return {
         "schema": 1,
         "tool": "python -m repro fuzz",

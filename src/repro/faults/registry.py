@@ -7,6 +7,13 @@ the algorithm's declared fault tolerance (read off the process class's
 ``fault_tolerance`` attribute, see
 :class:`repro.asynch.process.AsyncProcess`).
 
+Since the runtime refactor the process factories live in the
+runtime-level algorithm registry (:mod:`repro.runtime.registry`); the
+default targets here resolve their factories from it by name, so a
+``(target name, case coordinates)`` pair is enough to regenerate any
+fuzz case in any process — which is what lets ``run_fuzz`` fan cases
+across a ``multiprocessing`` pool.
+
 The default registry covers the asynchronous algorithms of the paper —
 §4.1 input distribution, function computation (AND) and odd-ring
 orientation on top of it — plus the labeled-ring leader-election
@@ -18,20 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Callable, Dict, Tuple
 
-from ..algorithms.async_input_distribution import AsyncInputDistribution
-from ..algorithms.functions import AND
-from ..algorithms.leader_election import (
-    ChangRoberts,
-    Franklin,
-    HirschbergSinclair,
-    Peterson,
-)
-from ..algorithms.orientation_async import majority_switch_bit
 from ..asynch.process import AsyncFactory
 from ..core.errors import ConfigurationError
 from ..core.ring import RingConfiguration
+from ..runtime.registry import algorithm
 
 ConfigMaker = Callable[[int, random.Random], RingConfiguration]
 
@@ -52,20 +51,6 @@ class FuzzTarget:
         return getattr(self.factory, "fault_tolerance", frozenset({"delay"}))
 
 
-class _AndOfView(AsyncInputDistribution):
-    """§4.1 input distribution, halting with AND of the reconstructed view."""
-
-    def _build_view(self) -> Any:  # type: ignore[override]
-        return AND.on_view(super()._build_view())
-
-
-class _OrientationVote(AsyncInputDistribution):
-    """§4.1 remark: halt with the majority-orientation switch bit (odd n)."""
-
-    def _build_view(self) -> Any:  # type: ignore[override]
-        return majority_switch_bit(super()._build_view())
-
-
 def _random_ring(n: int, rng: random.Random) -> RingConfiguration:
     return RingConfiguration.random(n, rng)
 
@@ -84,53 +69,57 @@ def _labeled_ring(n: int, rng: random.Random) -> RingConfiguration:
 
 
 def default_targets() -> Tuple[FuzzTarget, ...]:
-    """The standard registry swept by ``python -m repro fuzz``."""
+    """The standard registry swept by ``python -m repro fuzz``.
+
+    Factories are resolved from :mod:`repro.runtime.registry` under the
+    same names, so every default target is addressable by name alone.
+    """
     return (
         FuzzTarget(
             name="input-distribution",
-            factory=AsyncInputDistribution,
+            factory=algorithm("input-distribution").build(),
             make_config=_random_ring,
             sizes=(2, 3, 4, 5, 7),
             description="§4.1 input distribution on random rings",
         ),
         FuzzTarget(
             name="and",
-            factory=_AndOfView,
+            factory=algorithm("and").build(),
             make_config=_random_ring,
             sizes=(2, 3, 4, 5, 7),
             description="AND via input distribution (§4.1 corollary)",
         ),
         FuzzTarget(
             name="orientation",
-            factory=_OrientationVote,
+            factory=algorithm("orientation").build(),
             make_config=_odd_ring,
             sizes=(3, 5, 7),
             description="odd-ring orientation by majority vote (§4.1 remark)",
         ),
         FuzzTarget(
             name="chang-roberts",
-            factory=ChangRoberts,
+            factory=algorithm("chang-roberts").build(),
             make_config=_labeled_ring,
             sizes=(2, 3, 5, 8),
             description="unidirectional leader election (labeled baseline)",
         ),
         FuzzTarget(
             name="franklin",
-            factory=Franklin,
+            factory=algorithm("franklin").build(),
             make_config=_labeled_ring,
             sizes=(2, 3, 5, 8),
             description="bidirectional round-based election (labeled baseline)",
         ),
         FuzzTarget(
             name="hirschberg-sinclair",
-            factory=HirschbergSinclair,
+            factory=algorithm("hirschberg-sinclair").build(),
             make_config=_labeled_ring,
             sizes=(2, 3, 5, 8),
             description="doubling-probe election (labeled baseline)",
         ),
         FuzzTarget(
             name="peterson",
-            factory=Peterson,
+            factory=algorithm("peterson").build(),
             make_config=_labeled_ring,
             sizes=(2, 3, 5, 8),
             description="unidirectional temporary-id election (labeled baseline)",

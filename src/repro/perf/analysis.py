@@ -34,6 +34,7 @@ from ..core.neighborhood import (
     naive_symmetry_profile_set,
 )
 from ..core.ring import RingConfiguration
+from ..runtime.runner import Runner, TaskCall, task_digest
 from .bench import write_payload
 
 #: Default output file, written to the current working directory.
@@ -284,23 +285,50 @@ def measure_analysis(
     )
 
 
+def measure_analysis_named(name: str, impl: str, n: int, repeats: int) -> AnalysisRecord:
+    """Measure one default workload by (name, impl) — the pool-worker entry."""
+    named = {(w.name, w.impl): w for w in default_analysis_workloads()}
+    return measure_analysis(named[(name, impl)], n, repeats)
+
+
 def run_analysis_bench(
     quick: bool = False,
     repeats: Optional[int] = None,
     workloads: Optional[Sequence[AnalysisWorkload]] = None,
+    jobs: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[AnalysisRecord]:
     """Run the suite; ``quick`` trims sweeps for CI smoke runs.
 
     ``repeats`` defaults to 1 in quick mode and 2 otherwise (the naive
-    points dominate the runtime).  Raises if an engine/naive pair at the
-    same ``(workload, n)`` disagrees on its checksum.
+    points dominate the runtime).  ``jobs`` fans the (workload, n) grid
+    across a process pool — the naive points no longer serialize behind
+    each other; custom workload lists carry arbitrary callables and run
+    in-process.  Raises if an engine/naive pair at the same
+    ``(workload, n)`` disagrees on its checksum.
     """
     if repeats is None:
         repeats = 1 if quick else 2
-    records: List[AnalysisRecord] = []
-    for workload in workloads if workloads is not None else default_analysis_workloads():
-        for n in workload.quick_sizes if quick else workload.sizes:
-            records.append(measure_analysis(workload, n, repeats))
+    named = {(w.name, w.impl): w for w in default_analysis_workloads()}
+    chosen = tuple(workloads) if workloads is not None else tuple(named.values())
+    grid: List[Tuple[AnalysisWorkload, int]] = []
+    for workload in chosen:
+        sweep = workload.quick_sizes if quick else workload.sizes
+        grid.extend((workload, n) for n in sweep)
+    if all(named.get((w.name, w.impl)) == w for w, _ in grid):
+        if runner is None:
+            runner = Runner(jobs=jobs)
+        calls = [
+            TaskCall(
+                func="repro.perf.analysis:measure_analysis_named",
+                args=(w.name, w.impl, n, repeats),
+                cache_key=task_digest("analysis-bench", w.name, w.impl, n, repeats),
+            )
+            for w, n in grid
+        ]
+        records = list(runner.map(calls))
+    else:
+        records = [measure_analysis(w, n, repeats) for w, n in grid]
     _cross_check(records)
     return records
 

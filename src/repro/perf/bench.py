@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult
+from ..runtime.runner import Runner, TaskCall, task_digest
+from ..runtime.spec import RunSpec, execute
 
 #: Default output file, written to the current working directory.
 BENCH_FILENAME = "BENCH_simulators.json"
@@ -122,38 +124,45 @@ def _async_events(result: RunResult) -> int:
 
 
 def _run_sync_and(n: int) -> RunResult:
-    from ..algorithms.sync_and import compute_and_sync
-
     # A single zero makes the announcement wave cross the whole ring —
     # the algorithm's worst case for both messages and cycles.
-    config = RingConfiguration.oriented((0,) + (1,) * (n - 1))
-    return compute_and_sync(config)
+    spec = RunSpec.make(
+        engine="sync",
+        ring=RingConfiguration.oriented((0,) + (1,) * (n - 1)),
+        algorithm="sync-and",
+    )
+    return execute(spec)
 
 
 def _run_sync_input_distribution(n: int) -> RunResult:
-    from ..algorithms.sync_input_distribution import distribute_inputs_sync
-
-    return distribute_inputs_sync(_binary_ring(n))
+    spec = RunSpec.make(
+        engine="sync",
+        ring=_binary_ring(n),
+        algorithm="fig2-input-distribution",
+    )
+    return execute(spec)
 
 
 def _run_async_input_distribution(n: int) -> RunResult:
-    from ..algorithms.async_input_distribution import distribute_inputs_async
-    from ..asynch.schedulers import RoundRobinScheduler
-
     # Oriented ring: exactly n(n−1) messages at every size (§4.1).
-    return distribute_inputs_async(
-        _binary_ring(n), scheduler=RoundRobinScheduler(), assume_oriented=True
+    spec = RunSpec.make(
+        engine="async",
+        ring=_binary_ring(n),
+        algorithm="input-distribution",
+        params={"assume_oriented": True},
+        scheduler="round-robin",
     )
+    return execute(spec)
 
 
 def _run_async_synchronized(n: int) -> RunResult:
-    from ..algorithms.async_input_distribution import AsyncInputDistribution
-    from ..asynch.simulator import run_async_synchronized
-
-    return run_async_synchronized(
-        _binary_ring(n),
-        lambda value, size: AsyncInputDistribution(value, size, assume_oriented=True),
+    spec = RunSpec.make(
+        engine="async-synchronized",
+        ring=_binary_ring(n),
+        algorithm="input-distribution",
+        params={"assume_oriented": True},
     )
+    return execute(spec)
 
 
 def default_workloads() -> Tuple[Workload, ...]:
@@ -222,27 +231,52 @@ def measure(workload: Workload, n: int, repeats: int) -> BenchRecord:
     )
 
 
+def measure_named(name: str, n: int, repeats: int) -> BenchRecord:
+    """Measure one default workload by name — the pool-worker entry point."""
+    named = {workload.name: workload for workload in default_workloads()}
+    return measure(named[name], n, repeats)
+
+
 def run_bench(
     quick: bool = False,
     repeats: Optional[int] = None,
     sizes: Optional[Sequence[int]] = None,
     workloads: Optional[Sequence[Workload]] = None,
+    jobs: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[BenchRecord]:
     """Run the suite; ``quick`` trims sweeps for CI smoke runs.
 
     ``sizes`` overrides every workload's sweep (useful for ad-hoc probes);
-    ``repeats`` defaults to 1 in quick mode and 3 otherwise.
+    ``repeats`` defaults to 1 in quick mode and 3 otherwise.  ``jobs``
+    fans the (workload, n) grid across a process pool; workloads that are
+    not part of :func:`default_workloads` carry arbitrary callables, so
+    they always run in-process.  Records come back in grid order
+    regardless of worker interleaving.
     """
     if repeats is None:
         repeats = 1 if quick else 3
-    records: List[BenchRecord] = []
-    for workload in workloads if workloads is not None else default_workloads():
+    named = {workload.name: workload for workload in default_workloads()}
+    chosen = tuple(workloads) if workloads is not None else tuple(named.values())
+    grid: List[Tuple[Workload, int]] = []
+    for workload in chosen:
         sweep = tuple(sizes) if sizes else (
             workload.quick_sizes if quick else workload.sizes
         )
-        for n in sweep:
-            records.append(measure(workload, n, repeats))
-    return records
+        grid.extend((workload, n) for n in sweep)
+    if all(named.get(workload.name) == workload for workload, _ in grid):
+        if runner is None:
+            runner = Runner(jobs=jobs)
+        calls = [
+            TaskCall(
+                func="repro.perf.bench:measure_named",
+                args=(workload.name, n, repeats),
+                cache_key=task_digest("bench", workload.name, n, repeats),
+            )
+            for workload, n in grid
+        ]
+        return list(runner.map(calls))
+    return [measure(workload, n, repeats) for workload, n in grid]
 
 
 def render_table(records: Sequence[BenchRecord]) -> str:

@@ -3,10 +3,17 @@
 One function per experiment of DESIGN.md's index (E1–E15 plus the
 extension ablations E16–E18); :func:`run_all` executes them and
 :func:`render_markdown` formats the result as the table EXPERIMENTS.md
-carries.  The CLI exposes this as ``python -m repro report``.
+carries.  The CLI exposes this as ``python -m repro report`` (with
+``--output EXPERIMENTS.md`` to regenerate the file in place and
+``--jobs N`` to fan experiments across cores).
 
-Sizes are chosen so the whole sweep finishes in a couple of minutes on a
-laptop; they can be scaled down with ``quick=True`` for smoke runs.
+Each experiment declares its full and quick sweep exactly once, in
+:data:`EXPERIMENT_SWEEPS`; :func:`run_all` builds one task per
+experiment and executes the batch through a
+:class:`repro.runtime.runner.Runner`, so the 18 experiments run in
+parallel under ``jobs > 1`` with byte-identical output for every job
+count.  Sizes are chosen so the whole sweep finishes in a couple of
+minutes on one core.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .algorithms import (
     XOR,
@@ -48,7 +56,7 @@ from .algorithms.time_encoding import ORIENTATION_ALPHABET
 from .analysis import BoundCheck
 from .asynch import run_async_synchronized
 from .core import RingConfiguration
-from .homomorphisms import start_sync_construction, xor_pair
+from .homomorphisms import start_sync_construction
 from .lowerbounds import (
     and_fooling_pair,
     estimate_theorem_54,
@@ -62,7 +70,7 @@ from .lowerbounds import (
     xor_arbitrary_pair,
     xor_sync_pair,
 )
-from .sync import WakeupSchedule
+from .runtime.runner import Runner, TaskCall, task_digest
 
 
 @dataclass
@@ -88,12 +96,54 @@ def _zeros(n: int) -> RingConfiguration:
     return RingConfiguration.oriented((0,) * n)
 
 
+@dataclass(frozen=True)
+class ExperimentSweep:
+    """An experiment's full and quick parameter sweeps, declared once."""
+
+    full: Tuple[int, ...]
+    quick: Tuple[int, ...]
+
+
+#: Single source of truth for every experiment's sweep.  The experiment
+#: functions read their default sizes from here and :func:`run_all`
+#: reads the ``quick`` variants, so no sweep is ever declared twice.
+#: (For E8–E10 the entries are exponents ``k``, not ring sizes.)
+EXPERIMENT_SWEEPS: Dict[str, ExperimentSweep] = {
+    "E1": ExperimentSweep((9, 15, 21, 31), (9, 15)),
+    "E2": ExperimentSweep((16, 32, 64, 128), (16, 32)),
+    "E3": ExperimentSweep((16, 32, 64, 128), (16, 32)),
+    "E4": ExperimentSweep((27, 81, 128, 243), (27, 81)),
+    "E5": ExperimentSweep((16, 32, 64, 128), (16, 32)),
+    "E6": ExperimentSweep((9, 15, 21, 31), (9, 15)),
+    "E7": ExperimentSweep((9, 15, 21, 31), (9, 15)),
+    "E8": ExperimentSweep((3, 4, 5), (3, 4)),
+    "E9": ExperimentSweep((3, 4, 5), (3, 4)),
+    "E10": ExperimentSweep((3, 4), (3,)),
+    "E11": ExperimentSweep((8, 10, 12), (8,)),
+    "E12": ExperimentSweep((100, 150, 243), (100,)),
+    "E13": ExperimentSweep((501, 999), (501,)),
+    "E14": ExperimentSweep((32, 64, 128), (32,)),
+    "E15": ExperimentSweep((16, 32, 64), (16, 32)),
+    "E16": ExperimentSweep((16, 32, 64), (16,)),
+    "E17": ExperimentSweep((32, 64, 128), (32,)),
+    "E18": ExperimentSweep((16, 32), (16,)),
+}
+
+
+def _sweep(exp_id: str, override: Optional[Sequence[int]]) -> Tuple[int, ...]:
+    """An explicit override wins; otherwise the registry's full sweep."""
+    if override is not None:
+        return tuple(override)
+    return EXPERIMENT_SWEEPS[exp_id].full
+
+
 # ----------------------------------------------------------------------
 # E1–E15 (the paper's own claims)
 # ----------------------------------------------------------------------
 
 
-def experiment_e1(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+def experiment_e1(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E1", sizes)
     record = ExperimentRecord(
         "E1", "Async input distribution", "exactly n(n−1) messages (§4.1)"
     )
@@ -106,7 +156,8 @@ def experiment_e1(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
     return record
 
 
-def experiment_e2(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+def experiment_e2(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E2", sizes)
     record = ExperimentRecord("E2", "Synchronous AND", "≤ 2n messages (§4.2)")
     for n in sizes:
         worst = max(
@@ -116,7 +167,8 @@ def experiment_e2(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
     return record
 
 
-def experiment_e3(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+def experiment_e3(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E3", sizes)
     record = ExperimentRecord(
         "E3",
         "Figure 2 input distribution",
@@ -133,7 +185,8 @@ def experiment_e3(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
     return record
 
 
-def experiment_e4(sizes: Sequence[int] = (27, 81, 128, 243)) -> ExperimentRecord:
+def experiment_e4(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E4", sizes)
     record = ExperimentRecord(
         "E4",
         "Figure 4 quasi-orientation",
@@ -150,7 +203,8 @@ def experiment_e4(sizes: Sequence[int] = (27, 81, 128, 243)) -> ExperimentRecord
     return record
 
 
-def experiment_e5(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
+def experiment_e5(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E5", sizes)
     record = ExperimentRecord(
         "E5", "Figure 5 start synchronization", "≤ 2n(1 + log₁.₅n) messages (§4.2.3)"
     )
@@ -162,7 +216,8 @@ def experiment_e5(sizes: Sequence[int] = (16, 32, 64, 128)) -> ExperimentRecord:
     return record
 
 
-def experiment_e6(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+def experiment_e6(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E6", sizes)
     record = ExperimentRecord(
         "E6",
         "AND asynchronous lower bound",
@@ -181,7 +236,8 @@ def experiment_e6(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
     return record
 
 
-def experiment_e7(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
+def experiment_e7(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E7", sizes)
     record = ExperimentRecord(
         "E7",
         "Orientation asynchronous lower bound",
@@ -199,7 +255,8 @@ def experiment_e7(sizes: Sequence[int] = (9, 15, 21, 31)) -> ExperimentRecord:
     return record
 
 
-def experiment_e8(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
+def experiment_e8(ks: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    ks = _sweep("E8", ks)
     record = ExperimentRecord(
         "E8",
         "XOR synchronous lower bound (n = 3^k)",
@@ -222,7 +279,8 @@ def experiment_e8(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
     return record
 
 
-def experiment_e9(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
+def experiment_e9(ks: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    ks = _sweep("E9", ks)
     record = ExperimentRecord(
         "E9",
         "Orientation synchronous lower bound (n = 3^k)",
@@ -243,7 +301,8 @@ def experiment_e9(ks: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
     return record
 
 
-def experiment_e10(ks: Sequence[int] = (3, 4)) -> ExperimentRecord:
+def experiment_e10(ks: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    ks = _sweep("E10", ks)
     record = ExperimentRecord(
         "E10",
         "Start-synchronization lower bound (n = 4·3^k)",
@@ -263,7 +322,8 @@ def experiment_e10(ks: Sequence[int] = (3, 4)) -> ExperimentRecord:
     return record
 
 
-def experiment_e11(sizes: Sequence[int] = (8, 10, 12)) -> ExperimentRecord:
+def experiment_e11(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E11", sizes)
     record = ExperimentRecord(
         "E11",
         "Random functions are expensive",
@@ -278,7 +338,8 @@ def experiment_e11(sizes: Sequence[int] = (8, 10, 12)) -> ExperimentRecord:
     return record
 
 
-def experiment_e12(sizes: Sequence[int] = (100, 150, 243)) -> ExperimentRecord:
+def experiment_e12(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E12", sizes)
     record = ExperimentRecord(
         "E12",
         "XOR lower bound at arbitrary n",
@@ -294,7 +355,8 @@ def experiment_e12(sizes: Sequence[int] = (100, 150, 243)) -> ExperimentRecord:
     return record
 
 
-def experiment_e13(sizes: Sequence[int] = (501, 999)) -> ExperimentRecord:
+def experiment_e13(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E13", sizes)
     record = ExperimentRecord(
         "E13",
         "Orientation/start-sync lower bounds at arbitrary n",
@@ -316,7 +378,8 @@ def experiment_e13(sizes: Sequence[int] = (501, 999)) -> ExperimentRecord:
     return record
 
 
-def experiment_e14(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
+def experiment_e14(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E14", sizes)
     record = ExperimentRecord(
         "E14",
         "Time/bits trade-off",
@@ -340,7 +403,8 @@ def experiment_e14(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
     return record
 
 
-def experiment_e15(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
+def experiment_e15(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E15", sizes)
     record = ExperimentRecord(
         "E15",
         "Extrema crossover (Cor. 5.2)",
@@ -369,7 +433,8 @@ def experiment_e15(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
 # ----------------------------------------------------------------------
 
 
-def experiment_e16(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
+def experiment_e16(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E16", sizes)
     record = ExperimentRecord(
         "E16",
         "Bit-efficient start synchronization (§4.2.4)",
@@ -389,7 +454,8 @@ def experiment_e16(sizes: Sequence[int] = (16, 32, 64)) -> ExperimentRecord:
     return record
 
 
-def experiment_e17(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
+def experiment_e17(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E17", sizes)
     record = ExperimentRecord(
         "E17",
         "Unidirectional Figure 2 (§4.2.1 remark)",
@@ -404,7 +470,8 @@ def experiment_e17(sizes: Sequence[int] = (32, 64, 128)) -> ExperimentRecord:
     return record
 
 
-def experiment_e18(sizes: Sequence[int] = (16, 32)) -> ExperimentRecord:
+def experiment_e18(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E18", sizes)
     record = ExperimentRecord(
         "E18",
         "Alternating rings + universal pipeline + time encoding",
@@ -440,54 +507,69 @@ def experiment_e18(sizes: Sequence[int] = (16, 32)) -> ExperimentRecord:
     return record
 
 
-#: All experiments in index order.
+#: Experiment ids in index order (the keys of both registries below).
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(f"E{i}" for i in range(1, 19))
+
+_EXPERIMENT_FUNCS: Dict[str, Callable[..., ExperimentRecord]] = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+    "E11": experiment_e11,
+    "E12": experiment_e12,
+    "E13": experiment_e13,
+    "E14": experiment_e14,
+    "E15": experiment_e15,
+    "E16": experiment_e16,
+    "E17": experiment_e17,
+    "E18": experiment_e18,
+}
+
+#: All experiment functions in index order (kept for compatibility).
 ALL_EXPERIMENTS: List[Callable[[], ExperimentRecord]] = [
-    experiment_e1,
-    experiment_e2,
-    experiment_e3,
-    experiment_e4,
-    experiment_e5,
-    experiment_e6,
-    experiment_e7,
-    experiment_e8,
-    experiment_e9,
-    experiment_e10,
-    experiment_e11,
-    experiment_e12,
-    experiment_e13,
-    experiment_e14,
-    experiment_e15,
-    experiment_e16,
-    experiment_e17,
-    experiment_e18,
+    _EXPERIMENT_FUNCS[exp_id] for exp_id in EXPERIMENT_IDS
 ]
 
 
-def run_all(quick: bool = False) -> List[ExperimentRecord]:
-    """Run every experiment; ``quick`` trims the sweeps for smoke tests."""
-    if not quick:
-        return [make() for make in ALL_EXPERIMENTS]
-    trimmed = [
-        experiment_e1((9, 15)),
-        experiment_e2((16, 32)),
-        experiment_e3((16, 32)),
-        experiment_e4((27, 81)),
-        experiment_e5((16, 32)),
-        experiment_e6((9, 15)),
-        experiment_e7((9, 15)),
-        experiment_e8((3, 4)),
-        experiment_e9((3, 4)),
-        experiment_e10((3,)),
-        experiment_e11((8,)),
-        experiment_e12((100,)),
-        experiment_e13((501,)),
-        experiment_e14((32,)),
-        experiment_e15((16, 32)),
-        experiment_e16((16,)),
-        experiment_e17((32,)),
-        experiment_e18((16,)),
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentRecord:
+    """Run one experiment by id — the pool-worker entry point.
+
+    The sweep comes from :data:`EXPERIMENT_SWEEPS`, so the ``(exp_id,
+    quick)`` coordinates fully determine the run in any process.
+    """
+    sweep = EXPERIMENT_SWEEPS[exp_id]
+    return _EXPERIMENT_FUNCS[exp_id](sweep.quick if quick else sweep.full)
+
+
+def run_all(
+    quick: bool = False,
+    jobs: int = 1,
+    runner: Optional["Runner"] = None,
+) -> List[ExperimentRecord]:
+    """Run every experiment through the runtime layer, in index order.
+
+    ``quick`` selects the trimmed sweeps for smoke tests; ``jobs`` fans
+    the 18 experiments across a process pool.  Results come back in
+    index order no matter how workers interleave, so output is
+    byte-identical for every job count.
+    """
+    if runner is None:
+        runner = Runner(jobs=jobs)
+    calls = [
+        TaskCall(
+            func="repro.reporting:run_experiment",
+            args=(exp_id, quick),
+            cache_key=task_digest("experiment", exp_id, quick),
+        )
+        for exp_id in EXPERIMENT_IDS
     ]
-    return trimmed
+    return list(runner.map(calls))
 
 
 def render_markdown(records: Sequence[ExperimentRecord]) -> str:
@@ -508,3 +590,29 @@ def render_markdown(records: Sequence[ExperimentRecord]) -> str:
             lines.append(row.row())
         lines.append("")
     return "\n".join(lines)
+
+
+def report_footer(records: Sequence[ExperimentRecord]) -> str:
+    """The generated-file marker.  Deliberately free of timestamps and
+    timings so regenerating an unchanged report is a byte-level no-op."""
+    ok = all(record.ok for record in records)
+    return f"<!-- generated by `python -m repro report`; all satisfied: {ok} -->"
+
+
+def write_markdown(records: Sequence[ExperimentRecord], path: Union[str, Path]) -> str:
+    """Regenerate ``EXPERIMENTS.md`` at ``path`` and return its new text.
+
+    Everything above the first ``### E`` heading (the hand-written
+    preamble) is preserved; the generated body and footer replace the
+    rest.  Used by ``python -m repro report --output EXPERIMENTS.md``.
+    """
+    path = Path(path)
+    body = render_markdown(records) + "\n" + report_footer(records) + "\n"
+    preamble = ""
+    if path.exists():
+        text = path.read_text(encoding="utf-8")
+        cut = text.find("### E")
+        if cut > 0:
+            preamble = text[:cut]
+    path.write_text(preamble + body, encoding="utf-8")
+    return preamble + body

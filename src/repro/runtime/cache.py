@@ -1,0 +1,110 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored under their spec digest (see
+:meth:`repro.runtime.spec.RunSpec.digest`), and every digest mixes in
+:func:`code_version` — a content hash of the package's own sources — so
+editing any module under :mod:`repro` silently invalidates every cached
+result without a manual flush.  Nothing volatile (timestamps, host
+names, git state) ever enters a key: two executions of the same spec on
+the same code hit the same slot, whichever machine or worker produced
+them first.
+
+The cache is deliberately dumb: one pickle file per result, sharded by
+digest prefix, written atomically (tmp file + rename) so concurrent pool
+workers can share a directory without locks.  A corrupt or unreadable
+entry is treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Environment variable consulted by the CLI for a default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """A content hash of every ``.py`` file in the ``repro`` package.
+
+    Computed once per process and cached; ~40 small files, so the first
+    call costs single-digit milliseconds.  This is the "code" component
+    of every cache key: any source edit yields a new version string.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(str(path.relative_to(package_root)).encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _code_version = hasher.hexdigest()[:16]
+    return _code_version
+
+
+class ResultCache:
+    """Pickle-per-entry cache keyed by content digests.
+
+    Attributes:
+        root: cache directory (created lazily on first write).
+        hits / misses / writes: per-instance counters, handy for tests
+            and ``--cache`` CLI summaries.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store atomically; concurrent writers of the same key both win."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` when unset."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    return ResultCache(root) if root else None

@@ -1,0 +1,230 @@
+"""The runtime-level algorithm registry.
+
+Every workload the execution layer can run — experiments, benchmarks,
+fuzz campaigns — names its algorithm here instead of holding a factory
+object, so a :class:`repro.runtime.spec.RunSpec` is a plain piece of
+data: picklable across ``multiprocessing`` workers, hashable into a
+cache key, and replayable in a process that never saw the code that
+built it.
+
+An :class:`AlgorithmEntry` couples a stable name with the engine kind it
+runs on (``sync`` or ``async``) and a ``build(**params)`` function that
+turns the spec's declarative parameters into a concrete process factory.
+Parameter-free builds return module-level classes (stable identity,
+picklable by reference); parameterized builds may return closures — the
+build step happens *inside* the executing process, so only the entry
+name and the parameters ever travel.
+
+This registry subsumes the factory half of :mod:`repro.faults.registry`:
+the fuzzer's :class:`~repro.faults.registry.FuzzTarget` resolves its
+process factory from here, which is what makes a recorded fuzz case
+replayable from coordinates alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..algorithms.async_input_distribution import AsyncInputDistribution
+from ..algorithms.functions import AND
+from ..algorithms.leader_election import (
+    ChangRoberts,
+    Franklin,
+    HirschbergSinclair,
+    Peterson,
+)
+from ..algorithms.orientation import QuasiOrientation
+from ..algorithms.orientation_async import majority_switch_bit
+from ..algorithms.start_sync import StartSynchronization
+from ..algorithms.sync_and import SyncAnd
+from ..algorithms.sync_input_distribution import SyncInputDistribution
+from ..algorithms.sync_input_distribution_uni import SyncInputDistributionUni
+from ..core.errors import ConfigurationError
+
+#: Engine kinds an algorithm can declare.
+SYNC = "sync"
+ASYNC = "async"
+
+
+class AndOfView(AsyncInputDistribution):
+    """§4.1 input distribution, halting with AND of the reconstructed view."""
+
+    def _build_view(self) -> Any:  # type: ignore[override]
+        return AND.on_view(super()._build_view())
+
+
+class OrientationVote(AsyncInputDistribution):
+    """§4.1 remark: halt with the majority-orientation switch bit (odd n)."""
+
+    def _build_view(self) -> Any:  # type: ignore[override]
+        return majority_switch_bit(super()._build_view())
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One registered algorithm: name, engine kind, factory builder.
+
+    Attributes:
+        name: stable registry key (part of spec digests — renaming an
+            entry invalidates cached results that reference it).
+        kind: ``"sync"`` or ``"async"`` — which engine family the
+            built factory drives.
+        build: ``build(**params) -> factory`` where the factory has the
+            engine's usual ``(input_value, n) -> process`` signature.
+        description: one line for listings and reports.
+        params: documented parameter names accepted by ``build``
+            (unknown names are rejected up front, so a typo in a spec
+            fails loudly instead of silently running the default).
+    """
+
+    name: str
+    kind: str
+    build: Callable[..., Any]
+    description: str = ""
+    params: Tuple[str, ...] = ()
+
+    def factory(self, **params: Any) -> Any:
+        """Build the process factory, validating parameter names."""
+        unknown = set(params) - set(self.params)
+        if unknown:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} does not accept parameters "
+                f"{sorted(unknown)}; known: {sorted(self.params)}"
+            )
+        return self.build(**params)
+
+    @property
+    def fault_tolerance(self) -> frozenset:
+        """Declared fault tolerance of the default-built factory."""
+        return getattr(self.build(), "fault_tolerance", frozenset({"delay"}))
+
+
+_REGISTRY: Dict[str, AlgorithmEntry] = {}
+
+
+def register(entry: AlgorithmEntry) -> AlgorithmEntry:
+    """Add an entry; duplicate names are an error (registry keys are stable)."""
+    if entry.kind not in (SYNC, ASYNC):
+        raise ConfigurationError(f"algorithm kind must be sync/async, got {entry.kind!r}")
+    if entry.name in _REGISTRY:
+        raise ConfigurationError(f"algorithm {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def algorithm(name: str) -> AlgorithmEntry:
+    """Look up an entry, with a helpful error on typos."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_algorithms() -> Tuple[AlgorithmEntry, ...]:
+    """All entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def _build_input_distribution(assume_oriented: Optional[bool] = None) -> Any:
+    if assume_oriented is None:
+        return AsyncInputDistribution
+
+    def factory(value: Any, n: int) -> Any:
+        return AsyncInputDistribution(value, n, assume_oriented=assume_oriented)
+
+    factory.fault_tolerance = AsyncInputDistribution.fault_tolerance  # type: ignore[attr-defined]
+    return factory
+
+
+def _returning(cls: Any) -> Callable[[], Any]:
+    def build() -> Any:
+        return cls
+
+    build.__doc__ = f"Return the module-level {cls.__name__} factory."
+    return build
+
+
+for _entry in (
+    AlgorithmEntry(
+        name="input-distribution",
+        kind=ASYNC,
+        build=_build_input_distribution,
+        params=("assume_oriented",),
+        description="§4.1 input distribution (outputs are ring views)",
+    ),
+    AlgorithmEntry(
+        name="and",
+        kind=ASYNC,
+        build=_returning(AndOfView),
+        description="AND via input distribution (§4.1 corollary)",
+    ),
+    AlgorithmEntry(
+        name="orientation",
+        kind=ASYNC,
+        build=_returning(OrientationVote),
+        description="odd-ring orientation by majority vote (§4.1 remark)",
+    ),
+    AlgorithmEntry(
+        name="chang-roberts",
+        kind=ASYNC,
+        build=_returning(ChangRoberts),
+        description="unidirectional leader election (labeled baseline)",
+    ),
+    AlgorithmEntry(
+        name="franklin",
+        kind=ASYNC,
+        build=_returning(Franklin),
+        description="bidirectional round-based election (labeled baseline)",
+    ),
+    AlgorithmEntry(
+        name="hirschberg-sinclair",
+        kind=ASYNC,
+        build=_returning(HirschbergSinclair),
+        description="doubling-probe election (labeled baseline)",
+    ),
+    AlgorithmEntry(
+        name="peterson",
+        kind=ASYNC,
+        build=_returning(Peterson),
+        description="unidirectional temporary-id election (labeled baseline)",
+    ),
+    AlgorithmEntry(
+        name="sync-and",
+        kind=SYNC,
+        build=_returning(SyncAnd),
+        description="linear-message synchronous AND (§4.2)",
+    ),
+    AlgorithmEntry(
+        name="fig2-input-distribution",
+        kind=SYNC,
+        build=_returning(SyncInputDistribution),
+        description="Figure 2 synchronous input distribution (§4.2.1)",
+    ),
+    AlgorithmEntry(
+        name="fig2-unidirectional",
+        kind=SYNC,
+        build=_returning(SyncInputDistributionUni),
+        description="unidirectional Figure 2 variant (§4.2.1 remark)",
+    ),
+    AlgorithmEntry(
+        name="quasi-orientation",
+        kind=SYNC,
+        build=_returning(QuasiOrientation),
+        description="Figure 4 quasi-orientation (§4.2.2)",
+    ),
+    AlgorithmEntry(
+        name="start-sync",
+        kind=SYNC,
+        build=_returning(StartSynchronization),
+        description="Figure 5 start synchronization (§4.2.3)",
+    ),
+):
+    register(_entry)

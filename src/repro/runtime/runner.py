@@ -1,0 +1,191 @@
+"""Parallel, deterministic batch execution with result caching.
+
+A :class:`Runner` maps batches of work over a ``multiprocessing`` pool
+(or in-process for ``jobs=1``) and guarantees **bit-identical results
+regardless of worker count or completion order**.  The contract that
+makes this possible:
+
+* every task is a :class:`TaskCall` — a module-level function named by
+  ``"module:attr"`` string plus picklable positional arguments.  Nothing
+  about a task depends on shared state, ambient randomness, or which
+  worker runs it;
+* randomness is threaded through explicit seeds derived by
+  :func:`derive_seed`, a pure function of string coordinates (it uses
+  :class:`random.Random`'s string seeding, not ``hash()``, so it is
+  stable across processes and ``PYTHONHASHSEED`` values);
+* results are returned in submission order (``pool.map`` semantics), so
+  downstream assembly never observes completion order.
+
+When the runner holds a :class:`~repro.runtime.cache.ResultCache`, tasks
+carrying a ``cache_key`` are looked up before dispatch and stored after;
+a warm cache answers a whole batch without spawning a single worker.
+:meth:`Runner.run_specs` is the spec-batch entry point every harness
+uses: one :class:`~repro.runtime.spec.RunSpec` per run, cached under
+``spec.digest()``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.tracing import RunResult
+from .cache import ResultCache, code_version
+from .spec import RunSpec
+
+_SEED_SPAN = 2**63
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable seed from arbitrary coordinates.
+
+    Joins the parts with ``"|"`` and feeds the string to
+    :class:`random.Random` (which hashes it with its own algorithm, not
+    ``hash()``), so the result is a pure function of the parts —
+    identical in every process, on every platform, for every
+    ``PYTHONHASHSEED``.
+    """
+    key = "|".join(str(part) for part in parts)
+    return random.Random(key).randrange(_SEED_SPAN)
+
+
+def task_digest(*parts: Any) -> str:
+    """A cache key for a non-spec task, versioned like spec digests.
+
+    Mixes :func:`~repro.runtime.cache.code_version` into the same kind of
+    content address :meth:`RunSpec.digest` produces, so cached task
+    results are invalidated by source edits exactly like cached runs.
+    """
+    hasher = sha256()
+    hasher.update(code_version().encode())
+    for part in parts:
+        hasher.update(repr(part).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class TaskCall:
+    """One unit of work: an importable function plus picklable arguments.
+
+    ``func`` is a ``"package.module:attribute"`` reference resolved inside
+    the executing process — functions never cross the pickle boundary, so
+    workers always run the code they imported themselves.
+    """
+
+    func: str
+    args: Tuple[Any, ...] = ()
+    cache_key: Optional[str] = None
+
+
+def resolve(func_ref: str) -> Callable[..., Any]:
+    """Resolve a ``"module:attr"`` reference to the callable it names."""
+    module_name, sep, attr = func_ref.partition(":")
+    if not sep or not attr:
+        raise ConfigurationError(
+            f"task reference {func_ref!r} must look like 'package.module:function'"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise ConfigurationError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from None
+
+
+def invoke(call: TaskCall) -> Any:
+    """Execute one task call (also the pool worker entry point)."""
+    return resolve(call.func)(*call.args)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named batch of specs — the declarative unit harnesses build.
+
+    Purely a container: :meth:`run` hands the batch to a runner and
+    returns results in spec order.
+    """
+
+    name: str
+    specs: Tuple[RunSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def run(self, runner: "Runner") -> List[RunResult]:
+        return runner.run_specs(self.specs)
+
+
+@dataclass
+class Runner:
+    """Executes task batches, optionally in parallel and/or cached.
+
+    Attributes:
+        jobs: worker processes; ``1`` (the default) runs in-process with
+            zero pool overhead.  Results are identical either way.
+        cache: optional on-disk result cache consulted for tasks that
+            carry a ``cache_key``.
+        executed: number of tasks actually run (cache hits excluded) —
+            the observable that lets tests prove a hit skipped execution.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    executed: int = field(default=0, compare=False)
+
+    def map(self, calls: Sequence[TaskCall]) -> List[Any]:
+        """Run a batch; results come back in submission order."""
+        results: List[Any] = [None] * len(calls)
+        pending: List[Tuple[int, TaskCall]] = []
+        for index, call in enumerate(calls):
+            if self.cache is not None and call.cache_key is not None:
+                hit, value = self.cache.get(call.cache_key)
+                if hit:
+                    results[index] = value
+                    continue
+            pending.append((index, call))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                outcomes = self._map_pool([call for _, call in pending])
+            else:
+                outcomes = [invoke(call) for _, call in pending]
+            self.executed += len(pending)
+            for (index, call), value in zip(pending, outcomes):
+                results[index] = value
+                if self.cache is not None and call.cache_key is not None:
+                    self.cache.put(call.cache_key, value)
+        return results
+
+    def _map_pool(self, calls: List[TaskCall]) -> List[Any]:
+        import multiprocessing
+
+        # ``pool.map`` preserves submission order whatever the completion
+        # order, which is half of the determinism contract (the other
+        # half is that every task is a pure function of its arguments).
+        with multiprocessing.Pool(processes=self.jobs) as pool:
+            return pool.map(invoke, calls, chunksize=1)
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute a spec batch through :func:`repro.runtime.spec.execute`.
+
+        Each spec is cached under its own content digest, so a re-run of
+        an overlapping batch only executes the novel specs.
+        """
+        calls = [
+            TaskCall(
+                func="repro.runtime.spec:execute",
+                args=(spec,),
+                cache_key=spec.digest() if self.cache is not None else None,
+            )
+            for spec in specs
+        ]
+        return self.map(calls)
+
+    def run_sweep(self, sweep: Sweep) -> List[RunResult]:
+        return self.run_specs(sweep.specs)

@@ -1,0 +1,255 @@
+"""``RunSpec`` — one declarative, hashable description of a single run.
+
+Every harness in the repo boils down to "run this ring under this engine
+with this algorithm and these knobs".  A :class:`RunSpec` captures all of
+those knobs as plain data: the engine kind, the
+:class:`~repro.core.ring.RingConfiguration`, the algorithm *name* (a
+:mod:`repro.runtime.registry` key — never a factory object), scheduler
+and fault-adversary coordinates, wake-up schedule, budget, and whether to
+keep a full message log.  :func:`execute` is the single dispatcher both
+engines sit behind.
+
+Because a spec is frozen, hashable, and picklable, the same object can be
+handed to a ``multiprocessing`` worker, replayed later in a process that
+never built it, or fingerprinted by :meth:`RunSpec.digest` to key the
+on-disk result cache.  The digest is a pure function of the spec's fields
+plus the package's code version — it contains no timestamps, hostnames,
+or other volatile metadata, so two runs of the same spec on the same code
+always share a cache slot (see ``docs/runtime.md`` for the determinism
+contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from .cache import code_version
+from .registry import ASYNC, SYNC, algorithm
+
+#: The three engine entry points a spec can name.
+ENGINES = ("sync", "async", "async-synchronized")
+
+#: Scheduler names resolvable by :func:`build_scheduler` (async engine).
+SCHEDULERS = ("round-robin", "random", "greedy", "bounded-delay")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run, as plain data.
+
+    Attributes:
+        engine: ``"sync"``, ``"async"``, or ``"async-synchronized"``.
+        ring: the initial configuration (frozen, hashable).
+        algorithm: a :mod:`repro.runtime.registry` entry name whose kind
+            must match the engine family.
+        params: algorithm parameters as a sorted tuple of ``(key, value)``
+            pairs (use :meth:`make` to pass a dict).
+        scheduler: async engine only — one of :data:`SCHEDULERS`
+            (``None`` means the engine default, round-robin).
+        scheduler_seed: seed for the random/bounded-delay schedulers.
+            Required when one of those schedulers is named: an omitted
+            seed would be drawn from ambient randomness, and ambient
+            randomness has no place in a replayable spec.
+        delay_bound: fairness bound for ``bounded-delay``.
+        fault_profile: async engine only — a
+            :data:`repro.asynch.adversary.FAULT_PROFILES` name, or
+            ``None`` for a fault-free run.
+        fault_seed: seed for the fault injector (required with a profile).
+        fault_horizon: event horizon for planting crash times (required
+            with a crashing profile; the fuzzer derives it from a
+            reference run).
+        wakeup: sync engine only — spontaneous wake-up cycles, or
+            ``None`` for a simultaneous start.
+        budget: cycle budget (sync / async-synchronized) or event budget
+            (async); ``None`` means the engine default.
+        keep_log: retain the full message log on the result's stats.
+    """
+
+    engine: str
+    ring: RingConfiguration
+    algorithm: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    scheduler: Optional[str] = None
+    scheduler_seed: Optional[int] = None
+    delay_bound: int = 8
+    fault_profile: Optional[str] = None
+    fault_seed: Optional[int] = None
+    fault_horizon: Optional[int] = None
+    wakeup: Optional[Tuple[int, ...]] = None
+    budget: Optional[int] = None
+    keep_log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.scheduler is not None:
+            if self.engine != "async":
+                raise ConfigurationError(
+                    f"scheduler {self.scheduler!r} only applies to the async "
+                    f"engine, not {self.engine!r}"
+                )
+            if self.scheduler not in SCHEDULERS:
+                raise ConfigurationError(
+                    f"unknown scheduler {self.scheduler!r}; choose from {SCHEDULERS}"
+                )
+            if self.scheduler in ("random", "bounded-delay") and self.scheduler_seed is None:
+                raise ConfigurationError(
+                    f"scheduler {self.scheduler!r} needs an explicit "
+                    "scheduler_seed (specs must be replayable)"
+                )
+        if self.fault_profile is not None:
+            if self.engine != "async":
+                raise ConfigurationError("fault injection needs the async engine")
+            if self.fault_seed is None:
+                raise ConfigurationError(
+                    "fault_profile needs an explicit fault_seed (specs must "
+                    "be replayable)"
+                )
+        if self.wakeup is not None and self.engine != "sync":
+            raise ConfigurationError("wakeup schedules only apply to the sync engine")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @classmethod
+    def make(
+        cls,
+        engine: str,
+        ring: RingConfiguration,
+        algorithm: str,
+        params: Optional[Mapping[str, Any]] = None,
+        **kwargs: Any,
+    ) -> "RunSpec":
+        """Convenience constructor accepting ``params`` as a mapping."""
+        pairs = tuple(sorted((params or {}).items()))
+        return cls(engine=engine, ring=ring, algorithm=algorithm, params=pairs, **kwargs)
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def canonical(self) -> Tuple[Tuple[str, str], ...]:
+        """A stable, fully stringified view of every field.
+
+        ``repr`` of the field values is the serialization: inputs are
+        ints/strings/tuples whose reprs are stable across processes and
+        ``PYTHONHASHSEED`` values.  Volatile context (timestamps, host,
+        git state) is deliberately absent — it has no field to live in.
+        """
+        out = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, RingConfiguration):
+                value = (value.inputs, value.orientations)
+            out.append((f.name, repr(value)))
+        return tuple(out)
+
+    def digest(self) -> str:
+        """Content address of this spec under the current code version."""
+        hasher = hashlib.sha256()
+        hasher.update(code_version().encode())
+        for name, value in self.canonical():
+            hasher.update(name.encode())
+            hasher.update(b"=")
+            hasher.update(value.encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+
+def build_scheduler(spec: RunSpec) -> Any:
+    """Instantiate the spec's scheduler (async engine only)."""
+    from ..asynch.schedulers import (
+        BoundedDelayScheduler,
+        GreedyChannelScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
+    )
+
+    name = spec.scheduler or "round-robin"
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "random":
+        return RandomScheduler(seed=spec.scheduler_seed)
+    if name == "greedy":
+        return GreedyChannelScheduler()
+    return BoundedDelayScheduler(spec.delay_bound, seed=spec.scheduler_seed)
+
+
+def build_adversary(spec: RunSpec) -> Optional[Any]:
+    """Instantiate the spec's fault adversary, or ``None`` when fault-free."""
+    if spec.fault_profile is None:
+        return None
+    from ..asynch.adversary import FAULT_PROFILES, FaultInjector
+
+    try:
+        fault_spec = FAULT_PROFILES[spec.fault_profile]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault profile {spec.fault_profile!r}; choose from "
+            f"{sorted(FAULT_PROFILES)}"
+        ) from None
+    horizon = spec.fault_horizon
+    if horizon is None:
+        if fault_spec.crashes:
+            raise ConfigurationError(
+                f"fault profile {spec.fault_profile!r} plants crashes and "
+                "needs an explicit fault_horizon"
+            )
+        horizon = 1
+    assert spec.fault_seed is not None  # enforced by __post_init__
+    return FaultInjector(fault_spec, spec.ring.n, horizon, spec.fault_seed)
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec to completion — the single engine dispatcher.
+
+    Every field of the result is a deterministic function of the spec:
+    re-executing the same spec (in any process, on any worker of a pool)
+    produces identical outputs, counters, and logs.
+    """
+    entry = algorithm(spec.algorithm)
+    expected_kind = SYNC if spec.engine == "sync" else ASYNC
+    if entry.kind != expected_kind:
+        raise ConfigurationError(
+            f"algorithm {spec.algorithm!r} is a {entry.kind} algorithm; "
+            f"the {spec.engine!r} engine needs {expected_kind}"
+        )
+    factory = entry.factory(**spec.params_dict)
+
+    if spec.engine == "sync":
+        from ..sync.simulator import run_synchronous
+        from ..sync.wakeup import WakeupSchedule
+
+        wakeup = WakeupSchedule(spec.wakeup) if spec.wakeup is not None else None
+        return run_synchronous(
+            spec.ring,
+            factory,
+            wakeup=wakeup,
+            max_cycles=spec.budget,
+            keep_log=spec.keep_log,
+        )
+    if spec.engine == "async-synchronized":
+        from ..asynch.simulator import run_async_synchronized
+
+        return run_async_synchronized(
+            spec.ring, factory, max_cycles=spec.budget, keep_log=spec.keep_log
+        )
+    from ..asynch.simulator import run_asynchronous
+
+    return run_asynchronous(
+        spec.ring,
+        factory,
+        scheduler=build_scheduler(spec),
+        max_events=spec.budget,
+        keep_log=spec.keep_log,
+        adversary=build_adversary(spec),
+    )

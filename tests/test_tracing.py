@@ -69,6 +69,41 @@ class TestTraceStats:
         assert fast.per_cycle == slow.per_cycle
 
 
+class TestLoggedUnloggedParity:
+    """Regression: ``record`` delegates to ``record_send``, so a logged
+    run and an unlogged run of the same spec agree on every counter."""
+
+    @pytest.mark.parametrize(
+        "engine,algorithm,scheduler",
+        [
+            ("sync", "fig2-input-distribution", None),
+            ("async", "input-distribution", "round-robin"),
+            ("async-synchronized", "input-distribution", None),
+        ],
+    )
+    def test_keep_log_does_not_change_counters(self, engine, algorithm, scheduler):
+        from repro.core import RingConfiguration
+        from repro.runtime import RunSpec, execute
+
+        import random
+
+        ring = RingConfiguration.random(9, random.Random(7), oriented=True)
+        spec = RunSpec.make(
+            engine=engine, ring=ring, algorithm=algorithm, scheduler=scheduler
+        )
+        bare = execute(spec)
+        logged = execute(spec.with_(keep_log=True))
+        assert logged.outputs == bare.outputs
+        assert logged.stats.messages == bare.stats.messages
+        assert logged.stats.bits == bare.stats.bits
+        assert logged.stats.per_cycle == bare.stats.per_cycle
+        assert logged.stats.delivered == bare.stats.delivered
+        assert logged.stats.dropped == bare.stats.dropped
+        assert logged.stats.duplicated == bare.stats.duplicated
+        assert len(logged.stats.log) == logged.stats.messages
+        assert bare.stats.log == []
+
+
 class TestRunResult:
     def test_unanimous(self):
         result = RunResult(outputs=(1, 1, 1), stats=TraceStats())
