@@ -27,16 +27,30 @@ echo "== analysis bench smoke (quick, --jobs 2) =="
 python -m repro bench --suite analysis --quick --jobs 2 --output BENCH_analysis_smoke.json
 rm -f BENCH_analysis_smoke.json
 
+echo "== obs bench smoke (recorder-off overhead, quick) =="
+python -m repro bench --suite obs --quick --sizes 8 --output BENCH_obs_smoke.json
+rm -f BENCH_obs_smoke.json
+
 echo "== symmetry analysis benchmarks =="
 python -m pytest benchmarks/test_bench_symmetry.py -q
+
+echo "== obs overhead guard =="
+python -m pytest benchmarks/test_bench_obs.py -q
+
+echo "== trace smoke (event stream reconciles with TraceStats) =="
+python -m repro trace sync-and --n 6 --out TRACE_smoke.json --no-diagram
+python -m repro trace input-distribution --n 5 --out TRACE_smoke.json \
+    --metrics TRACE_smoke_metrics.json --no-diagram
+rm -f TRACE_smoke.json TRACE_smoke.events.jsonl TRACE_smoke_metrics.json
 
 echo "== schedule-fuzz smoke (fixed seed, --jobs 2) =="
 # Small fixed-seed sweep so schedule-dependent regressions in the engine
 # or the algorithms fail fast; exits nonzero on any invariant violation.
 # --jobs 2 exercises the multiprocessing path (reports are identical for
 # every job count).
-python -m repro fuzz --quick --seed 20240501 --jobs 2 --output FUZZ_smoke.json
-rm -f FUZZ_smoke.json
+python -m repro fuzz --quick --seed 20240501 --jobs 2 --output FUZZ_smoke.json \
+    --metrics METRICS_smoke.json
+rm -f FUZZ_smoke.json METRICS_smoke.json
 
 echo "ci.sh: all green"
 

@@ -5,29 +5,42 @@ Commands:
 * ``demo``    — a 30-second tour (compute, orient, synchronize).
 * ``report``  — run every experiment and print the EXPERIMENTS.md body.
 * ``verify``  — re-verify every lower-bound construction numerically.
-* ``bench``   — run a benchmark suite (``--suite simulators|analysis|all``),
-  write BENCH_simulators.json / BENCH_analysis.json.
+* ``bench``   — run a benchmark suite (``--suite
+  simulators|analysis|obs|all``), write BENCH_simulators.json /
+  BENCH_analysis.json / BENCH_obs.json.
 * ``fuzz``    — schedule-fuzz the asynchronous algorithm registry
   (optionally with drop/dup/crash/delay fault injection), shrink any
   failing schedule to a minimal replayable witness, write FUZZ.json.
+* ``trace``   — run one algorithm with event recording on, write the
+  JSONL event log + a Perfetto-loadable Chrome trace, and draw the
+  space–time diagram from the recorded events.
+* ``cache``   — inspect (``stats``) or clean (``prune``) the on-disk
+  result cache.
+
+``report``/``bench``/``fuzz`` accept ``--metrics PATH`` (sweep telemetry
+as METRICS.json) and ``--progress`` (stderr progress lines); both are
+observers only — artifact bytes are identical with them on or off.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 
 def _make_runner(args: argparse.Namespace):
-    """A Runner honouring ``--jobs`` and ``--cache`` / $REPRO_CACHE_DIR."""
+    """A Runner honouring ``--jobs``, ``--cache`` / $REPRO_CACHE_DIR, ``--progress``."""
     from .runtime import ResultCache, Runner, default_cache
 
     if getattr(args, "cache", None):
         cache = ResultCache(args.cache)
     else:
         cache = default_cache()
-    return Runner(jobs=args.jobs, cache=cache)
+    return Runner(
+        jobs=args.jobs, cache=cache, progress=bool(getattr(args, "progress", False))
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +56,25 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR if set)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr progress lines (completed/total, cache hits, ETA)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write sweep telemetry (wall time, pool utilization, cache "
+        "hits) as JSON to PATH",
+    )
+
+
+def _write_runner_metrics(runner, args: argparse.Namespace) -> None:
+    """Honour ``--metrics`` after a runner-backed command finishes."""
+    if getattr(args, "metrics", None):
+        path = runner.write_metrics(args.metrics)
+        print(f"wrote {path} (runner telemetry)", file=sys.stderr)
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -89,8 +121,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .reporting import render_markdown, report_footer, run_all, write_markdown
 
     start = time.time()
-    records = run_all(quick=args.quick, runner=_make_runner(args))
+    runner = _make_runner(args)
+    records = run_all(quick=args.quick, runner=runner)
     ok = all(record.ok for record in records)
+    _write_runner_metrics(runner, args)
     if args.output is not None:
         write_markdown(records, args.output)
         print(f"wrote {args.output} ({len(records)} experiments)", file=sys.stderr)
@@ -139,20 +173,25 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import (
         render_analysis_table,
+        render_obs_table,
         render_table,
         run_analysis_bench,
         run_bench,
+        run_obs_bench,
         write_analysis_bench,
         write_bench,
+        write_obs_bench,
     )
 
-    suites = ("simulators", "analysis") if args.suite == "all" else (args.suite,)
+    suites = (
+        ("simulators", "analysis", "obs") if args.suite == "all" else (args.suite,)
+    )
     if args.output is not None and len(suites) > 1:
         print("--output needs a single suite (not --suite all)", file=sys.stderr)
         return 2
     if args.sizes and "analysis" in suites:
         print(
-            "--sizes only applies to the simulators suite (analysis "
+            "--sizes only applies to the simulators/obs suites (analysis "
             "workloads have shape constraints like n = 3^k)",
             file=sys.stderr,
         )
@@ -169,6 +208,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             path = write_bench(records, args.output, quick=args.quick)
             print(render_table(records))
+        elif suite == "obs":
+            records = run_obs_bench(
+                quick=args.quick,
+                repeats=args.repeats,
+                sizes=tuple(args.sizes) if args.sizes else None,
+                runner=runner,
+            )
+            path = write_obs_bench(records, args.output, quick=args.quick)
+            print(render_obs_table(records))
         else:
             records = run_analysis_bench(
                 quick=args.quick, repeats=args.repeats, runner=runner
@@ -176,6 +224,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             path = write_analysis_bench(records, args.output, quick=args.quick)
             print(render_analysis_table(records))
         print(f"wrote {path} ({len(records)} records in {time.time() - start:.1f}s)")
+    _write_runner_metrics(runner, args)
     return 0
 
 
@@ -195,13 +244,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     sizes = tuple(args.sizes) if args.sizes else None
 
     start = time.time()
+    runner = _make_runner(args)
     report = run_fuzz(
         seed=args.seed,
         targets=targets,
         sizes=sizes,
         profiles=profiles,
         cases_per_campaign=cases,
-        runner=_make_runner(args),
+        runner=runner,
     )
     path = write_report(report, args.output)
     print(render_summary(report))
@@ -210,7 +260,124 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"{time.time() - start:.1f}s)",
         file=sys.stderr,
     )
+    _write_runner_metrics(runner, args)
     return 1 if report["totals"]["violations"] else 0
+
+
+#: Registry names that need distinct labels (the election baselines).
+_LABELED = frozenset({"chang-roberts", "franklin", "hirschberg-sinclair", "peterson"})
+
+
+def _trace_ring(target: str, n: int, seed: int):
+    """A deterministic ring suited to ``target`` (same family as the fuzzer)."""
+    import random
+
+    from .core.ring import RingConfiguration
+
+    rng = random.Random(seed)
+    if target in _LABELED:
+        labels = list(range(1, n + 1))
+        rng.shuffle(labels)
+        return RingConfiguration.oriented(tuple(labels))
+    if "orientation" in target:
+        # Orientation algorithms need something to fix: scrambled ports.
+        return RingConfiguration.random(n, rng)
+    return RingConfiguration.random(n, rng, oriented=True)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .core.diagram import message_density, space_time_diagram
+    from .obs import (
+        reconcile,
+        result_from_events,
+        run_metrics,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from .runtime import RunSpec, execute
+    from .runtime.registry import algorithm
+
+    entry = algorithm(args.target)
+    engine = args.engine or ("sync" if entry.kind == "sync" else "async")
+    ring = _trace_ring(args.target, args.n, args.seed)
+    spec = RunSpec.make(
+        engine=engine,
+        ring=ring,
+        algorithm=args.target,
+        scheduler=args.scheduler if engine == "async" else None,
+        scheduler_seed=args.scheduler_seed,
+        fault_profile=args.profile,
+        fault_seed=args.fault_seed if args.profile else None,
+        fault_horizon=args.horizon,
+        record=True,
+    )
+    result = execute(spec)
+    events = result.events or ()
+
+    out = Path(args.out)
+    write_chrome_trace(events, out, n=ring.n)
+    events_path = (
+        Path(args.events) if args.events else out.with_suffix(".events.jsonl")
+    )
+    write_events_jsonl(events, events_path)
+    print(
+        f"wrote {out} (Chrome trace) and {events_path} "
+        f"({len(events)} events)",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        snapshot = run_metrics(events, result.stats)
+        Path(args.metrics).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.metrics} (run metrics)", file=sys.stderr)
+
+    if not args.no_diagram:
+        # Rebuild a renderable result from the events alone — the
+        # diagram below is drawn from the recorded stream, not the run.
+        rebuilt = result_from_events(events, ring.n)
+        print(space_time_diagram(ring, rebuilt, events=events))
+        print(f"density: {message_density(rebuilt)}")
+
+    mode = "sync" if engine == "sync" else "async"
+    problems = reconcile(events, result.stats, engine=mode)
+    if problems:
+        for problem in problems:
+            print(f"RECONCILIATION FAILED: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.target} n={ring.n} [{engine}]: {result.stats.messages} messages, "
+        f"{result.stats.bits} bits; event stream reconciles with TraceStats"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import ResultCache, default_cache
+
+    cache = ResultCache(args.cache) if args.cache else default_cache()
+    if cache is None:
+        print(
+            "no cache directory: pass --cache DIR or set $REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"  entries: {stats['entries']}  bytes: {stats['bytes']}")
+        print(
+            f"  lifetime: {stats['lifetime_hits']} hits, "
+            f"{stats['lifetime_misses']} misses, "
+            f"{stats['lifetime_writes']} writes"
+        )
+        return 0
+    outcome = cache.prune()
+    print(
+        f"pruned {outcome['removed']} stale entries "
+        f"({outcome['freed_bytes']} bytes); {outcome['kept']} kept"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -240,9 +407,10 @@ def main(argv=None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulators", "analysis", "all"),
+        choices=("simulators", "analysis", "obs", "all"),
         default="simulators",
-        help="simulator engines, symmetry/fooling analysis paths, or both",
+        help="simulator engines, symmetry/fooling analysis paths, "
+        "observability overhead (recorder off vs on), or all three",
     )
     bench.add_argument("--quick", action="store_true", help="trimmed sweeps (CI smoke)")
     bench.add_argument(
@@ -295,6 +463,83 @@ def main(argv=None) -> int:
     )
     _add_runner_arguments(fuzz)
     fuzz.set_defaults(fn=_cmd_fuzz)
+    trace = sub.add_parser(
+        "trace",
+        help="record one run's event stream; write Chrome trace + JSONL, "
+        "draw the space-time diagram from events",
+    )
+    trace.add_argument("target", help="registry algorithm name (e.g. sync-and, and)")
+    trace.add_argument("--n", type=int, default=8, help="ring size (default 8)")
+    trace.add_argument(
+        "--engine",
+        choices=("sync", "async", "async-synchronized"),
+        default=None,
+        help="engine override (default: sync for sync algorithms, async "
+        "for async ones)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0, help="ring-generation seed (default 0)"
+    )
+    trace.add_argument(
+        "--scheduler",
+        choices=("round-robin", "random", "greedy", "bounded-delay"),
+        default=None,
+        help="async engine schedule (default round-robin)",
+    )
+    trace.add_argument(
+        "--scheduler-seed",
+        type=int,
+        default=None,
+        help="seed for the random/bounded-delay schedulers",
+    )
+    trace.add_argument(
+        "--profile",
+        choices=("none", "drop", "dup", "crash", "delay", "mixed"),
+        default=None,
+        help="fault profile to inject (async engine)",
+    )
+    trace.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-injector seed (default 0)"
+    )
+    trace.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="event horizon for crash planting (crashing profiles)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace output (default ./trace.json)",
+    )
+    trace.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="JSONL event-log output (default: <out>.events.jsonl)",
+    )
+    trace.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also write the run-metrics snapshot as JSON",
+    )
+    trace.add_argument(
+        "--no-diagram",
+        action="store_true",
+        help="skip the ASCII space-time diagram",
+    )
+    trace.set_defaults(fn=_cmd_trace)
+    cache = sub.add_parser("cache", help="inspect or clean the result cache")
+    cache.add_argument("action", choices=("stats", "prune"))
+    cache.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.set_defaults(fn=_cmd_cache)
     args = parser.parse_args(argv)
     return args.fn(args)
 

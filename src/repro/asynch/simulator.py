@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import NonTerminationError, SimulationError
 from ..core.message import Envelope, Port, bit_length
@@ -49,6 +49,9 @@ from ..core.tracing import RunResult, TraceStats
 from .adversary import Action, Adversary
 from .process import AsyncFactory, AsyncProcess, Context
 from .schedulers import ChannelId, PendingView, RoundRobinScheduler, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import Recorder
 
 
 def default_event_budget(n: int) -> int:
@@ -59,7 +62,14 @@ def default_event_budget(n: int) -> int:
 class _Engine:
     """Shared machinery: processor table, halting, routing, send accounting."""
 
-    def __init__(self, config: RingConfiguration, factory: AsyncFactory, keep_log: bool):
+    def __init__(
+        self,
+        config: RingConfiguration,
+        factory: AsyncFactory,
+        keep_log: bool,
+        recorder: Optional["Recorder"] = None,
+        channel_keys: str = "cid",
+    ):
         self.config = config
         self.n = config.n
         self.processes: List[AsyncProcess] = [
@@ -70,6 +80,12 @@ class _Engine:
         self.outputs: List[Any] = [None] * self.n
         self.stats = TraceStats(keep_log=keep_log)
         self.keep_log = keep_log
+        self.recorder = recorder
+        # Which channel key the recorder's FIFO mirror uses: the event
+        # engine delivers per directed channel ("cid"), the synchronizing
+        # adversary per receiver in-port ("port") — each matches that
+        # engine's own FIFO discipline.
+        self.cid_keys = channel_keys == "cid"
         # Each (sender, port) always maps to the same channel; resolve the
         # routing once instead of per send.
         self.routes: List[Dict[Port, Tuple[int, Port, int]]] = [
@@ -77,20 +93,26 @@ class _Engine:
             for i in range(self.n)
         ]
 
-    def invoke_start(self, i: int) -> List[Tuple[Port, Any]]:
+    def invoke_start(self, i: int, etime: int = 0) -> List[Tuple[Port, Any]]:
+        if self.recorder is not None:
+            self.recorder.wake(i, etime, spontaneous=True)
         ctx = Context()
         self.processes[i].on_start(ctx)
-        return self._absorb(i, ctx)
+        return self._absorb(i, ctx, etime)
 
-    def invoke_message(self, i: int, port: Port, payload: Any) -> List[Tuple[Port, Any]]:
+    def invoke_message(
+        self, i: int, port: Port, payload: Any, etime: int = 0
+    ) -> List[Tuple[Port, Any]]:
         ctx = Context()
         self.processes[i].on_message(ctx, port, payload)
-        return self._absorb(i, ctx)
+        return self._absorb(i, ctx, etime)
 
-    def _absorb(self, i: int, ctx: Context) -> List[Tuple[Port, Any]]:
+    def _absorb(self, i: int, ctx: Context, etime: int = 0) -> List[Tuple[Port, Any]]:
         if ctx._halted:
             self.halted[i] = True
             self.outputs[i] = ctx._output
+            if self.recorder is not None:
+                self.recorder.halt(i, etime, ctx._output)
         return ctx._sends
 
     def record(self, sender: int, out_port: Port, payload: Any, time: int) -> Tuple[int, Port, int]:
@@ -108,6 +130,18 @@ class _Engine:
             )
         else:
             self.stats.record_send(bit_length(payload), time)
+        if self.recorder is not None:
+            channel = (sender, receiver, step) if self.cid_keys else (receiver, in_port)
+            self.recorder.send(
+                sender,
+                receiver,
+                out_port,
+                in_port,
+                payload,
+                bit_length(payload),
+                time,
+                channel=channel,
+            )
         return receiver, in_port, step
 
     def check_all_halted(self) -> None:
@@ -129,6 +163,7 @@ def run_asynchronous(
     max_events: Optional[int] = None,
     keep_log: bool = False,
     adversary: Optional[Adversary] = None,
+    recorder: Optional["Recorder"] = None,
 ) -> RunResult:
     """Run an asynchronous computation under an arbitrary schedule.
 
@@ -144,13 +179,18 @@ def run_asynchronous(
     or injected by the ``adversary`` — are counted in ``stats.dropped``
     and do not advance the clock.
 
+    ``recorder`` (a :class:`repro.obs.events.Recorder`) receives the typed
+    event stream — scheduler picks and crashes stamped with the event
+    index, transport events with the delivery clock / Lamport stamps; the
+    default ``None`` records nothing and adds no per-event work.
+
     Raises:
         NonTerminationError: the event budget was exhausted.
         SimulationError: quiescence was reached with processors not
             halted, or the scheduler chose a channel with no pending
             message (the error names the scheduler class).
     """
-    engine = _Engine(config, factory, keep_log)
+    engine = _Engine(config, factory, keep_log, recorder, channel_keys="cid")
     n = config.n
     budget = max_events if max_events is not None else default_event_budget(n)
     scheduler = scheduler or RoundRobinScheduler()
@@ -197,6 +237,8 @@ def run_asynchronous(
         if adversary is not None:
             for victim in adversary.crashes_at(events):
                 crashed[victim] = True
+                if recorder is not None:
+                    recorder.crash(victim, events)
         cid = choose(view)
         queue = queues.get(cid)
         if not queue:
@@ -205,6 +247,8 @@ def run_asynchronous(
                 "no pending message (schedulers must return one of the "
                 "channels in the pending view)"
             )
+        if recorder is not None:
+            recorder.schedule(cid, events)
         action = (
             Action.DELIVER if adversary is None else adversary.on_delivery(events, cid)
         )
@@ -214,6 +258,8 @@ def run_asynchronous(
             # channel stays pending.
             in_port, payload = queue[0]
             stats.duplicated += 1
+            if recorder is not None:
+                recorder.duplicate(cid, clock)
         else:
             in_port, payload = queue.popleft()
             if not queue:
@@ -225,10 +271,23 @@ def run_asynchronous(
             # Lost by the adversary, or a late message to a halted/crashed
             # processor: no delivery, and the delivery clock does not tick.
             stats.dropped += 1
+            if recorder is not None:
+                reason = (
+                    "adversary"
+                    if action is Action.DROP
+                    else ("halted" if halted[receiver] else "crashed")
+                )
+                recorder.drop(cid, clock, reason)
             continue
         stats.delivered += 1
         clock += 1
-        dispatch(receiver, engine.invoke_message(receiver, in_port, payload), clock)
+        if recorder is not None:
+            recorder.deliver(cid, clock)
+        dispatch(
+            receiver,
+            engine.invoke_message(receiver, in_port, payload, etime=clock),
+            clock,
+        )
 
     engine.check_all_halted()
     return RunResult(outputs=tuple(engine.outputs), stats=engine.stats, cycles=None)
@@ -239,6 +298,7 @@ def run_async_synchronized(
     factory: AsyncFactory,
     max_cycles: Optional[int] = None,
     keep_log: bool = False,
+    recorder: Optional["Recorder"] = None,
 ) -> RunResult:
     """Run under the synchronizing adversary of Theorem 5.1.
 
@@ -250,9 +310,12 @@ def run_async_synchronized(
     voluminous) traffic.
 
     Returns a result whose ``cycles`` field is the number of delivery
-    cycles and whose trace has a meaningful per-cycle histogram.
+    cycles and whose trace has a meaningful per-cycle histogram.  An
+    optional ``recorder`` receives the cycle-stamped event stream; within
+    one receiver's in-port, deliveries happen in global send order, so the
+    recorder keys its FIFO mirror by ``(receiver, in_port)``.
     """
-    engine = _Engine(config, factory, keep_log)
+    engine = _Engine(config, factory, keep_log, recorder, channel_keys="port")
     n = config.n
     budget = max_cycles if max_cycles is not None else 8 * n + 64
 
@@ -297,9 +360,17 @@ def run_async_synchronized(
                 for payload in msgs:
                     if halted[i]:
                         stats.dropped += 1
+                        if recorder is not None:
+                            recorder.drop((i, port), cycle, "halted")
                         continue
                     stats.delivered += 1
-                    dispatch(i, engine.invoke_message(i, port, payload), cycle)
+                    if recorder is not None:
+                        recorder.deliver((i, port), cycle)
+                    dispatch(
+                        i,
+                        engine.invoke_message(i, port, payload, etime=cycle),
+                        cycle,
+                    )
                 msgs.clear()
 
     engine.check_all_halted()

@@ -9,14 +9,23 @@ executed with ``keep_log=True`` can be drawn after the fact.
     from repro.core.diagram import space_time_diagram
     result = run_synchronous(ring, SyncAnd, keep_log=True)
     print(space_time_diagram(ring, result))
+
+When the run carries a recorded event stream (``RunResult.events``, or
+the ``events`` argument), faults show up too: ``!`` marks a dropped
+delivery and ``+`` a duplicated message, both drawn at the *receiver's*
+column on the engine-time row — so a ``drop``/``dup`` fault profile's
+footprint is visible at a glance, distinct from ordinary sends.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .ring import RingConfiguration
 from .tracing import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import Event
 
 
 def space_time_diagram(
@@ -24,6 +33,7 @@ def space_time_diagram(
     result: RunResult,
     max_cycles: Optional[int] = None,
     show_payloads: bool = False,
+    events: Optional[Sequence["Event"]] = None,
 ) -> str:
     """Render a logged synchronous run as an ASCII space–time diagram.
 
@@ -32,16 +42,34 @@ def space_time_diagram(
         result: a run with ``stats.log`` populated (``keep_log=True``).
         max_cycles: truncate the picture (``None`` = all cycles).
         show_payloads: append a legend of payloads per cycle.
+        events: a recorded :mod:`repro.obs` stream to draw fault marks
+            from (``!`` dropped delivery, ``+`` duplicate, at the
+            receiver); defaults to ``result.events`` when present.
 
     Raises:
         ValueError: if the run carries no message log.
     """
     if not result.stats.log and result.stats.messages:
         raise ValueError("run has no message log; pass keep_log=True")
+    if events is None:
+        events = result.events
     n = config.n
+    fault_marks: Dict[Tuple[int, int], str] = {}
+    fault_rows = [0]
+    if events:
+        for event in events:
+            if event.kind not in ("drop", "duplicate") or event.proc is None:
+                continue
+            mark = "!" if event.kind == "drop" else "+"
+            key = (event.etime, event.proc)
+            existing = fault_marks.get(key, "")
+            if mark not in existing:
+                fault_marks[key] = existing + mark
+            fault_rows.append(event.etime)
     last_cycle = max(
         [env.send_time for env in result.stats.log]
         + [t for t in (result.halt_times or (0,))]
+        + fault_rows
     )
     if max_cycles is not None:
         last_cycle = min(last_cycle, max_cycles)
@@ -73,21 +101,31 @@ def space_time_diagram(
             mark = sends.get((cycle, processor), ".")
             if halts and halts[processor] == cycle:
                 mark = mark + "*" if mark != "." else "*"
+            faults = fault_marks.get((cycle, processor))
+            if faults:
+                mark = faults if mark == "." else mark + faults
             row.append(f"{mark:^{width}}")
         line = f"{cycle:>3} | " + "".join(row)
         if show_payloads and cycle in payload_notes:
             line += "   " + " ".join(payload_notes[cycle])
         lines.append(line)
     lines.append(ruler)
-    lines.append(
-        f"legend: > send clockwise, < send counterclockwise, x both, * halt; "
-        f"{result.stats.messages} messages total"
+    legend = (
+        "legend: > send clockwise, < send counterclockwise, x both, * halt"
     )
+    if fault_marks:
+        legend += ", ! dropped delivery, + duplicate"
+    lines.append(f"{legend}; {result.stats.messages} messages total")
     return "\n".join(lines)
 
 
 def message_density(result: RunResult, buckets: int = 10) -> str:
-    """A one-line sparkline of messages per cycle — where the traffic is."""
+    """A one-line sparkline of messages per cycle — where the traffic is.
+
+    Runs that saw faults carry them in the tail: `` (D dropped, K
+    duplicated)`` is appended whenever either counter is nonzero, so a
+    dense-looking trace can't silently hide lost messages.
+    """
     if not result.stats.per_cycle:
         return "(no messages)"
     last = max(result.stats.per_cycle)
@@ -96,4 +134,10 @@ def message_density(result: RunResult, buckets: int = 10) -> str:
     for cycle, count in result.stats.per_cycle.items():
         counts[min(buckets - 1, cycle * buckets // (last + 1))] += count
     peak = max(counts) or 1.0
-    return "".join(ticks[int(c / peak * (len(ticks) - 1))] for c in counts)
+    line = "".join(ticks[int(c / peak * (len(ticks) - 1))] for c in counts)
+    if result.stats.dropped or result.stats.duplicated:
+        line += (
+            f" ({result.stats.dropped} dropped, "
+            f"{result.stats.duplicated} duplicated)"
+        )
+    return line

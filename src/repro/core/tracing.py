@@ -13,10 +13,13 @@ is sent), the quantity Lemma 6.1 is stated over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .errors import OutputDisagreement
 from .message import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import Event
 
 
 @dataclass
@@ -115,12 +118,16 @@ class RunResult:
             schedules); ``None`` for event-driven async schedules where
             "cycle" has no meaning.
         halt_times: cycle at which each processor halted (sync runs).
+        events: the recorded :class:`repro.obs.events.Event` stream when
+            the run was executed with recording on (``RunSpec.record``);
+            ``None`` otherwise.
     """
 
     outputs: Tuple[Any, ...]
     stats: TraceStats
     cycles: Optional[int] = None
     halt_times: Optional[Tuple[int, ...]] = None
+    events: Optional[Tuple["Event", ...]] = None
 
     @property
     def n(self) -> int:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..asynch.adversary import (
     FAULT_PROFILES,
@@ -60,6 +60,9 @@ from ..core.tracing import RunResult
 from ..runtime.runner import Runner, TaskCall, derive_seed, task_digest
 from .registry import FuzzTarget, default_targets, target_by_name
 from .trace import RecordingScheduler, ReplayScheduler, ScheduleTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import Recorder
 
 _SEED_SPAN = 2**63
 
@@ -93,6 +96,7 @@ def _execute(
     scheduler: Scheduler,
     adversary: Optional[Adversary],
     keep_log: bool = False,
+    recorder: Optional["Recorder"] = None,
 ) -> Tuple[Optional[RunResult], Optional[BaseException]]:
     try:
         result = run_asynchronous(
@@ -101,6 +105,7 @@ def _execute(
             scheduler=scheduler,
             keep_log=keep_log,
             adversary=adversary,
+            recorder=recorder,
         )
         return result, None
     except Exception as error:  # noqa: BLE001 - classification happens below
@@ -153,11 +158,33 @@ def _replay(
     target: FuzzTarget,
     trace: ScheduleTrace,
     keep_log: bool = False,
+    recorder: Optional["Recorder"] = None,
 ) -> Tuple[Optional[RunResult], Optional[BaseException]]:
     """Re-run a recorded (possibly truncated) trace deterministically."""
     scheduler = ReplayScheduler(trace.choices)
     adversary = ReplayAdversary(trace.actions, trace.crashes)
-    return _execute(config, target, scheduler, adversary, keep_log=keep_log)
+    return _execute(
+        config, target, scheduler, adversary, keep_log=keep_log, recorder=recorder
+    )
+
+
+def _witness_events(
+    config: RingConfiguration, target: FuzzTarget, trace: ScheduleTrace
+) -> List[Dict[str, Any]]:
+    """The minimized witness's :mod:`repro.obs` event stream, as JSON rows.
+
+    Replays the witness once more with an :class:`EventRecorder` attached
+    so the violation record carries a message-level account of the
+    failure (what was sent, dropped, duplicated, delivered — and in what
+    order) ready for ``repro.obs.export`` tooling.  A replay that dies
+    mid-run still yields the prefix recorded up to the failure.
+    """
+    from ..obs.events import CLOCK_LAMPORT, EventRecorder
+    from ..obs.export import event_to_json
+
+    recorder = EventRecorder(clock=CLOCK_LAMPORT)
+    _replay(config, target, trace, recorder=recorder)
+    return [event_to_json(event) for event in recorder.events]
 
 
 def shrink_trace(
@@ -310,6 +337,7 @@ def run_case(target: FuzzTarget, case: FuzzCase) -> Dict[str, Any]:
             "reproduced": reproduced,
             "replay_deterministic": deterministic,
         },
+        "events": _witness_events(config, target, minimized) if reproduced else [],
     }
     return record
 

@@ -1,0 +1,355 @@
+"""Typed event tracing for both ring engines.
+
+Every bound in the paper is a statement about *what messages flowed
+when*; the aggregate counters of :class:`repro.core.tracing.TraceStats`
+answer "how many" but not "which, in what order, caused by what".  This
+module records the full causal history of a run as a stream of typed
+:class:`Event` records — the event-structure view of a distributed run
+(cf. Aiswarya–Bollig–Gastin's automata-theoretic analysis of exactly
+this artifact).
+
+The taxonomy:
+
+* message lifecycle — ``send``, ``enqueue``, ``deliver``, ``drop``,
+  ``duplicate``;
+* processor lifecycle — ``wake``, ``state-transition``, ``halt``,
+  ``crash``;
+* adversary decisions — ``schedule`` (one per scheduling event of the
+  general asynchronous engine).
+
+Clock semantics (see ``docs/observability.md``):
+
+* **cycle mode** (synchronous engine, synchronizing adversary):
+  ``Event.time`` is the cycle index — the global clock these engines
+  actually have.
+* **lamport mode** (general asynchronous engine): there is no global
+  clock, so ``Event.time`` is a per-processor Lamport stamp — local
+  events tick the local clock, a delivery advances the receiver to
+  ``max(local, send stamp) + 1`` — which makes causality reconstructible
+  from the stream: ``e₁ happens-before e₂`` at different processors only
+  if a chain of messages carries ``e₁``'s stamp forward.
+
+``Event.etime`` always carries the *engine-native* clock (the cycle for
+synchronous engines; the delivery-clock value the engine stamps sends
+with for the asynchronous engine; the scheduling-event index for
+``schedule``/``crash`` events), so the stream reconciles field-for-field
+with ``TraceStats`` — see :func:`repro.obs.metrics.reconcile`.
+
+Recording is strictly opt-in: engines take ``recorder=None`` and guard
+every hook behind a single ``is not None`` check, so the hot paths stay
+envelope-free and allocation-free when recording is off (the overhead
+guard in ``benchmarks/test_bench_obs.py`` holds them to that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.message import Port
+
+#: Every kind an :class:`Event` can carry, in taxonomy order.
+EVENT_KINDS = (
+    "send",
+    "enqueue",
+    "deliver",
+    "drop",
+    "duplicate",
+    "wake",
+    "state-transition",
+    "halt",
+    "crash",
+    "schedule",
+)
+
+#: Clock modes an :class:`EventRecorder` can run in.
+CLOCK_CYCLE = "cycle"
+CLOCK_LAMPORT = "lamport"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One record of the run's event stream.
+
+    Attributes:
+        seq: global emission index (total order of recording).
+        kind: one of :data:`EVENT_KINDS`.
+        time: primary stamp — cycle index (cycle mode) or per-processor
+            Lamport stamp (lamport mode); ``schedule`` events use the
+            scheduling-event index in both modes.
+        etime: engine-native clock — always the value the engine itself
+            uses at this point (``TraceStats.per_cycle`` keys sends by
+            exactly this number).
+        proc: processor the event happens *at* (the receiver for message
+            arrival events, the sender for ``send``); ``None`` for
+            ``schedule`` events.
+        peer: the other endpoint of a message event.
+        port: local port name (``"left"``/``"right"``) — the sender's
+            out-port for ``send``, the receiver's in-port otherwise.
+        payload: message payload, halt output, or ``None``.
+        bits: payload size (``send``/``enqueue`` events only).
+        msg: message instance id linking ``send``→``enqueue``→``deliver``
+            (or ``drop``); duplicate copies get fresh ids with the
+            original recorded in ``detail``.
+        detail: free-form qualifier (drop reason, wake mode, channel of a
+            ``schedule`` event, ``copy-of:<id>`` for duplicates).
+    """
+
+    seq: int
+    kind: str
+    time: int
+    etime: int
+    proc: Optional[int] = None
+    peer: Optional[int] = None
+    port: Optional[str] = None
+    payload: Any = None
+    bits: int = 0
+    msg: Optional[int] = None
+    detail: str = ""
+
+
+class Recorder:
+    """The hook protocol engines call when recording is on.
+
+    The base class is a no-op on every hook, so a subclass only overrides
+    what it needs.  Engines never call these when ``recorder is None`` —
+    passing no recorder is the zero-overhead default, not a no-op object.
+
+    The message hooks are stateful by design: ``send`` announces a
+    message on a *channel key* and ``deliver``/``drop``/``duplicate``
+    refer to the head of that channel, mirroring the engines' own FIFO
+    queues — so implementations can link sends to their deliveries
+    without the engines threading message ids through their hot-path
+    data structures.
+    """
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        out_port: Port,
+        in_port: Port,
+        payload: Any,
+        bits: int,
+        etime: int,
+        channel: Any,
+    ) -> None:
+        """A message left ``sender`` via ``out_port`` onto ``channel``."""
+
+    def deliver(self, channel: Any, etime: int) -> None:
+        """The head message of ``channel`` reached its receiver's handler."""
+
+    def drop(self, channel: Any, etime: int, reason: str = "") -> None:
+        """The head message of ``channel`` was lost (see ``reason``)."""
+
+    def duplicate(self, channel: Any, etime: int) -> None:
+        """The adversary manufactured a copy of ``channel``'s head message.
+
+        The copy — not the original — is the subject of the next
+        ``deliver``/``drop`` call on the channel; the original stays at
+        the head, exactly as in the engine's FIFO queue.
+        """
+
+    def wake(self, proc: int, etime: int, spontaneous: bool = True) -> None:
+        """``proc`` executed its first transition (start event / wake-up)."""
+
+    def step(self, proc: int, etime: int) -> None:
+        """``proc`` executed one (non-wake) state transition."""
+
+    def halt(self, proc: int, etime: int, output: Any = None) -> None:
+        """``proc`` halted with ``output``."""
+
+    def crash(self, proc: int, etime: int) -> None:
+        """The adversary crash-stopped ``proc`` at event index ``etime``."""
+
+    def schedule(self, channel: Any, etime: int) -> None:
+        """The scheduler chose ``channel`` at event index ``etime``."""
+
+
+class EventRecorder(Recorder):
+    """Records the full typed event stream of one run.
+
+    Args:
+        clock: :data:`CLOCK_CYCLE` for the synchronous engines (stamps
+            are cycle indices) or :data:`CLOCK_LAMPORT` for the general
+            asynchronous engine (stamps are per-processor Lamport
+            clocks).
+
+    The recorder maintains a FIFO mirror of every engine channel keyed by
+    the opaque ``channel`` value the engine passes to :meth:`send`, which
+    is what lets it assign message ids and Lamport stamps without any
+    engine-side bookkeeping.
+    """
+
+    def __init__(self, clock: str = CLOCK_CYCLE) -> None:
+        if clock not in (CLOCK_CYCLE, CLOCK_LAMPORT):
+            raise ValueError(f"unknown clock mode {clock!r}")
+        self.clock = clock
+        self.events: List[Event] = []
+        self._lamport = clock == CLOCK_LAMPORT
+        self._clocks: Dict[int, int] = {}
+        # Mirror entry: (msg, sender, receiver, in_port, payload, bits, send_stamp)
+        self._channels: Dict[Any, Deque[Tuple]] = {}
+        self._next_msg = 0
+        self._copy: Optional[Tuple[Any, Tuple]] = None  # (channel, entry)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, time: int, etime: int, **fields: Any) -> None:
+        self.events.append(
+            Event(seq=len(self.events), kind=kind, time=time, etime=etime, **fields)
+        )
+
+    def _tick(self, proc: int) -> int:
+        stamp = self._clocks.get(proc, 0) + 1
+        self._clocks[proc] = stamp
+        return stamp
+
+    def _witness(self, proc: int, stamp: int) -> int:
+        """Lamport receive rule: advance ``proc`` past ``stamp``."""
+        new = max(self._clocks.get(proc, 0), stamp) + 1
+        self._clocks[proc] = new
+        return new
+
+    def _take(self, channel: Any) -> Tuple:
+        """Consume the subject of the next delivery on ``channel``.
+
+        Returns the pending duplicate copy if :meth:`duplicate` just
+        manufactured one; otherwise pops the channel mirror's head.
+        """
+        if self._copy is not None and self._copy[0] == channel:
+            entry = self._copy[1]
+            self._copy = None
+            return entry
+        return self._channels[channel].popleft()
+
+    # ------------------------------------------------------------------
+    # Recorder hooks
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        out_port: Port,
+        in_port: Port,
+        payload: Any,
+        bits: int,
+        etime: int,
+        channel: Any,
+    ) -> None:
+        msg = self._next_msg
+        self._next_msg += 1
+        stamp = self._tick(sender) if self._lamport else etime
+        self._emit(
+            "send",
+            stamp,
+            etime,
+            proc=sender,
+            peer=receiver,
+            port=out_port.value,
+            payload=payload,
+            bits=bits,
+            msg=msg,
+        )
+        self._emit(
+            "enqueue",
+            stamp,
+            etime,
+            proc=receiver,
+            peer=sender,
+            port=in_port.value,
+            payload=payload,
+            bits=bits,
+            msg=msg,
+        )
+        queue = self._channels.get(channel)
+        if queue is None:
+            queue = self._channels[channel] = deque()
+        queue.append((msg, sender, receiver, in_port, payload, bits, stamp))
+
+    def deliver(self, channel: Any, etime: int) -> None:
+        msg, sender, receiver, in_port, payload, bits, stamp = self._take(channel)
+        time = self._witness(receiver, stamp) if self._lamport else etime
+        self._emit(
+            "deliver",
+            time,
+            etime,
+            proc=receiver,
+            peer=sender,
+            port=in_port.value,
+            payload=payload,
+            msg=msg,
+        )
+        if self._lamport:
+            # The delivery *is* the receiver's state transition in the
+            # asynchronous model (one handler invocation per delivery).
+            self._emit("state-transition", time, etime, proc=receiver)
+
+    def drop(self, channel: Any, etime: int, reason: str = "") -> None:
+        msg, sender, receiver, in_port, payload, bits, stamp = self._take(channel)
+        # A drop changes no processor state: stamp it with the message's
+        # send stamp (its last causal point) and tick no clock.
+        time = stamp if self._lamport else etime
+        self._emit(
+            "drop",
+            time,
+            etime,
+            proc=receiver,
+            peer=sender,
+            port=in_port.value,
+            payload=payload,
+            msg=msg,
+            detail=reason,
+        )
+
+    def duplicate(self, channel: Any, etime: int) -> None:
+        original = self._channels[channel][0]
+        msg, sender, receiver, in_port, payload, bits, stamp = original
+        copy_id = self._next_msg
+        self._next_msg += 1
+        time = stamp if self._lamport else etime
+        self._emit(
+            "duplicate",
+            time,
+            etime,
+            proc=receiver,
+            peer=sender,
+            port=in_port.value,
+            payload=payload,
+            msg=copy_id,
+            detail=f"copy-of:{msg}",
+        )
+        self._copy = (
+            channel,
+            (copy_id, sender, receiver, in_port, payload, bits, stamp),
+        )
+
+    def wake(self, proc: int, etime: int, spontaneous: bool = True) -> None:
+        time = self._tick(proc) if self._lamport else etime
+        self._emit(
+            "wake",
+            time,
+            etime,
+            proc=proc,
+            detail="spontaneous" if spontaneous else "message",
+        )
+
+    def step(self, proc: int, etime: int) -> None:
+        time = self._tick(proc) if self._lamport else etime
+        self._emit("state-transition", time, etime, proc=proc)
+
+    def halt(self, proc: int, etime: int, output: Any = None) -> None:
+        # Halting happens inside the transition that was already stamped.
+        time = self._clocks.get(proc, 0) if self._lamport else etime
+        self._emit("halt", time, etime, proc=proc, payload=output)
+
+    def crash(self, proc: int, etime: int) -> None:
+        time = self._clocks.get(proc, 0) if self._lamport else etime
+        self._emit("crash", time, etime, proc=proc)
+
+    def schedule(self, channel: Any, etime: int) -> None:
+        self._emit("schedule", etime, etime, detail=repr(channel))

@@ -1,0 +1,214 @@
+"""Per-run metrics derived from the event stream, and the reconciliation
+proof tying the stream back to :class:`repro.core.tracing.TraceStats`.
+
+The aggregate counters and the event stream are produced by *independent*
+code paths in the engines (counters on the always-on hot path, events on
+the opt-in recorder hooks), so agreement between them is a real
+end-to-end check: :func:`reconcile` verifies, field for field, that
+
+* ``#send == stats.messages`` and ``Σ bits(send) == stats.bits``;
+* the per-cycle histogram of send events equals ``stats.per_cycle``;
+* ``#deliver/#drop/#duplicate`` match ``stats.delivered`` /
+  ``stats.dropped`` / ``stats.duplicated`` (asynchronous engines — the
+  synchronous engine does not track these, so there the stream itself
+  must satisfy ``#send == #deliver + #drop`` with no duplicates);
+* the conservation law ``messages + duplicated == delivered + dropped``
+  holds on both the counters and the stream (asynchronous quiescence).
+
+:func:`run_metrics` distils a recorded run into the JSON-able snapshot
+the ``trace`` CLI and the fuzzer attach to their artifacts: message
+latency histogram (send→deliver in clock units), queue-depth-over-time,
+per-processor send counts, and time-to-quiescence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.errors import SimulationError
+from ..core.tracing import TraceStats
+from .events import Event
+
+
+class ReconciliationError(SimulationError):
+    """The recorded event stream disagrees with the run's ``TraceStats``."""
+
+
+def reconcile(
+    events: Sequence[Event], stats: TraceStats, engine: str = "async"
+) -> List[str]:
+    """Check the event stream against the counters; return the mismatches.
+
+    Args:
+        events: the recorded stream.
+        stats: the run's transport counters.
+        engine: ``"sync"`` for the synchronous engine (which counts sends
+            but not deliveries), anything else for the asynchronous
+            engines (which count all five).
+
+    Returns:
+        A list of human-readable problems — empty iff the stream and the
+        counters reconcile exactly.
+    """
+    problems: List[str] = []
+    kinds = Counter(event.kind for event in events)
+    sends = [event for event in events if event.kind == "send"]
+
+    if kinds["send"] != stats.messages:
+        problems.append(f"{kinds['send']} send events != stats.messages={stats.messages}")
+    bits = sum(event.bits for event in sends)
+    if bits != stats.bits:
+        problems.append(f"send events carry {bits} bits != stats.bits={stats.bits}")
+    per_cycle = Counter(event.etime for event in sends)
+    if dict(per_cycle) != stats.per_cycle:
+        problems.append(
+            f"send-event histogram {dict(sorted(per_cycle.items()))} != "
+            f"stats.per_cycle={dict(sorted(stats.per_cycle.items()))}"
+        )
+    if kinds["enqueue"] != kinds["send"]:
+        problems.append(
+            f"{kinds['enqueue']} enqueue events != {kinds['send']} send events"
+        )
+
+    if engine == "sync":
+        # The synchronous engine's counters track sends only; the stream
+        # must be self-consistent instead: every sent message is delivered
+        # or dropped in the same cycle, and nothing is duplicated.
+        if (stats.delivered, stats.dropped, stats.duplicated) != (0, 0, 0):
+            problems.append(
+                "sync stats unexpectedly track deliveries: "
+                f"({stats.delivered}, {stats.dropped}, {stats.duplicated})"
+            )
+        if kinds["send"] != kinds["deliver"] + kinds["drop"]:
+            problems.append(
+                f"sync conservation: {kinds['send']} sends != "
+                f"{kinds['deliver']} delivers + {kinds['drop']} drops"
+            )
+        if kinds["duplicate"]:
+            problems.append(f"sync run recorded {kinds['duplicate']} duplicates")
+    else:
+        for kind, expected, label in (
+            ("deliver", stats.delivered, "delivered"),
+            ("drop", stats.dropped, "dropped"),
+            ("duplicate", stats.duplicated, "duplicated"),
+        ):
+            if kinds[kind] != expected:
+                problems.append(
+                    f"{kinds[kind]} {kind} events != stats.{label}={expected}"
+                )
+        if stats.messages + stats.duplicated != stats.delivered + stats.dropped:
+            problems.append(
+                f"counter conservation: messages({stats.messages}) + "
+                f"duplicated({stats.duplicated}) != delivered({stats.delivered}) "
+                f"+ dropped({stats.dropped})"
+            )
+        if kinds["send"] + kinds["duplicate"] != kinds["deliver"] + kinds["drop"]:
+            problems.append(
+                f"event conservation: {kinds['send']} sends + "
+                f"{kinds['duplicate']} duplicates != {kinds['deliver']} delivers "
+                f"+ {kinds['drop']} drops"
+            )
+    return problems
+
+
+def assert_reconciled(
+    events: Sequence[Event], stats: TraceStats, engine: str = "async"
+) -> None:
+    """Raise :class:`ReconciliationError` if the stream and counters disagree."""
+    problems = reconcile(events, stats, engine)
+    if problems:
+        raise ReconciliationError(
+            "event stream does not reconcile with TraceStats: "
+            + "; ".join(problems)
+        )
+
+
+def _latency_summary(latencies: List[int]) -> Dict[str, Any]:
+    if not latencies:
+        return {"count": 0, "min": None, "max": None, "mean": None, "histogram": {}}
+    histogram = Counter(latencies)
+    return {
+        "count": len(latencies),
+        "min": min(latencies),
+        "max": max(latencies),
+        "mean": sum(latencies) / len(latencies),
+        "histogram": {str(k): v for k, v in sorted(histogram.items())},
+    }
+
+
+def run_metrics(
+    events: Sequence[Event],
+    stats: Optional[TraceStats] = None,
+    max_depth_samples: int = 128,
+) -> Dict[str, Any]:
+    """Distil one recorded run into a JSON-able metrics snapshot.
+
+    The snapshot's totals are computed from the event stream alone; when
+    ``stats`` is given they are guaranteed to match it (callers that want
+    the guarantee enforced should :func:`reconcile` first — the snapshot
+    reports, it does not police).
+    """
+    kinds = Counter(event.kind for event in events)
+    send_stamp: Dict[int, int] = {}
+    send_by_proc: Counter = Counter()
+    latencies: List[int] = []
+    depth = 0
+    max_depth = 0
+    depth_series: List[List[int]] = []
+    quiescence = 0
+    for event in events:
+        quiescence = max(quiescence, event.etime)
+        if event.kind == "send":
+            send_stamp[event.msg] = event.time
+            send_by_proc[event.proc] += 1
+            depth += 1
+        elif event.kind == "duplicate":
+            send_stamp[event.msg] = event.time
+            depth += 1
+        elif event.kind in ("deliver", "drop"):
+            if event.kind == "deliver" and event.msg in send_stamp:
+                latencies.append(event.time - send_stamp[event.msg])
+            depth -= 1
+        else:
+            continue
+        if depth > max_depth:
+            max_depth = depth
+        depth_series.append([event.seq, depth])
+
+    if len(depth_series) > max_depth_samples:
+        stride = -(-len(depth_series) // max_depth_samples)  # ceil division
+        sampled = depth_series[::stride]
+        if sampled[-1] != depth_series[-1]:
+            sampled.append(depth_series[-1])
+        depth_series = sampled
+
+    procs = sorted(send_by_proc)
+    snapshot: Dict[str, Any] = {
+        "events": len(events),
+        "sends": kinds["send"],
+        "delivers": kinds["deliver"],
+        "drops": kinds["drop"],
+        "duplicates": kinds["duplicate"],
+        "bits": sum(event.bits for event in events if event.kind == "send"),
+        "halts": kinds["halt"],
+        "crashes": kinds["crash"],
+        "latency": _latency_summary(latencies),
+        "queue_depth": {
+            "max": max_depth,
+            "final": depth,
+            "samples": depth_series,
+        },
+        "per_processor_sends": {str(p): send_by_proc[p] for p in procs},
+        "quiescence_time": quiescence,
+    }
+    if stats is not None:
+        snapshot["trace_stats"] = {
+            "messages": stats.messages,
+            "bits": stats.bits,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "duplicated": stats.duplicated,
+            "active_cycles": stats.active_cycles,
+        }
+    return snapshot

@@ -3,10 +3,12 @@
 ``python -m repro bench`` runs :func:`run_bench` (simulator engines →
 ``BENCH_simulators.json``); ``python -m repro bench --suite analysis``
 runs :func:`run_analysis_bench` (symmetry/fooling analysis paths, engine
-vs naive → ``BENCH_analysis.json``).  Both artifacts carry the git
-commit and a UTC timestamp (schema v2), so throughput is tracked PR over
-PR; see :mod:`repro.perf.bench` and :mod:`repro.perf.analysis` for the
-workload definitions.
+vs naive → ``BENCH_analysis.json``); ``python -m repro bench --suite
+obs`` runs :func:`run_obs_bench` (recorder-off vs recorder-on →
+``BENCH_obs.json``).  All artifacts carry the git commit and a UTC
+timestamp (schema v2), so throughput is tracked PR over PR; see
+:mod:`repro.perf.bench`, :mod:`repro.perf.analysis` and
+:mod:`repro.perf.obs` for the workload definitions.
 """
 
 from .analysis import (
@@ -30,7 +32,17 @@ from .bench import (
     measure,
     render_table,
     run_bench,
+    workload_spec,
     write_bench,
+)
+from .obs import (
+    OBS_FILENAME,
+    ObsRecord,
+    measure_obs,
+    overhead_summary,
+    render_obs_table,
+    run_obs_bench,
+    write_obs_bench,
 )
 
 __all__ = [
@@ -38,19 +50,27 @@ __all__ = [
     "AnalysisRecord",
     "AnalysisWorkload",
     "BENCH_FILENAME",
+    "OBS_FILENAME",
     "SCHEMA_VERSION",
     "BenchRecord",
+    "ObsRecord",
     "Workload",
     "analysis_speedups",
     "default_analysis_workloads",
     "default_workloads",
     "measure",
     "measure_analysis",
+    "measure_obs",
+    "overhead_summary",
     "profile_radius",
     "render_analysis_table",
+    "render_obs_table",
     "render_table",
     "run_analysis_bench",
     "run_bench",
+    "run_obs_bench",
+    "workload_spec",
     "write_analysis_bench",
     "write_bench",
+    "write_obs_bench",
 ]

@@ -123,46 +123,61 @@ def _async_events(result: RunResult) -> int:
     return result.stats.messages
 
 
+def workload_spec(name: str, n: int) -> RunSpec:
+    """The :class:`RunSpec` a named default workload runs at size ``n``.
+
+    Exposed so other suites (the observability-overhead bench) can rerun
+    the exact same specs with different spec-level knobs
+    (``spec.with_(record=True)``) and stay comparable to this suite's
+    numbers.
+    """
+    if name == "sync_and":
+        # A single zero makes the announcement wave cross the whole ring —
+        # the algorithm's worst case for both messages and cycles.
+        return RunSpec.make(
+            engine="sync",
+            ring=RingConfiguration.oriented((0,) + (1,) * (n - 1)),
+            algorithm="sync-and",
+        )
+    if name == "sync_input_distribution":
+        return RunSpec.make(
+            engine="sync",
+            ring=_binary_ring(n),
+            algorithm="fig2-input-distribution",
+        )
+    if name == "async_input_distribution":
+        # Oriented ring: exactly n(n−1) messages at every size (§4.1).
+        return RunSpec.make(
+            engine="async",
+            ring=_binary_ring(n),
+            algorithm="input-distribution",
+            params={"assume_oriented": True},
+            scheduler="round-robin",
+        )
+    if name == "async_synchronized":
+        return RunSpec.make(
+            engine="async-synchronized",
+            ring=_binary_ring(n),
+            algorithm="input-distribution",
+            params={"assume_oriented": True},
+        )
+    raise KeyError(f"unknown workload {name!r}")
+
+
 def _run_sync_and(n: int) -> RunResult:
-    # A single zero makes the announcement wave cross the whole ring —
-    # the algorithm's worst case for both messages and cycles.
-    spec = RunSpec.make(
-        engine="sync",
-        ring=RingConfiguration.oriented((0,) + (1,) * (n - 1)),
-        algorithm="sync-and",
-    )
-    return execute(spec)
+    return execute(workload_spec("sync_and", n))
 
 
 def _run_sync_input_distribution(n: int) -> RunResult:
-    spec = RunSpec.make(
-        engine="sync",
-        ring=_binary_ring(n),
-        algorithm="fig2-input-distribution",
-    )
-    return execute(spec)
+    return execute(workload_spec("sync_input_distribution", n))
 
 
 def _run_async_input_distribution(n: int) -> RunResult:
-    # Oriented ring: exactly n(n−1) messages at every size (§4.1).
-    spec = RunSpec.make(
-        engine="async",
-        ring=_binary_ring(n),
-        algorithm="input-distribution",
-        params={"assume_oriented": True},
-        scheduler="round-robin",
-    )
-    return execute(spec)
+    return execute(workload_spec("async_input_distribution", n))
 
 
 def _run_async_synchronized(n: int) -> RunResult:
-    spec = RunSpec.make(
-        engine="async-synchronized",
-        ring=_binary_ring(n),
-        algorithm="input-distribution",
-        params={"assume_oriented": True},
-    )
-    return execute(spec)
+    return execute(workload_spec("async_synchronized", n))
 
 
 def default_workloads() -> Tuple[Workload, ...]:

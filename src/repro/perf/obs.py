@@ -1,0 +1,187 @@
+"""The observability-overhead benchmark (``python -m repro bench --suite obs``).
+
+The :mod:`repro.obs` contract is that recording is pay-for-what-you-use:
+with ``recorder=None`` the engines run exactly one ``is not None`` test
+per would-be hook and allocate nothing.  This suite makes that claim a
+number: every default engine workload (see
+:func:`repro.perf.bench.workload_spec`) is timed twice — once
+recorder-off, once recorder-on — and the paired ratios are written to
+``BENCH_obs.json``.  ``benchmarks/test_bench_obs.py`` holds recorder-off
+to within 5 % of the plain-bench baseline on the same machine (the
+cross-machine committed numbers are advisory; the strict comparison is
+gated on ``REPRO_BENCH_STRICT=1``).
+
+Recorder-on is *expected* to cost real time (it materializes the full
+event stream); the interesting quantity is the off column, which must be
+indistinguishable from the engines before :mod:`repro.obs` existed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..runtime.runner import Runner, TaskCall, task_digest
+from ..runtime.spec import execute
+from .bench import default_workloads, workload_spec, write_payload
+
+#: Default output file, written to the current working directory.
+OBS_FILENAME = "BENCH_obs.json"
+
+#: The two modes every (workload, n) point is timed under.
+MODES = ("off", "record")
+
+
+@dataclass(frozen=True)
+class ObsRecord:
+    """One (workload, n, mode) measurement.
+
+    ``seconds`` is the best wall time over ``repeats`` runs;
+    ``recorded_events`` is the stream length in ``record`` mode (0 when
+    off) — a sanity anchor that the recorder actually ran.
+    """
+
+    workload: str
+    engine: str
+    n: int
+    mode: str
+    repeats: int
+    seconds: float
+    messages: int
+    recorded_events: int
+
+
+def measure_obs(name: str, n: int, repeats: int, mode: str) -> ObsRecord:
+    """Time one workload spec at one size in one recording mode."""
+    spec = workload_spec(name, n)
+    if mode == "record":
+        spec = spec.with_(record=True)
+    elif mode != "off":
+        raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = execute(spec)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return ObsRecord(
+        workload=name,
+        engine=spec.engine,
+        n=n,
+        mode=mode,
+        repeats=max(1, repeats),
+        seconds=best,
+        messages=result.stats.messages,
+        recorded_events=len(result.events) if result.events is not None else 0,
+    )
+
+
+def measure_obs_named(name: str, n: int, repeats: int, mode: str) -> ObsRecord:
+    """Pool-worker entry point (module-level, picklable by reference)."""
+    return measure_obs(name, n, repeats, mode)
+
+
+def overhead_summary(records: Sequence[ObsRecord]) -> Dict[str, Dict]:
+    """Pair off/record rows and compute per-point and peak overheads.
+
+    Returns ``{"points": [...], "max_record_overhead": float}`` where
+    each point carries ``record_overhead = record.seconds / off.seconds
+    - 1`` (how much the recorder costs when it is *on*).
+    """
+    off: Dict[Tuple[str, int], ObsRecord] = {}
+    on: Dict[Tuple[str, int], ObsRecord] = {}
+    for record in records:
+        (off if record.mode == "off" else on)[(record.workload, record.n)] = record
+    points: List[Dict] = []
+    peak = 0.0
+    for key in sorted(off):
+        if key not in on:
+            continue
+        base = max(off[key].seconds, 1e-9)
+        ratio = on[key].seconds / base - 1.0
+        peak = max(peak, ratio)
+        points.append(
+            {
+                "workload": key[0],
+                "n": key[1],
+                "off_seconds": off[key].seconds,
+                "record_seconds": on[key].seconds,
+                "record_overhead": ratio,
+                "recorded_events": on[key].recorded_events,
+            }
+        )
+    return {"points": points, "max_record_overhead": peak}
+
+
+def run_obs_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    sizes: Optional[Sequence[int]] = None,
+    runner: Optional[Runner] = None,
+) -> List[ObsRecord]:
+    """Run every default workload recorder-off and recorder-on.
+
+    The grid mirrors :func:`repro.perf.bench.run_bench` (same workloads,
+    same sweeps) with a mode axis appended; records come back in grid
+    order for every worker count.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 3
+    grid: List[Tuple[str, int, str]] = []
+    for workload in default_workloads():
+        sweep = tuple(sizes) if sizes else (
+            workload.quick_sizes if quick else workload.sizes
+        )
+        for n in sweep:
+            for mode in MODES:
+                grid.append((workload.name, n, mode))
+    if runner is None:
+        runner = Runner(jobs=1)
+    calls = [
+        TaskCall(
+            func="repro.perf.obs:measure_obs_named",
+            args=(name, n, repeats, mode),
+            cache_key=task_digest("bench-obs", name, n, repeats, mode),
+        )
+        for name, n, mode in grid
+    ]
+    return list(runner.map(calls))
+
+
+def render_obs_table(records: Sequence[ObsRecord]) -> str:
+    """Paired off/record rows with the overhead column."""
+    summary = overhead_summary(records)
+    lines = [
+        f"{'workload':<26} {'n':>5} {'off (s)':>9} {'record (s)':>11} "
+        f"{'overhead':>9} {'events':>8}",
+        "-" * 74,
+    ]
+    for point in summary["points"]:
+        lines.append(
+            f"{point['workload']:<26} {point['n']:>5} "
+            f"{point['off_seconds']:>9.4f} {point['record_seconds']:>11.4f} "
+            f"{point['record_overhead']:>8.1%} {point['recorded_events']:>8}"
+        )
+    lines.append(
+        f"peak recorder-on overhead: {summary['max_record_overhead']:.1%}"
+    )
+    return "\n".join(lines)
+
+
+def write_obs_bench(
+    records: Sequence[ObsRecord],
+    path: Union[str, Path, None] = None,
+    quick: bool = False,
+) -> Path:
+    """Serialize an obs bench run to JSON; returns the path written."""
+    target = Path(path) if path is not None else Path(OBS_FILENAME)
+    return write_payload(
+        records,
+        target,
+        suite="observability-overhead",
+        quick=quick,
+        extras={"overheads": overhead_summary(records)},
+    )

@@ -13,16 +13,29 @@ The cache is deliberately dumb: one pickle file per result, sharded by
 digest prefix, written atomically (tmp file + rename) so concurrent pool
 workers can share a directory without locks.  A corrupt or unreadable
 entry is treated as a miss and overwritten.
+
+Every entry is stored inside a small wrapper tuple that names the
+:func:`code_version` that produced it.  The version in the *key* already
+guarantees correctness (stale entries are simply never looked up); the
+version in the *entry* is what makes ``python -m repro cache prune``
+possible — orphaned entries from older code can be identified and
+removed without knowing the keys that once reached them.
+
+Hit/miss/write counters persist across processes in a ``counters.json``
+at the cache root (merged in by :meth:`ResultCache.flush_counters`), so
+``python -m repro cache stats`` can report lifetime totals, not just the
+current process's.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Environment variable consulted by the CLI for a default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -50,13 +63,21 @@ def code_version() -> str:
     return _code_version
 
 
+#: First element of every stored entry tuple (see module docstring).
+_ENTRY_MARKER = "repro-cache"
+
+#: Name of the persistent counter file at the cache root.
+COUNTERS_FILE = "counters.json"
+
+
 class ResultCache:
     """Pickle-per-entry cache keyed by content digests.
 
     Attributes:
         root: cache directory (created lazily on first write).
         hits / misses / writes: per-instance counters, handy for tests
-            and ``--cache`` CLI summaries.
+            and ``--cache`` CLI summaries; :meth:`flush_counters` folds
+            them into the root's persistent ``counters.json``.
     """
 
     def __init__(self, root: os.PathLike) -> None:
@@ -64,6 +85,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        # High-water marks of what flush_counters already persisted, so
+        # the public counters stay monotonically increasing observables.
+        self._flushed = {"hits": 0, "misses": 0, "writes": 0}
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -73,21 +97,31 @@ class ResultCache:
         path = self._path(key)
         try:
             with path.open("rb") as handle:
-                value = pickle.load(handle)
+                entry = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             self.misses += 1
             return False, None
+        # Entries not in the wrapper format (pre-wrapper caches, foreign
+        # files) are misses: a fresh write replaces them.
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 3
+            or entry[0] != _ENTRY_MARKER
+        ):
+            self.misses += 1
+            return False, None
         self.hits += 1
-        return True, value
+        return True, entry[2]
 
     def put(self, key: str, value: Any) -> None:
         """Store atomically; concurrent writers of the same key both win."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        entry = (_ENTRY_MARKER, code_version(), value)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -96,6 +130,131 @@ class ResultCache:
                 pass
             raise
         self.writes += 1
+
+    def _entries(self):
+        """Yield every entry file under the root (two-hex-digit shards)."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            yield from sorted(shard.glob("*.pkl"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total bytes, and lifetime + in-process counters.
+
+        The ``lifetime_*`` numbers come from the persistent
+        ``counters.json`` (everything previous processes flushed) plus
+        this instance's still-unflushed counters.
+        """
+        entries = 0
+        size = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+        persisted = self._read_counters()
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "lifetime_hits": persisted.get("hits", 0) + self.hits - self._flushed["hits"],
+            "lifetime_misses": persisted.get("misses", 0)
+            + self.misses
+            - self._flushed["misses"],
+            "lifetime_writes": persisted.get("writes", 0)
+            + self.writes
+            - self._flushed["writes"],
+        }
+
+    def prune(self) -> Dict[str, int]:
+        """Remove entries whose stored code version is not the current one.
+
+        Such entries can never be hit again — every lookup key mixes in
+        the current :func:`code_version` — so removing them only frees
+        disk.  Unreadable or non-wrapper files are stale by definition
+        and removed too.  Returns ``{"removed": ..., "kept": ...,
+        "freed_bytes": ...}``.
+        """
+        current = code_version()
+        removed = kept = freed = 0
+        for path in list(self._entries()):
+            stale = False
+            try:
+                with path.open("rb") as handle:
+                    entry = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                stale = True
+            else:
+                stale = (
+                    not isinstance(entry, tuple)
+                    or len(entry) != 3
+                    or entry[0] != _ENTRY_MARKER
+                    or entry[1] != current
+                )
+            if not stale:
+                kept += 1
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {"removed": removed, "kept": kept, "freed_bytes": freed}
+
+    def _counters_path(self) -> Path:
+        return self.root / COUNTERS_FILE
+
+    def _read_counters(self) -> Dict[str, int]:
+        try:
+            data = json.loads(self._counters_path().read_text())
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def flush_counters(self) -> None:
+        """Fold not-yet-persisted counter increments into the file.
+
+        Atomic (tmp + rename) like :meth:`put`; concurrent flushers can
+        lose each other's increments in a read-modify-write race, which
+        is acceptable for advisory statistics.  The public counters are
+        left untouched (they keep growing for the process's lifetime);
+        an internal watermark prevents double-counting across flushes.
+        """
+        deltas = {
+            "hits": self.hits - self._flushed["hits"],
+            "misses": self.misses - self._flushed["misses"],
+            "writes": self.writes - self._flushed["writes"],
+        }
+        if not any(deltas.values()):
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        totals = self._read_counters()
+        for name, delta in deltas.items():
+            totals[name] = int(totals.get(name, 0)) + delta
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle, sort_keys=True)
+            os.replace(tmp_name, self._counters_path())
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._flushed = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

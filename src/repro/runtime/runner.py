@@ -27,10 +27,14 @@ uses: one :class:`~repro.runtime.spec.RunSpec` per run, cached under
 from __future__ import annotations
 
 import importlib
+import json
 import random
+import sys
+import time
 from dataclasses import dataclass, field
 from hashlib import sha256
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ConfigurationError
 from ..core.tracing import RunResult
@@ -103,6 +107,18 @@ def invoke(call: TaskCall) -> Any:
     return resolve(call.func)(*call.args)
 
 
+def invoke_timed(call: TaskCall) -> Tuple[float, Any]:
+    """Like :func:`invoke`, returning ``(wall_seconds, value)``.
+
+    The pool worker entry point when the runner collects telemetry: the
+    timing rides back with the result so the parent never has to guess
+    how long a worker actually spent.
+    """
+    start = time.perf_counter()
+    value = resolve(call.func)(*call.args)
+    return time.perf_counter() - start, value
+
+
 @dataclass(frozen=True)
 class Sweep:
     """A named batch of specs — the declarative unit harnesses build.
@@ -121,6 +137,40 @@ class Sweep:
         return runner.run_specs(self.specs)
 
 
+class _Progress:
+    """Stderr progress lines for one batch (opt-in via ``Runner.progress``).
+
+    Writes only to stderr, so artifact bytes are untouched; the ETA is a
+    naive remaining × mean-task-time / jobs estimate, recomputed as
+    completions arrive.
+    """
+
+    def __init__(self, total: int, cached: int, jobs: int) -> None:
+        self.total = total
+        self.cached = cached
+        self.jobs = max(1, jobs)
+        self.done = cached
+        self.task_seconds = 0.0
+        if cached == total:
+            self._line(eta=0.0)
+
+    def advance(self, seconds: float) -> None:
+        self.done += 1
+        self.task_seconds += seconds
+        executed = self.done - self.cached
+        mean = self.task_seconds / executed if executed else 0.0
+        remaining = self.total - self.done
+        self._line(eta=mean * remaining / self.jobs)
+
+    def _line(self, eta: float) -> None:
+        print(
+            f"[runner] {self.done}/{self.total} done "
+            f"({self.cached} cached, eta {eta:.1f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 @dataclass
 class Runner:
     """Executes task batches, optionally in parallel and/or cached.
@@ -130,16 +180,32 @@ class Runner:
             zero pool overhead.  Results are identical either way.
         cache: optional on-disk result cache consulted for tasks that
             carry a ``cache_key``.
+        progress: emit one-line progress reports to stderr as tasks
+            complete (completed/total, cache hits, ETA).  Strictly
+            advisory — artifacts stay bit-identical with it on or off,
+            for every ``jobs`` value, because it only ever writes to
+            stderr.
         executed: number of tasks actually run (cache hits excluded) —
             the observable that lets tests prove a hit skipped execution.
+        batches: per-:meth:`map` telemetry records (task counts, cache
+            hits, wall and cumulative task seconds) feeding
+            :meth:`metrics_snapshot`.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    progress: bool = False
     executed: int = field(default=0, compare=False)
+    batches: List[Dict[str, Any]] = field(default_factory=list, compare=False)
 
     def map(self, calls: Sequence[TaskCall]) -> List[Any]:
         """Run a batch; results come back in submission order."""
+        started = time.perf_counter()
+        counters_before = (
+            (self.cache.hits, self.cache.misses, self.cache.writes)
+            if self.cache is not None
+            else (0, 0, 0)
+        )
         results: List[Any] = [None] * len(calls)
         pending: List[Tuple[int, TaskCall]] = []
         for index, call in enumerate(calls):
@@ -150,26 +216,102 @@ class Runner:
                     continue
             pending.append((index, call))
 
+        cached = len(calls) - len(pending)
+        task_seconds = 0.0
         if pending:
+            reporter = _Progress(len(calls), cached, self.jobs) if self.progress else None
             if self.jobs > 1 and len(pending) > 1:
-                outcomes = self._map_pool([call for _, call in pending])
+                outcomes = self._map_pool([call for _, call in pending], reporter)
             else:
-                outcomes = [invoke(call) for _, call in pending]
+                outcomes = []
+                for _, call in pending:
+                    outcome = invoke_timed(call)
+                    outcomes.append(outcome)
+                    if reporter is not None:
+                        reporter.advance(outcome[0])
             self.executed += len(pending)
-            for (index, call), value in zip(pending, outcomes):
+            for (index, call), (seconds, value) in zip(pending, outcomes):
+                task_seconds += seconds
                 results[index] = value
                 if self.cache is not None and call.cache_key is not None:
                     self.cache.put(call.cache_key, value)
+        elif self.progress and calls:
+            _Progress(len(calls), cached, self.jobs)
+
+        wall = time.perf_counter() - started
+        batch: Dict[str, Any] = {
+            "tasks": len(calls),
+            "executed": len(pending),
+            "cache_hits": cached,
+            "wall_seconds": wall,
+            "task_seconds": task_seconds,
+        }
+        if self.cache is not None:
+            batch["cache"] = {
+                "hits": self.cache.hits - counters_before[0],
+                "misses": self.cache.misses - counters_before[1],
+                "writes": self.cache.writes - counters_before[2],
+            }
+            self.cache.flush_counters()
+        self.batches.append(batch)
         return results
 
-    def _map_pool(self, calls: List[TaskCall]) -> List[Any]:
+    def _map_pool(
+        self, calls: List[TaskCall], reporter: Optional["_Progress"] = None
+    ) -> List[Tuple[float, Any]]:
         import multiprocessing
 
-        # ``pool.map`` preserves submission order whatever the completion
+        # ``pool.imap`` preserves submission order whatever the completion
         # order, which is half of the determinism contract (the other
-        # half is that every task is a pure function of its arguments).
+        # half is that every task is a pure function of its arguments);
+        # unlike ``pool.map`` it yields results as the head of the line
+        # finishes, which is what lets progress report mid-batch.
         with multiprocessing.Pool(processes=self.jobs) as pool:
-            return pool.map(invoke, calls, chunksize=1)
+            outcomes: List[Tuple[float, Any]] = []
+            for outcome in pool.imap(invoke_timed, calls, chunksize=1):
+                outcomes.append(outcome)
+                if reporter is not None:
+                    reporter.advance(outcome[0])
+            return outcomes
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Aggregate sweep telemetry as a JSON-able dict.
+
+        Totals over every batch this runner mapped: task and cache
+        counts, wall versus cumulative in-task seconds, and pool
+        utilization (task seconds per wall second per worker — 1.0 means
+        every worker was busy the whole time).
+        """
+        tasks = sum(batch["tasks"] for batch in self.batches)
+        executed = sum(batch["executed"] for batch in self.batches)
+        cache_hits = sum(batch["cache_hits"] for batch in self.batches)
+        wall = sum(batch["wall_seconds"] for batch in self.batches)
+        task_seconds = sum(batch["task_seconds"] for batch in self.batches)
+        snapshot: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "batches": len(self.batches),
+            "tasks": tasks,
+            "executed": executed,
+            "cache_hits": cache_hits,
+            "wall_seconds": wall,
+            "task_seconds": task_seconds,
+            "mean_task_seconds": (task_seconds / executed) if executed else None,
+            "pool_utilization": (
+                task_seconds / (wall * self.jobs) if wall > 0 else None
+            ),
+        }
+        if self.cache is not None:
+            snapshot["cache"] = {
+                name: sum(batch.get("cache", {}).get(name, 0) for batch in self.batches)
+                for name in ("hits", "misses", "writes")
+            }
+        return snapshot
+
+    def write_metrics(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`metrics_snapshot` as JSON (the ``METRICS.json`` file)."""
+        target = Path(path)
+        target.write_text(json.dumps(self.metrics_snapshot(), indent=2) + "\n")
+        return target
 
     def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Execute a spec batch through :func:`repro.runtime.spec.execute`.

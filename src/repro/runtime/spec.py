@@ -68,6 +68,12 @@ class RunSpec:
         budget: cycle budget (sync / async-synchronized) or event budget
             (async); ``None`` means the engine default.
         keep_log: retain the full message log on the result's stats.
+        record: attach the typed :mod:`repro.obs` event stream to the
+            result (``RunResult.events``) — cycle-stamped for the
+            synchronous engines, Lamport-stamped for the general
+            asynchronous engine.  Off by default: recording is the one
+            spec knob that changes no outputs or counters, only the
+            attached stream.
     """
 
     engine: str
@@ -83,6 +89,7 @@ class RunSpec:
     wakeup: Optional[Tuple[int, ...]] = None
     budget: Optional[int] = None
     keep_log: bool = False
+    record: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -209,12 +216,29 @@ def build_adversary(spec: RunSpec) -> Optional[Any]:
     return FaultInjector(fault_spec, spec.ring.n, horizon, spec.fault_seed)
 
 
+def build_recorder(spec: RunSpec) -> Optional[Any]:
+    """Instantiate the spec's event recorder, or ``None`` when off.
+
+    The general asynchronous engine gets a Lamport clock (there is no
+    global time to stamp with); the two cycle-driven engines stamp with
+    the cycle index directly.
+    """
+    if not spec.record:
+        return None
+    from ..obs.events import CLOCK_CYCLE, CLOCK_LAMPORT, EventRecorder
+
+    clock = CLOCK_LAMPORT if spec.engine == "async" else CLOCK_CYCLE
+    return EventRecorder(clock=clock)
+
+
 def execute(spec: RunSpec) -> RunResult:
     """Run one spec to completion — the single engine dispatcher.
 
     Every field of the result is a deterministic function of the spec:
     re-executing the same spec (in any process, on any worker of a pool)
-    produces identical outputs, counters, and logs.
+    produces identical outputs, counters, and logs.  With ``record`` on,
+    the recorded event stream is attached as ``result.events`` (itself
+    deterministic — it is a pure function of the schedule).
     """
     entry = algorithm(spec.algorithm)
     expected_kind = SYNC if spec.engine == "sync" else ASYNC
@@ -224,32 +248,43 @@ def execute(spec: RunSpec) -> RunResult:
             f"the {spec.engine!r} engine needs {expected_kind}"
         )
     factory = entry.factory(**spec.params_dict)
+    recorder = build_recorder(spec)
 
     if spec.engine == "sync":
         from ..sync.simulator import run_synchronous
         from ..sync.wakeup import WakeupSchedule
 
         wakeup = WakeupSchedule(spec.wakeup) if spec.wakeup is not None else None
-        return run_synchronous(
+        result = run_synchronous(
             spec.ring,
             factory,
             wakeup=wakeup,
             max_cycles=spec.budget,
             keep_log=spec.keep_log,
+            recorder=recorder,
         )
-    if spec.engine == "async-synchronized":
+    elif spec.engine == "async-synchronized":
         from ..asynch.simulator import run_async_synchronized
 
-        return run_async_synchronized(
-            spec.ring, factory, max_cycles=spec.budget, keep_log=spec.keep_log
+        result = run_async_synchronized(
+            spec.ring,
+            factory,
+            max_cycles=spec.budget,
+            keep_log=spec.keep_log,
+            recorder=recorder,
         )
-    from ..asynch.simulator import run_asynchronous
+    else:
+        from ..asynch.simulator import run_asynchronous
 
-    return run_asynchronous(
-        spec.ring,
-        factory,
-        scheduler=build_scheduler(spec),
-        max_events=spec.budget,
-        keep_log=spec.keep_log,
-        adversary=build_adversary(spec),
-    )
+        result = run_asynchronous(
+            spec.ring,
+            factory,
+            scheduler=build_scheduler(spec),
+            max_events=spec.budget,
+            keep_log=spec.keep_log,
+            adversary=build_adversary(spec),
+            recorder=recorder,
+        )
+    if recorder is not None:
+        result = replace(result, events=tuple(recorder.events))
+    return result

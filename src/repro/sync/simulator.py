@@ -31,7 +31,7 @@ shared empty ``In`` handed out otherwise must be treated as read-only
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import NonTerminationError, SimulationError
 from ..core.message import Envelope, Port, bit_length
@@ -39,6 +39,9 @@ from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
 from .process import ABSENT, In, Out, ProcessGen, SyncProcess
 from .wakeup import WakeupSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.events import Recorder
 
 #: A factory building the (identical) program of every processor.
 ProcessFactory = Callable[[Any, int], SyncProcess]
@@ -65,6 +68,7 @@ def run_synchronous(
     wakeup: Optional[WakeupSchedule] = None,
     max_cycles: Optional[int] = None,
     keep_log: bool = False,
+    recorder: Optional["Recorder"] = None,
 ) -> RunResult:
     """Run one synchronous computation to completion.
 
@@ -74,6 +78,9 @@ def run_synchronous(
         wakeup: spontaneous wake-up cycles; default is simultaneous start.
         max_cycles: cycle budget; defaults to :func:`default_cycle_budget`.
         keep_log: retain the full message log on the returned stats.
+        recorder: optional :class:`repro.obs.events.Recorder` receiving
+            the typed event stream (cycle-stamped); ``None`` — the
+            default — records nothing and costs nothing.
 
     Returns:
         A :class:`repro.core.tracing.RunResult` with per-processor outputs,
@@ -133,16 +140,22 @@ def run_synchronous(
                     proc = processes[i]
                     proc.wake_inbox = list(wake_messages[i])
                     proc.woke_spontaneously = not wake_messages[i]
+                    if recorder is not None:
+                        recorder.wake(i, cycle, spontaneous=not wake_messages[i])
                     gen = proc.run()
                     gens[i] = gen
                     out = next(gen)
                 else:
+                    if recorder is not None:
+                        recorder.step(i, cycle)
                     out = gen.send(last_in[i])
             except StopIteration as stop:
                 halted[i] = True
                 halted_count += 1
                 outputs[i] = stop.value
                 halt_times[i] = cycle
+                if recorder is not None:
+                    recorder.halt(i, cycle, stop.value)
                 continue
             if not isinstance(out, Out):
                 raise SimulationError(
@@ -168,7 +181,24 @@ def run_synchronous(
                     )
                 else:
                     stats.record_send(bit_length(payload), cycle)
+                if recorder is not None:
+                    # Channel key: each (sender, out-port) is one link, and
+                    # its message is delivered or dropped before the next
+                    # send on it, so the recorder's FIFO mirror stays
+                    # depth-one per key.
+                    recorder.send(
+                        sender,
+                        receiver,
+                        port,
+                        in_port,
+                        payload,
+                        bit_length(payload),
+                        cycle,
+                        channel=(sender, port),
+                    )
                 if halted[receiver]:
+                    if recorder is not None:
+                        recorder.drop((sender, port), cycle, "halted")
                     continue
                 if gens[receiver] is None and wake_time[receiver] > cycle:
                     # Wakes an idle processor: it starts next cycle with
@@ -182,6 +212,8 @@ def run_synchronous(
                         )
                     inbox.append((in_port, payload))
                     wake_time[receiver] = cycle + 1
+                    if recorder is not None:
+                        recorder.deliver((sender, port), cycle)
                     continue
                 got = arriving[receiver]
                 if in_port in got:
@@ -191,6 +223,8 @@ def run_synchronous(
                 if not got:
                     touched.append(receiver)
                 got[in_port] = payload
+                if recorder is not None:
+                    recorder.deliver((sender, port), cycle)
 
         for i in prev_touched:
             last_in[i] = _EMPTY_IN

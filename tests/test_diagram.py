@@ -60,3 +60,92 @@ class TestDensity:
     def test_empty(self):
         _config, result = logged_run([1, 1, 1])
         assert message_density(result) == "(no messages)"
+
+
+class TestFaultMarks:
+    """Dropped and duplicated messages render distinctly (repro.obs)."""
+
+    def _drop_stream(self):
+        """A drop-profile run (which deadlocks) recorded up to its death."""
+        import random
+
+        from repro.asynch.simulator import run_asynchronous
+        from repro.core.errors import ReproError
+        from repro.obs import CLOCK_LAMPORT, EventRecorder, result_from_events
+        from repro.runtime.registry import algorithm
+        from repro.runtime.spec import RunSpec, build_adversary, build_scheduler
+
+        ring = RingConfiguration.random(6, random.Random(1), oriented=True)
+        spec = RunSpec.make(
+            engine="async",
+            ring=ring,
+            algorithm="input-distribution",
+            params={"assume_oriented": True},
+            scheduler="round-robin",
+            fault_profile="drop",
+            fault_seed=1,
+        )
+        recorder = EventRecorder(clock=CLOCK_LAMPORT)
+        with pytest.raises(ReproError):
+            run_asynchronous(
+                ring,
+                algorithm(spec.algorithm).factory(assume_oriented=True),
+                scheduler=build_scheduler(spec),
+                adversary=build_adversary(spec),
+                recorder=recorder,
+            )
+        events = recorder.events
+        return ring, result_from_events(events, ring.n), events
+
+    def _dup_stream(self):
+        """A completing dup-profile election with recorded duplicates."""
+        import random
+
+        from repro.core.diagram import space_time_diagram  # noqa: F401
+        from repro.runtime.spec import RunSpec, execute
+
+        labels = list(range(1, 6))
+        random.Random(0).shuffle(labels)
+        ring = RingConfiguration.oriented(tuple(labels))
+        spec = RunSpec.make(
+            engine="async",
+            ring=ring,
+            algorithm="chang-roberts",
+            scheduler="random",
+            scheduler_seed=0,
+            fault_profile="dup",
+            fault_seed=1,
+            keep_log=True,
+            record=True,
+        )
+        result = execute(spec)
+        assert result.stats.duplicated > 0
+        return ring, result
+
+    def test_drop_profile_marks_and_legend(self):
+        ring, rebuilt, events = self._drop_stream()
+        assert rebuilt.stats.dropped > 0
+        art = space_time_diagram(ring, rebuilt, events=events)
+        assert "!" in art
+        assert "! dropped delivery" in art
+
+    def test_dup_profile_marks_and_legend(self):
+        ring, result = self._dup_stream()
+        art = space_time_diagram(ring, result)  # events ride on the result
+        assert "+" in art
+        assert "+ duplicate" in art
+
+    def test_faultless_run_keeps_plain_legend(self):
+        config, result = logged_run([0, 1, 1, 1])
+        art = space_time_diagram(config, result)
+        assert "dropped delivery" not in art and "+ duplicate" not in art
+
+    def test_density_annotates_fault_counters(self):
+        _ring, result = self._dup_stream()
+        line = message_density(result)
+        assert f"{result.stats.duplicated} duplicated" in line
+        assert "dropped" in line
+
+    def test_density_quiet_without_faults(self):
+        _config, result = logged_run([0, 1, 1, 1, 1, 1, 1])
+        assert "dropped" not in message_density(result)

@@ -245,3 +245,38 @@ class TestCli:
         assert main(argv + ["--output", str(out1)]) == 0
         assert main(argv + ["--output", str(out2)]) == 0
         assert out1.read_bytes() == out2.read_bytes()
+
+
+class TestWitnessEvents:
+    """Violations carry the minimized witness's repro.obs event stream."""
+
+    def test_violation_records_attach_events(self):
+        from repro.obs import EVENT_KINDS, event_from_json
+
+        report = _planted_report()
+        violations = [v for c in report["campaigns"] for v in c["violations"]]
+        assert violations
+        for violation in violations:
+            rows = violation["events"]
+            assert rows, "reproduced violation should carry its event stream"
+            events = [event_from_json(row) for row in rows]
+            assert [e.seq for e in events] == list(range(len(events)))
+            assert all(e.kind in EVENT_KINDS for e in events)
+            # The stream is a complete replay of the witness: transport
+            # conservation holds at the point the run ended.
+            kinds = {k: sum(1 for e in events if e.kind == k) for k in EVENT_KINDS}
+            assert (
+                kinds["send"] + kinds["duplicate"]
+                >= kinds["deliver"] + kinds["drop"]
+            )
+
+    def test_witness_events_are_deterministic(self):
+        first = _planted_report()
+        second = _planted_report()
+        events_a = [
+            v["events"] for c in first["campaigns"] for v in c["violations"]
+        ]
+        events_b = [
+            v["events"] for c in second["campaigns"] for v in c["violations"]
+        ]
+        assert events_a == events_b

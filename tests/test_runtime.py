@@ -406,3 +406,149 @@ class TestHarnessParity:
 class TestEngineConstant:
     def test_engines_tuple(self):
         assert ENGINES == ("sync", "async", "async-synchronized")
+
+
+class TestRunnerTelemetry:
+    """Per-batch telemetry, METRICS.json, and the stderr progress line."""
+
+    def _calls(self, count: int = 4):
+        return [
+            TaskCall(func="test_runtime:counting_task", args=(i,),
+                     cache_key=task_digest("telemetry-stub", i))
+            for i in range(count)
+        ]
+
+    def test_batches_record_counts_and_timings(self):
+        runner = Runner()
+        runner.map(self._calls())
+        assert len(runner.batches) == 1
+        batch = runner.batches[0]
+        assert batch["tasks"] == 4 and batch["executed"] == 4
+        assert batch["cache_hits"] == 0
+        assert batch["wall_seconds"] >= 0
+        assert batch["task_seconds"] >= 0
+
+    def test_batches_split_executed_from_cached(self, tmp_path):
+        calls = self._calls()
+        runner = Runner(cache=ResultCache(tmp_path))
+        runner.map(calls)
+        runner.map(calls)
+        first, second = runner.batches
+        assert first["executed"] == 4 and first["cache"]["writes"] == 4
+        assert second["executed"] == 0 and second["cache_hits"] == 4
+        assert second["cache"]["hits"] == 4 and second["cache"]["writes"] == 0
+
+    def test_metrics_snapshot_aggregates(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        runner.map(self._calls())
+        runner.map(self._calls())
+        snapshot = runner.metrics_snapshot()
+        assert snapshot["tasks"] == 8
+        assert snapshot["executed"] == 4
+        assert snapshot["cache"]["hits"] == 4
+        assert snapshot["jobs"] == 1
+        utilization = snapshot["pool_utilization"]
+        assert utilization is None or utilization >= 0.0
+
+    def test_write_metrics_is_valid_json(self, tmp_path):
+        runner = Runner()
+        runner.map(self._calls(2))
+        path = runner.write_metrics(tmp_path / "METRICS.json")
+        payload = json.loads(path.read_text())
+        assert payload["tasks"] == 2
+        assert payload["batches"] == 1 and payload["executed"] == 2
+
+    def test_progress_lines_on_stderr(self, capsys):
+        runner = Runner(progress=True)
+        runner.map(self._calls(3))
+        err = capsys.readouterr().err
+        assert "[runner]" in err
+        assert "3/3 done" in err
+
+    def test_progress_off_by_default(self, capsys):
+        Runner().map(self._calls(2))
+        assert "[runner]" not in capsys.readouterr().err
+
+    def test_progress_does_not_change_results(self, tmp_path):
+        specs = [_spec(ring=_ring(n, n)) for n in (4, 5, 6)]
+        quiet = Runner(jobs=1).run_specs(specs)
+        noisy = Runner(jobs=2, progress=True).run_specs(specs)
+        assert [pickle.dumps(a) for a in quiet] == [pickle.dumps(b) for b in noisy]
+
+    def test_recorded_specs_identical_across_job_counts(self):
+        """record=True rides the pool: streams are part of the contract."""
+        specs = [_spec(ring=_ring(n, n), record=True) for n in (4, 5, 6)]
+        serial = Runner(jobs=1).run_specs(specs)
+        parallel = Runner(jobs=2).run_specs(specs)
+        assert all(r.events is not None for r in serial)
+        assert [pickle.dumps(a) for a in serial] == [
+            pickle.dumps(b) for b in parallel
+        ]
+
+
+class TestCacheMaintenance:
+    """stats / prune / persistent lifetime counters."""
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"x": 1})
+        cache.put("cd" + "0" * 62, [1, 2, 3])
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["writes"] == 2
+
+    def test_prune_keeps_current_version_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"x": 1})
+        report = cache.prune()
+        assert report == {"removed": 0, "kept": 1, "freed_bytes": 0}
+
+    def test_prune_removes_stale_and_foreign_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"x": 1})
+        # A stale entry: wrapper marker with a different code version.
+        stale = tmp_path / "cd"
+        stale.mkdir()
+        (stale / ("cd" + "0" * 62 + ".pkl")).write_bytes(
+            pickle.dumps(("repro-cache", "bogus-version", 42))
+        )
+        # A foreign entry: not wrapped at all (pre-PR5 format).
+        legacy = tmp_path / "ef"
+        legacy.mkdir()
+        (legacy / ("ef" + "0" * 62 + ".pkl")).write_bytes(pickle.dumps({"y": 2}))
+        report = cache.prune()
+        assert report["removed"] == 2 and report["kept"] == 1
+        assert report["freed_bytes"] > 0
+        hit, value = cache.get("ab" + "0" * 62)
+        assert hit and value == {"x": 1}
+
+    def test_unwrapped_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        slot = tmp_path / "ab"
+        slot.mkdir()
+        (slot / (key + ".pkl")).write_bytes(pickle.dumps("bare value"))
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_lifetime_counters_persist_across_instances(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("ab" + "0" * 62, 1)
+        first.get("ab" + "0" * 62)
+        first.get("cd" + "0" * 62)  # miss
+        first.flush_counters()
+        # Public counters survive the flush untouched.
+        assert (first.hits, first.misses, first.writes) == (1, 1, 1)
+        second = ResultCache(tmp_path)
+        stats = second.stats()
+        assert stats["lifetime_hits"] == 1
+        assert stats["lifetime_misses"] == 1
+        assert stats["lifetime_writes"] == 1
+
+    def test_flush_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, 1)
+        cache.flush_counters()
+        cache.flush_counters()  # no double counting past the watermark
+        assert ResultCache(tmp_path).stats()["lifetime_writes"] == 1
