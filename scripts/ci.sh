@@ -31,6 +31,36 @@ echo "== obs bench smoke (recorder-off overhead, quick) =="
 python -m repro bench --suite obs --quick --sizes 8 --output BENCH_obs_smoke.json
 rm -f BENCH_obs_smoke.json
 
+echo "== batch bench smoke (vectorized engine vs generator, quick) =="
+python -m repro bench --suite batch --quick --output BENCH_batch_smoke.json
+rm -f BENCH_batch_smoke.json
+
+echo "== batched-sweep parity (--jobs 2, sync-batch vs sync, byte-identical) =="
+python - <<'EOF'
+import pickle
+from repro.core import RingConfiguration
+from repro.runtime import Runner, RunSpec
+
+specs = [
+    RunSpec.make(engine="sync-batch",
+                 ring=RingConfiguration.oriented((1,) * n + (0,)),
+                 algorithm="sync-and")
+    for n in range(3, 11)
+] + [
+    RunSpec.make(engine="sync-batch",
+                 ring=RingConfiguration.oriented((0,) * n),
+                 algorithm="start-sync", wakeup=tuple(range(n)))
+    for n in range(3, 9)
+]
+batched = Runner(jobs=2).run_specs(specs)
+generator = Runner(jobs=2).run_specs(
+    [spec.with_(engine="sync") for spec in specs]
+)
+assert [pickle.dumps(a) for a in batched] == [pickle.dumps(b) for b in generator], \
+    "sync-batch results diverge from the generator engine"
+print(f"batched-sweep parity: {len(specs)} specs byte-identical")
+EOF
+
 echo "== symmetry analysis benchmarks =="
 python -m pytest benchmarks/test_bench_symmetry.py -q
 

@@ -6,8 +6,8 @@ Commands:
 * ``report``  — run every experiment and print the EXPERIMENTS.md body.
 * ``verify``  — re-verify every lower-bound construction numerically.
 * ``bench``   — run a benchmark suite (``--suite
-  simulators|analysis|obs|all``), write BENCH_simulators.json /
-  BENCH_analysis.json / BENCH_obs.json.
+  simulators|analysis|obs|batch|all``), write BENCH_simulators.json /
+  BENCH_analysis.json / BENCH_obs.json / BENCH_batch.json.
 * ``fuzz``    — schedule-fuzz the asynchronous algorithm registry
   (optionally with drop/dup/crash/delay fault injection), shrink any
   failing schedule to a minimal replayable witness, write FUZZ.json.
@@ -173,26 +173,32 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import (
         render_analysis_table,
+        render_batch_table,
         render_obs_table,
         render_table,
         run_analysis_bench,
+        run_batch_bench,
         run_bench,
         run_obs_bench,
         write_analysis_bench,
+        write_batch_bench,
         write_bench,
         write_obs_bench,
     )
 
     suites = (
-        ("simulators", "analysis", "obs") if args.suite == "all" else (args.suite,)
+        ("simulators", "analysis", "obs", "batch")
+        if args.suite == "all"
+        else (args.suite,)
     )
     if args.output is not None and len(suites) > 1:
         print("--output needs a single suite (not --suite all)", file=sys.stderr)
         return 2
-    if args.sizes and "analysis" in suites:
+    if args.sizes and ("analysis" in suites or "batch" in suites):
         print(
             "--sizes only applies to the simulators/obs suites (analysis "
-            "workloads have shape constraints like n = 3^k)",
+            "workloads have shape constraints like n = 3^k; the batch "
+            "suite's grid is fixed so speedups stay comparable)",
             file=sys.stderr,
         )
         return 2
@@ -217,6 +223,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             path = write_obs_bench(records, args.output, quick=args.quick)
             print(render_obs_table(records))
+        elif suite == "batch":
+            records = run_batch_bench(quick=args.quick, repeats=args.repeats)
+            path = write_batch_bench(records, args.output, quick=args.quick)
+            print(render_batch_table(records))
         else:
             records = run_analysis_bench(
                 quick=args.quick, repeats=args.repeats, runner=runner
@@ -407,10 +417,11 @@ def main(argv=None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulators", "analysis", "obs", "all"),
+        choices=("simulators", "analysis", "obs", "batch", "all"),
         default="simulators",
         help="simulator engines, symmetry/fooling analysis paths, "
-        "observability overhead (recorder off vs on), or all three",
+        "observability overhead (recorder off vs on), batch-engine "
+        "throughput vs the generator, or all of them",
     )
     bench.add_argument("--quick", action="store_true", help="trimmed sweeps (CI smoke)")
     bench.add_argument(

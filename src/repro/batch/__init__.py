@@ -1,0 +1,36 @@
+"""Vectorized batch execution of synchronous runs (struct-of-arrays).
+
+The generator engine in :mod:`repro.sync.simulator` steps one ring, one
+processor, one Python coroutine at a time.  Every analysis path the
+paper cares about — message-complexity sweeps, fooling-pair searches,
+fuzz corpora — is batch-shaped: many independent runs of the same
+algorithm.  This package runs *batches* of such runs as one numpy array
+program: state, inboxes, halt flags and per-port payloads held as
+``(batch, n)`` arrays, with the whole batch stepped together per cycle.
+
+Correctness contract: for every supported spec the per-run
+:class:`~repro.core.tracing.RunResult` — outputs, ``TraceStats``
+(messages/bits/per-cycle histogram), cycles, halt times, and even the
+``NonTerminationError`` raised on an exhausted budget — is byte-identical
+to :func:`repro.sync.simulator.run_synchronous` on the same spec.  The
+property suite in ``tests/test_batch_equivalence.py`` pins this with
+pickle-level comparisons.
+
+Algorithms opt in by attaching a :class:`~repro.batch.programs.\
+BatchProgram` to their :class:`~repro.runtime.registry.AlgorithmEntry`;
+specs select the engine with ``RunSpec.engine="sync-batch"`` and
+:meth:`repro.runtime.runner.Runner.run_specs` groups compatible specs
+into one batch call automatically.
+"""
+
+from .engine import run_batch, run_batch_outcomes, supports_batch
+from .programs import BatchProgram, StartSyncBatch, SyncAndBatch
+
+__all__ = [
+    "BatchProgram",
+    "StartSyncBatch",
+    "SyncAndBatch",
+    "run_batch",
+    "run_batch_outcomes",
+    "supports_batch",
+]

@@ -1,0 +1,322 @@
+"""Vectorized algorithm programs for the batch engine.
+
+A :class:`BatchProgram` is the struct-of-arrays counterpart of a
+generator :class:`~repro.sync.process.SyncProcess`: instead of one
+coroutine per processor, one instance advances *every* processor of
+*every* run in a group through one cycle of the algorithm's state
+machine, reading and writing the engine's ``(batch, n_max)`` arrays.
+
+The contract (checked per algorithm by the property suite):
+
+* :meth:`BatchProgram.step` must reproduce the generator's observable
+  behavior exactly — same emissions (port and payload) in the same
+  cycle, same halt cycle, same output — for every reachable state.
+  Within a cycle a processor either emits (at most one message per
+  port) or halts, never both, mirroring ``yield`` vs ``return``.
+* Arrivals are at most one per port per cycle by ring structure, so a
+  program may treat the two inbox slots as the whole inbox.  Where the
+  generator folds over ``In.items()`` the fold must be replayed in the
+  same LEFT-then-RIGHT order (it is the engine's delivery order too).
+* Payloads travel as ``int32`` (ample for clock counts bounded by the
+  cycle budget); :meth:`BatchProgram.bits` maps emitted values to their
+  :func:`repro.core.message.bit_length` so the bit accounting matches
+  to the bit.
+
+Only algorithms whose per-cycle behavior is expressible over fixed-width
+arrays qualify: ``sync-and`` (pure signalling) and ``start-sync``
+(integer clock counts) are implemented here.  The Figure 2 family
+carries growing tuple payloads (labels, accumulated views) and stays on
+the generator engine — see ``docs/batch.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.spec import RunSpec
+    from .engine import _Batch
+
+
+class BatchProgram:
+    """Base class: one vectorized synchronous algorithm.
+
+    Subclasses allocate their state arrays in ``__init__(eng)`` and
+    implement :meth:`step`; :meth:`validate` reproduces the generator
+    factory's per-spec input validation (same errors, same messages) so
+    a bad spec fails identically on either engine.
+    """
+
+    def __init__(self, eng: "_Batch") -> None:
+        self.eng = eng
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        """Reject specs the generator factory would reject."""
+
+    #: True when every message payload costs exactly one bit — the
+    #: engine then skips :meth:`bits` and charges one bit per send.
+    unit_bits = False
+
+    #: False when the algorithm never reads message payloads (pure
+    #: signalling) — the engine then skips the value gathers and wake
+    #: value copies entirely; ``in*_val`` / ``wk*_val`` are untouched.
+    carries_values = True
+
+    def step(
+        self,
+        eng: "_Batch",
+        active: np.ndarray,
+        first: Optional[np.ndarray],
+        cycle: int,
+    ) -> None:
+        """Advance every ``active`` processor one cycle.
+
+        ``first`` marks processors taking their first step (just woke):
+        their wake inboxes (``eng.wk*``) are valid exactly now.  It is
+        ``None`` — not an empty mask — on cycles where nobody wakes, so
+        the steady-state path can skip the wake logic entirely.  All
+        other active processors read last cycle's arrivals from
+        ``eng.in*``; inbox *value* cells without a matching ``has`` flag
+        hold stale garbage and must be masked.  Emissions go to
+        ``eng.emit*`` (pre-cleared); halts set ``eng.halt_now`` and
+        ``eng.out_val``.  ``active`` may alias engine state — read only.
+        """
+        raise NotImplementedError
+
+    def bits(self, values: np.ndarray) -> np.ndarray:
+        """Per-message payload bits, applied to the raw emission buffer.
+
+        Called with the whole ``(2, B, N)`` value array; the engine masks
+        the result by ``emit_has``, so garbage lanes are never charged.
+        Not called at all when :attr:`unit_bits` is True.
+        """
+        raise NotImplementedError
+
+    def outputs(self, eng: "_Batch", b: int) -> Tuple[Any, ...]:
+        """Final outputs of run ``b`` as plain Python values."""
+        n = int(eng.n[b])
+        return tuple(eng.out_val[b, :n].tolist())
+
+
+def _int_bits(values: np.ndarray) -> np.ndarray:
+    """``bit_length`` for nonnegative int payloads: 1 for 0, else ⌈log2⌉.
+
+    ``frexp`` gives the exact binary exponent for every integer below
+    2**53, which is the bit width of a positive int — far above any
+    clock count a budgeted run can reach.
+    """
+    _, exponents = np.frexp(values)
+    return np.where(values > 0, exponents, 1).astype(np.int64)
+
+
+class SyncAndBatch(BatchProgram):
+    """Vectorized §4.2 synchronous AND (see ``SyncAnd`` for the story).
+
+    State machine per processor (mirrors the generator line by line):
+    input 0 announces ``None`` on both ports at its wake cycle and halts
+    with 0 one cycle later; input 1 listens for ``⌊n/2⌋`` cycles — an
+    arrival is forwarded out the opposite port(s) and the processor
+    halts with 0 two cycles after the arrival cycle; a silent deadline
+    halts it with 1.  Wake-inbox messages are ignored (the generator
+    never reads ``wake_inbox``), so a zero-wave that *wakes* a sleeping
+    processor is absorbed, exactly as on the generator engine.
+    """
+
+    name = "sync-and"
+    #: Every message is the nil announcement: ``bit_length(None) == 1``,
+    #: and no processor ever reads a payload.
+    unit_bits = True
+    carries_values = False
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        shape = (eng.B, eng.N)
+        self.is_zero = np.zeros(shape, dtype=bool)
+        for b, ring in enumerate(eng.rings):
+            self.is_zero[b, : ring.n] = (
+                np.fromiter(ring.inputs, dtype=np.int64, count=ring.n) == 0
+            )
+        self.deadline = (eng.n // 2).astype(np.int32)[:, None]  # ⌊n/2⌋
+        #: No listener can reach its deadline before this cycle (wake
+        #: times are nonnegative), so the check is skipped until then.
+        self.deadline_gate = int(self.deadline.min()) if eng.B else 0
+        self.listening = np.zeros(shape, dtype=bool)
+        self.halt0_next = np.zeros(shape, dtype=bool)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        for value in spec.ring.inputs:
+            if value not in (0, 1):
+                raise ConfigurationError(f"AND needs 0/1 inputs, got {value!r}")
+        if spec.ring.n < 2:
+            raise ConfigurationError("AND needs n >= 2")
+
+    def step(
+        self,
+        eng: "_Batch",
+        active: np.ndarray,
+        first: Optional[np.ndarray],
+        cycle: int,
+    ) -> None:
+        if first is not None:
+            # First steps: zeros announce on both ports, ones listen.
+            announce = first & self.is_zero
+            if announce.any():
+                eng.emitL_has |= announce
+                eng.emitR_has |= announce
+                self.halt0_next |= announce
+            self.listening |= first & ~self.is_zero
+            rest = active & ~first
+        else:
+            rest = active
+        # Second step of an announcer/forwarder: StopIteration with 0.
+        # (The cleared masks below are subsets, so ``^=`` is ``&= ~``.)
+        halting = rest & self.halt0_next
+        eng.halt_now |= halting  # out_val already 0
+        self.halt0_next ^= halting
+
+        listener = rest & self.listening
+        got_any = eng.inL_has | eng.inR_has
+        arrived = listener & got_any
+        quiet = listener
+        if arrived.any():
+            # Forward out the opposite port of each arrival, halt next.
+            eng.emitR_has |= arrived & eng.inL_has
+            eng.emitL_has |= arrived & eng.inR_has
+            self.halt0_next |= arrived
+            self.listening ^= arrived
+            quiet = listener ^ arrived
+        if cycle >= self.deadline_gate:
+            # A quiet listener that woke at cycle ``w`` has listened for
+            # ``cycle - w`` cycles (its wake time is ``eng.wake``, kept
+            # current even for message-woken processors) — the deadline
+            # passes silently when that reaches ⌊n/2⌋.
+            deadline = quiet & (eng.wake <= cycle - self.deadline)
+            if deadline.any():
+                eng.halt_now |= deadline
+                np.copyto(eng.out_val, np.int32(1), where=deadline)
+                self.listening ^= deadline
+
+
+class StartSyncBatch(BatchProgram):
+    """Vectorized Figure 5 start synchronization (§4.2.3).
+
+    The generator's per-arrival fold (``for port, value in got.items()``)
+    is replayed as two vector passes, LEFT then RIGHT — the same order
+    ``In.items()`` yields — because the fold is genuinely sequential: a
+    left arrival can update ``count`` or demote an active before the
+    right arrival of the same cycle is examined.
+    """
+
+    name = "start-sync"
+
+    #: ``last_heard is None`` stand-in: below ``count - period`` for any
+    #: reachable count (counts are bounded by the cycle budget, far
+    #: under 2**30), yet comfortably inside int32.
+    NEVER_HEARD = np.int32(-(2**30))
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        shape = (eng.B, eng.N)
+        self.period = (2 * eng.n).astype(np.int32)[:, None]
+        self.count = np.zeros(shape, dtype=np.int32)
+        self.active_flag = np.zeros(shape, dtype=bool)
+        self.last_heard = np.full(shape, self.NEVER_HEARD, dtype=np.int32)
+        self.d0 = np.zeros(shape, dtype=np.int32)
+        self.has_delta = np.zeros(shape, dtype=bool)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        if spec.ring.n < 2:
+            raise ConfigurationError("start synchronization needs n >= 2")
+
+    def step(
+        self,
+        eng: "_Batch",
+        active: np.ndarray,
+        first: Optional[np.ndarray],
+        cycle: int,
+    ) -> None:
+        # --- first steps --------------------------------------------------
+        if first is not None:
+            woken = eng.wkL_has | eng.wkR_has
+            spontaneous = first & ~woken
+            self.active_flag |= spontaneous
+            # Announce count 0 both ways (values default to 0).
+            eng.emitL_has |= spontaneous
+            eng.emitR_has |= spontaneous
+            for wk_has, wk_val, fwd_has, fwd_val in (
+                (eng.wkL_has, eng.wkL_val, eng.emitR_has, eng.emitR_val),
+                (eng.wkR_has, eng.wkR_val, eng.emitL_has, eng.emitL_val),
+            ):
+                got = first & wk_has
+                if not got.any():
+                    continue
+                relayed = wk_val + 1
+                np.maximum(self.count, relayed, out=self.count, where=got)
+                self.last_heard[got] = self.count[got]
+                fwd_has |= got
+                fwd_val[got] = relayed[got]
+
+        # --- subsequent steps --------------------------------------------
+        if first is not None:
+            rest = active & ~first
+            if not rest.any():
+                return
+        else:
+            rest = active
+        np.add(self.count, 1, out=self.count, where=rest)
+        for in_has, in_val, fwd_has, fwd_val in (
+            (eng.inL_has, eng.inL_val, eng.emitR_has, eng.emitR_val),
+            (eng.inR_has, eng.inR_val, eng.emitL_has, eng.emitL_val),
+        ):
+            got = rest & in_has
+            if not got.any():
+                continue
+            adjusted = in_val + 1  # originator's count at this very cycle
+            is_active = got & self.active_flag
+            if is_active.any():
+                delta = adjusted - self.count
+                second = is_active & self.has_delta
+                local_max = (
+                    (self.d0 <= 0) & (delta <= 0) & ((self.d0 < 0) | (delta < 0))
+                )
+                self.active_flag &= ~(second & ~local_max)
+                self.has_delta &= ~second
+                first_delta = is_active & ~second
+                self.d0[first_delta] = delta[first_delta]
+                self.has_delta |= first_delta
+                np.maximum(self.count, adjusted, out=self.count, where=is_active)
+                self.last_heard[is_active] = self.count[is_active]
+            passive = got & ~self.active_flag
+            # Processors demoted by this very arrival pass count as
+            # active for *this* arrival (the generator checked ``active``
+            # before appending the delta), so exclude them here.
+            passive &= ~is_active
+            if passive.any():
+                np.maximum(self.count, adjusted, out=self.count, where=passive)
+                self.last_heard[passive] = self.count[passive]
+                fwd_has |= passive
+                fwd_val[passive] = adjusted[passive]
+
+        # --- period boundary ---------------------------------------------
+        boundary = rest & (self.count % self.period == 0)
+        if boundary.any():
+            heard_recent = self.last_heard > self.count - self.period
+            halting = boundary & ~heard_recent
+            eng.halt_now |= halting
+            eng.out_val[halting] = self.count[halting]
+            rebroadcast = boundary & heard_recent & self.active_flag
+            if rebroadcast.any():
+                eng.emitL_has |= rebroadcast
+                eng.emitL_val[rebroadcast] = self.count[rebroadcast]
+                eng.emitR_has |= rebroadcast
+                eng.emitR_val[rebroadcast] = self.count[rebroadcast]
+
+    def bits(self, values: np.ndarray) -> np.ndarray:
+        return _int_bits(values)

@@ -5,10 +5,13 @@
 runs :func:`run_analysis_bench` (symmetry/fooling analysis paths, engine
 vs naive → ``BENCH_analysis.json``); ``python -m repro bench --suite
 obs`` runs :func:`run_obs_bench` (recorder-off vs recorder-on →
-``BENCH_obs.json``).  All artifacts carry the git commit and a UTC
+``BENCH_obs.json``); ``python -m repro bench --suite batch`` runs
+:func:`run_batch_bench` (vectorized batch engine vs the generator →
+``BENCH_batch.json``).  All artifacts carry the git commit and a UTC
 timestamp (schema v2), so throughput is tracked PR over PR; see
-:mod:`repro.perf.bench`, :mod:`repro.perf.analysis` and
-:mod:`repro.perf.obs` for the workload definitions.
+:mod:`repro.perf.bench`, :mod:`repro.perf.analysis`,
+:mod:`repro.perf.obs` and :mod:`repro.perf.batch` for the workload
+definitions.
 """
 
 from .analysis import (
@@ -22,6 +25,14 @@ from .analysis import (
     render_analysis_table,
     run_analysis_bench,
     write_analysis_bench,
+)
+from .batch import (
+    BATCH_FILENAME,
+    BatchBenchRecord,
+    measure_batch,
+    render_batch_table,
+    run_batch_bench,
+    write_batch_bench,
 )
 from .bench import (
     BENCH_FILENAME,
@@ -49,9 +60,11 @@ __all__ = [
     "ANALYSIS_FILENAME",
     "AnalysisRecord",
     "AnalysisWorkload",
+    "BATCH_FILENAME",
     "BENCH_FILENAME",
     "OBS_FILENAME",
     "SCHEMA_VERSION",
+    "BatchBenchRecord",
     "BenchRecord",
     "ObsRecord",
     "Workload",
@@ -60,17 +73,21 @@ __all__ = [
     "default_workloads",
     "measure",
     "measure_analysis",
+    "measure_batch",
     "measure_obs",
     "overhead_summary",
     "profile_radius",
     "render_analysis_table",
+    "render_batch_table",
     "render_obs_table",
     "render_table",
     "run_analysis_bench",
+    "run_batch_bench",
     "run_bench",
     "run_obs_bench",
     "workload_spec",
     "write_analysis_bench",
+    "write_batch_bench",
     "write_bench",
     "write_obs_bench",
 ]

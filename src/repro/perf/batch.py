@@ -1,0 +1,217 @@
+"""The batch-engine throughput suite behind ``python -m repro bench --suite batch``.
+
+The :mod:`repro.batch` engine exists for one reason — to make batch-shaped
+analysis (n-sweeps, seed sweeps, fuzz corpora) cheap — so its benchmark is
+batch-shaped too: each measurement runs a *batch* of B rings through one
+:func:`repro.batch.engine.run_batch` call and compares the events/sec
+against :func:`repro.sync.simulator.run_synchronous` stepping the same
+specs one coroutine at a time.  The generator side is measured on a small
+subset of the batch (running all B rings through the generator at
+``n=1024`` would dominate the suite's wall time) and the rate is
+extrapolated — honest, because the generator's per-run cost is
+independent of how many other runs exist.
+
+"Events" is the synchronous engine's usual unit: ``n × cycles`` per run,
+summed over the batch.  The headline number is ``speedup`` =
+``batch_events_per_sec / sync_events_per_sec``; the acceptance floor for
+this suite is 50×.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..batch.engine import run_batch
+from ..core.ring import RingConfiguration
+from ..core.tracing import RunResult
+from ..runtime.spec import RunSpec, execute
+from ..sync.wakeup import WakeupSchedule
+from .bench import write_payload
+
+#: Default output file, written to the current working directory.
+BATCH_FILENAME = "BENCH_batch.json"
+
+
+@dataclass(frozen=True)
+class BatchBenchRecord:
+    """One (workload, n) batch-vs-generator comparison.
+
+    ``events`` counts the whole batch; ``sync_events_per_sec`` is measured
+    on ``sync_runs`` of the batch's specs and is a per-run rate, directly
+    comparable because generator runs are independent.
+    """
+
+    workload: str
+    n: int
+    batch_runs: int
+    events: int
+    messages: int
+    bits: int
+    batch_seconds: float
+    batch_events_per_sec: float
+    sync_runs: int
+    sync_seconds: float
+    sync_events_per_sec: float
+    speedup: float
+
+
+def _events(result: RunResult) -> int:
+    return result.n * max(1, result.cycles or 0)
+
+
+def sync_and_specs(n: int, batch: int) -> List[RunSpec]:
+    """``batch`` single-zero AND rings at size ``n``, zero position rotating.
+
+    The single zero is the algorithm's worst case (the announcement wave
+    crosses the whole ring) and rotating its position makes every spec a
+    distinct cache key without changing the workload's cost.
+    """
+    specs = []
+    for row in range(batch):
+        inputs = [1] * n
+        inputs[row % n] = 0
+        ring = RingConfiguration.oriented(tuple(inputs))
+        specs.append(RunSpec(algorithm="sync-and", ring=ring, engine="sync-batch"))
+    return specs
+
+
+def start_sync_specs(n: int, batch: int) -> List[RunSpec]:
+    """``batch`` staggered-wakeup start-sync rings at size ``n``.
+
+    A lone early waker makes the election run its full ``log`` rounds;
+    rotating the waker varies the specs without changing the cost.
+    """
+    specs = []
+    for row in range(batch):
+        times = [1] * n
+        times[row % n] = 0
+        ring = RingConfiguration.oriented(tuple(0 for _ in range(n)))
+        wakeup = WakeupSchedule.from_times(times)
+        specs.append(
+            RunSpec(
+                algorithm="start-sync",
+                ring=ring,
+                engine="sync-batch",
+                wakeup=tuple(wakeup.times),
+            )
+        )
+    return specs
+
+
+def measure_batch(
+    workload: str,
+    n: int,
+    batch: int,
+    sync_runs: int,
+    repeats: int = 1,
+) -> BatchBenchRecord:
+    """One comparison: a B-run batch call vs ``sync_runs`` generator runs."""
+    specs = (sync_and_specs if workload == "sync_and" else start_sync_specs)(n, batch)
+
+    best_batch = float("inf")
+    results: List[RunResult] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        results = run_batch(specs)
+        best_batch = min(best_batch, time.perf_counter() - start)
+
+    sync_runs = min(sync_runs, len(specs))
+    best_sync = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        sync_results = [
+            execute(replace(spec, engine="sync")) for spec in specs[:sync_runs]
+        ]
+        best_sync = min(best_sync, time.perf_counter() - start)
+
+    events = sum(_events(result) for result in results)
+    sync_events = sum(_events(result) for result in sync_results)
+    batch_rate = events / max(best_batch, 1e-9)
+    sync_rate = sync_events / max(best_sync, 1e-9)
+    return BatchBenchRecord(
+        workload=workload,
+        n=n,
+        batch_runs=len(specs),
+        events=events,
+        messages=sum(result.stats.messages for result in results),
+        bits=sum(result.stats.bits for result in results),
+        batch_seconds=best_batch,
+        batch_events_per_sec=batch_rate,
+        sync_runs=sync_runs,
+        sync_seconds=best_sync,
+        sync_events_per_sec=sync_rate,
+        speedup=batch_rate / max(sync_rate, 1e-9),
+    )
+
+
+#: (workload, sizes, quick_sizes, batch, quick_batch, sync_runs)
+_GRID: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...], int, int, int], ...] = (
+    ("sync_and", (1024, 2048), (64, 128), 64, 16, 4),
+    ("start_sync", (256, 512), (32,), 64, 16, 4),
+)
+
+
+def run_batch_bench(
+    quick: bool = False, repeats: Optional[int] = None
+) -> List[BatchBenchRecord]:
+    """Run the suite; ``quick`` trims sweeps and batches for CI smoke runs."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    records = []
+    for workload, sizes, quick_sizes, batch, quick_batch, sync_runs in _GRID:
+        for n in quick_sizes if quick else sizes:
+            records.append(
+                measure_batch(
+                    workload,
+                    n,
+                    quick_batch if quick else batch,
+                    sync_runs,
+                    repeats=repeats,
+                )
+            )
+    return records
+
+
+def render_batch_table(records: Sequence[BatchBenchRecord]) -> str:
+    """A human-readable summary of a batch bench run."""
+    lines = [
+        f"{'workload':<12} {'n':>5} {'runs':>5} {'batch ev/s':>12} "
+        f"{'sync ev/s':>12} {'speedup':>9}",
+        "-" * 60,
+    ]
+    for record in records:
+        lines.append(
+            f"{record.workload:<12} {record.n:>5} {record.batch_runs:>5} "
+            f"{record.batch_events_per_sec:>12.0f} "
+            f"{record.sync_events_per_sec:>12.0f} {record.speedup:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_batch_bench(
+    records: Sequence[BatchBenchRecord],
+    path: Union[str, Path, None] = None,
+    quick: bool = False,
+) -> Path:
+    """Serialize a batch bench run to JSON (schema v2 envelope)."""
+    target = Path(path) if path is not None else Path(BATCH_FILENAME)
+    speedups = [record.speedup for record in records]
+    return write_payload(
+        records,
+        target,
+        suite="batch-engine",
+        quick=quick,
+        extras={
+            "speedup": {
+                "min": min(speedups),
+                "max": max(speedups),
+                "geomean": math.exp(
+                    sum(math.log(s) for s in speedups) / len(speedups)
+                ),
+            },
+        },
+    )

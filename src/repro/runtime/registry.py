@@ -76,6 +76,13 @@ class AlgorithmEntry:
         params: documented parameter names accepted by ``build``
             (unknown names are rejected up front, so a typo in a spec
             fails loudly instead of silently running the default).
+        batch_program: optional opt-in to the vectorized
+            :mod:`repro.batch` engine — a zero-argument callable
+            returning the algorithm's :class:`~repro.batch.programs.\
+BatchProgram` class.  ``None`` (the default) means the algorithm runs
+            only on the generator engines; entries with a program accept
+            ``RunSpec.engine="sync-batch"`` and must produce results
+            byte-identical to ``run_synchronous``.
     """
 
     name: str
@@ -83,6 +90,7 @@ class AlgorithmEntry:
     build: Callable[..., Any]
     description: str = ""
     params: Tuple[str, ...] = ()
+    batch_program: Optional[Callable[[], Any]] = None
 
     def factory(self, **params: Any) -> Any:
         """Build the process factory, validating parameter names."""
@@ -152,6 +160,18 @@ def _returning(cls: Any) -> Callable[[], Any]:
     return build
 
 
+def _batch_sync_and() -> Any:
+    from ..batch.programs import SyncAndBatch
+
+    return SyncAndBatch
+
+
+def _batch_start_sync() -> Any:
+    from ..batch.programs import StartSyncBatch
+
+    return StartSyncBatch
+
+
 for _entry in (
     AlgorithmEntry(
         name="input-distribution",
@@ -201,6 +221,7 @@ for _entry in (
         kind=SYNC,
         build=_returning(SyncAnd),
         description="linear-message synchronous AND (§4.2)",
+        batch_program=_batch_sync_and,
     ),
     AlgorithmEntry(
         name="fig2-input-distribution",
@@ -225,6 +246,7 @@ for _entry in (
         kind=SYNC,
         build=_returning(StartSynchronization),
         description="Figure 5 start synchronization (§4.2.3)",
+        batch_program=_batch_start_sync,
     ),
 ):
     register(_entry)

@@ -208,18 +208,36 @@ class Runner:
         )
         results: List[Any] = [None] * len(calls)
         pending: List[Tuple[int, TaskCall]] = []
+        # In-batch dedup: a batch may name the same cache_key several
+        # times (overlapping sweeps, repeated specs).  Each unique key is
+        # dispatched once; the duplicates are fanned the shared result in
+        # submission order.  Keys are required — without a cache there is
+        # no content address to dedupe on.
+        owner_of: Dict[str, int] = {}
+        fanout: List[Tuple[int, int]] = []  # (duplicate index, owner index)
+        cached = 0
         for index, call in enumerate(calls):
             if self.cache is not None and call.cache_key is not None:
                 hit, value = self.cache.get(call.cache_key)
                 if hit:
                     results[index] = value
+                    cached += 1
                     continue
+                owner = owner_of.get(call.cache_key)
+                if owner is not None:
+                    fanout.append((index, owner))
+                    continue
+                owner_of[call.cache_key] = index
             pending.append((index, call))
 
-        cached = len(calls) - len(pending)
+        deduped = len(fanout)
         task_seconds = 0.0
         if pending:
-            reporter = _Progress(len(calls), cached, self.jobs) if self.progress else None
+            reporter = (
+                _Progress(len(calls), cached + deduped, self.jobs)
+                if self.progress
+                else None
+            )
             if self.jobs > 1 and len(pending) > 1:
                 outcomes = self._map_pool([call for _, call in pending], reporter)
             else:
@@ -236,13 +254,16 @@ class Runner:
                 if self.cache is not None and call.cache_key is not None:
                     self.cache.put(call.cache_key, value)
         elif self.progress and calls:
-            _Progress(len(calls), cached, self.jobs)
+            _Progress(len(calls), cached + deduped, self.jobs)
+        for index, owner in fanout:
+            results[index] = results[owner]
 
         wall = time.perf_counter() - started
         batch: Dict[str, Any] = {
             "tasks": len(calls),
             "executed": len(pending),
             "cache_hits": cached,
+            "deduped": deduped,
             "wall_seconds": wall,
             "task_seconds": task_seconds,
         }
@@ -285,6 +306,7 @@ class Runner:
         tasks = sum(batch["tasks"] for batch in self.batches)
         executed = sum(batch["executed"] for batch in self.batches)
         cache_hits = sum(batch["cache_hits"] for batch in self.batches)
+        deduped = sum(batch.get("deduped", 0) for batch in self.batches)
         wall = sum(batch["wall_seconds"] for batch in self.batches)
         task_seconds = sum(batch["task_seconds"] for batch in self.batches)
         snapshot: Dict[str, Any] = {
@@ -293,6 +315,7 @@ class Runner:
             "tasks": tasks,
             "executed": executed,
             "cache_hits": cache_hits,
+            "deduped": deduped,
             "wall_seconds": wall,
             "task_seconds": task_seconds,
             "mean_task_seconds": (task_seconds / executed) if executed else None,
@@ -318,8 +341,30 @@ class Runner:
 
         Each spec is cached under its own content digest, so a re-run of
         an overlapping batch only executes the novel specs.
+
+        ``engine="sync-batch"`` specs take the vectorized fast path: all
+        compatible specs of the batch are grouped into one
+        :func:`repro.batch.engine.run_batch` call (one struct-of-arrays
+        program stepping every run together) instead of one task each.
+        Results are byte-identical to the per-spec path, cached under the
+        same digests, and come back in submission order either way.
         """
-        calls = [
+        specs = list(specs)
+        batched = [index for index, spec in enumerate(specs) if spec.engine == "sync-batch"]
+        if not batched:
+            return self.map(self._spec_calls(specs))
+        results: List[Any] = [None] * len(specs)
+        rest = [(index, spec) for index, spec in enumerate(specs) if spec.engine != "sync-batch"]
+        if rest:
+            for (index, _), value in zip(
+                rest, self.map(self._spec_calls([spec for _, spec in rest]))
+            ):
+                results[index] = value
+        self._run_batched([(index, specs[index]) for index in batched], results)
+        return results
+
+    def _spec_calls(self, specs: Sequence[RunSpec]) -> List[TaskCall]:
+        return [
             TaskCall(
                 func="repro.runtime.spec:execute",
                 args=(spec,),
@@ -327,7 +372,80 @@ class Runner:
             )
             for spec in specs
         ]
-        return self.map(calls)
+
+    def _run_batched(
+        self, items: Sequence[Tuple[int, RunSpec]], results: List[Any]
+    ) -> None:
+        """Run ``sync-batch`` specs as grouped array programs.
+
+        Mirrors :meth:`map`'s cache protocol and telemetry exactly: get
+        before dispatch, put after, dedupe identical digests within the
+        batch, keep ``executed`` truthful (one per spec actually run —
+        the vectorized call is an implementation detail, not a task
+        count).  On a per-run failure the earliest submitted error is
+        raised, as the per-spec path would.
+        """
+        from ..batch.engine import run_batch_outcomes
+
+        started = time.perf_counter()
+        counters_before = (
+            (self.cache.hits, self.cache.misses, self.cache.writes)
+            if self.cache is not None
+            else (0, 0, 0)
+        )
+        pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+        owner_of: Dict[str, int] = {}
+        fanout: List[Tuple[int, int]] = []
+        cached = 0
+        for index, spec in items:
+            key = spec.digest() if self.cache is not None else None
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = value
+                    cached += 1
+                    continue
+                owner = owner_of.get(key)
+                if owner is not None:
+                    fanout.append((index, owner))
+                    continue
+                owner_of[key] = index
+            pending.append((index, spec, key))
+
+        error: Optional[BaseException] = None
+        if pending:
+            outcomes = run_batch_outcomes([spec for _, spec, _ in pending])
+            self.executed += len(pending)
+            for (index, spec, key), outcome in zip(pending, outcomes):
+                if isinstance(outcome, BaseException):
+                    if error is None:
+                        error = outcome
+                    continue
+                results[index] = outcome
+                if key is not None:
+                    self.cache.put(key, outcome)
+        for index, owner in fanout:
+            results[index] = results[owner]
+
+        wall = time.perf_counter() - started
+        batch: Dict[str, Any] = {
+            "tasks": len(items),
+            "executed": len(pending),
+            "cache_hits": cached,
+            "deduped": len(fanout),
+            "wall_seconds": wall,
+            "task_seconds": wall if pending else 0.0,
+        }
+        if self.cache is not None:
+            batch["cache"] = {
+                "hits": self.cache.hits - counters_before[0],
+                "misses": self.cache.misses - counters_before[1],
+                "writes": self.cache.writes - counters_before[2],
+            }
+            self.cache.flush_counters()
+        self.batches.append(batch)
+        if error is not None:
+            raise error
 
     def run_sweep(self, sweep: Sweep) -> List[RunResult]:
         return self.run_specs(sweep.specs)

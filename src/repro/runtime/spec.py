@@ -31,8 +31,14 @@ from ..core.tracing import RunResult
 from .cache import code_version
 from .registry import ASYNC, SYNC, algorithm
 
-#: The three engine entry points a spec can name.
-ENGINES = ("sync", "async", "async-synchronized")
+#: The engine entry points a spec can name.  ``sync-batch`` is the
+#: vectorized struct-of-arrays engine (:mod:`repro.batch`): semantically
+#: identical to ``sync`` — byte-identical results on every supported
+#: algorithm — but runnable many specs at a time.
+ENGINES = ("sync", "sync-batch", "async", "async-synchronized")
+
+#: Engines driven by synchronous (generator-coroutine) algorithms.
+SYNC_ENGINES = ("sync", "sync-batch")
 
 #: Scheduler names resolvable by :func:`build_scheduler` (async engine).
 SCHEDULERS = ("round-robin", "random", "greedy", "bounded-delay")
@@ -43,7 +49,8 @@ class RunSpec:
     """Everything needed to reproduce one simulation run, as plain data.
 
     Attributes:
-        engine: ``"sync"``, ``"async"``, or ``"async-synchronized"``.
+        engine: ``"sync"``, ``"sync-batch"``, ``"async"``, or
+            ``"async-synchronized"``.
         ring: the initial configuration (frozen, hashable).
         algorithm: a :mod:`repro.runtime.registry` entry name whose kind
             must match the engine family.
@@ -111,6 +118,23 @@ class RunSpec:
                     f"scheduler {self.scheduler!r} needs an explicit "
                     "scheduler_seed (specs must be replayable)"
                 )
+        # Digest canonicality: a knob that cannot influence the run must
+        # not be set, or behaviorally identical specs would hash into
+        # different cache slots (see docs/runtime.md).
+        if self.scheduler_seed is not None and self.scheduler not in (
+            "random",
+            "bounded-delay",
+        ):
+            raise ConfigurationError(
+                f"scheduler_seed is inert with scheduler {self.scheduler!r} "
+                "(only random/bounded-delay draw from it); leave it None"
+            )
+        if self.delay_bound != 8 and self.scheduler != "bounded-delay":
+            raise ConfigurationError(
+                f"delay_bound={self.delay_bound} is inert with scheduler "
+                f"{self.scheduler!r} (only bounded-delay reads it); leave it "
+                "at the default"
+            )
         if self.fault_profile is not None:
             if self.engine != "async":
                 raise ConfigurationError("fault injection needs the async engine")
@@ -119,9 +143,28 @@ class RunSpec:
                     "fault_profile needs an explicit fault_seed (specs must "
                     "be replayable)"
                 )
-        if self.wakeup is not None and self.engine != "sync":
-            raise ConfigurationError("wakeup schedules only apply to the sync engine")
-        object.__setattr__(self, "params", tuple(sorted(self.params)))
+        if self.fault_horizon is not None and self.fault_profile is None:
+            raise ConfigurationError(
+                "fault_horizon is inert without a fault_profile; leave it None"
+            )
+        if self.wakeup is not None and self.engine not in SYNC_ENGINES:
+            raise ConfigurationError(
+                "wakeup schedules only apply to the sync engines"
+            )
+        if self.engine == "sync-batch" and (self.keep_log or self.record):
+            raise ConfigurationError(
+                "the sync-batch engine supports neither keep_log nor record; "
+                "use engine='sync' for logged or recorded runs"
+            )
+        params = tuple(sorted(self.params))
+        keys = [key for key, _ in params]
+        if len(set(keys)) != len(keys):
+            duplicates = sorted({key for key in keys if keys.count(key) > 1})
+            raise ConfigurationError(
+                f"duplicate params keys {duplicates}: the digest would "
+                "distinguish specs that params_dict collapses to one run"
+            )
+        object.__setattr__(self, "params", params)
 
     @classmethod
     def make(
@@ -241,12 +284,16 @@ def execute(spec: RunSpec) -> RunResult:
     deterministic — it is a pure function of the schedule).
     """
     entry = algorithm(spec.algorithm)
-    expected_kind = SYNC if spec.engine == "sync" else ASYNC
+    expected_kind = SYNC if spec.engine in SYNC_ENGINES else ASYNC
     if entry.kind != expected_kind:
         raise ConfigurationError(
             f"algorithm {spec.algorithm!r} is a {entry.kind} algorithm; "
             f"the {spec.engine!r} engine needs {expected_kind}"
         )
+    if spec.engine == "sync-batch":
+        from ..batch.engine import run_batch
+
+        return run_batch([spec])[0]
     factory = entry.factory(**spec.params_dict)
     recorder = build_recorder(spec)
 

@@ -123,7 +123,10 @@ def run_synchronous(
 
     cycle = 0
     while halted_count < n:
-        if cycle > budget:
+        # ``budget`` is the number of permitted cycles: cycles 0..budget-1
+        # may run, exactly as ``run_async_synchronized`` permits delivery
+        # cycles 1..budget.  (``>`` here would silently grant budget+1.)
+        if cycle >= budget:
             laggards = [i for i in range(n) if not halted[i]]
             raise NonTerminationError(
                 f"cycle budget {budget} exhausted; still running: {laggards}"

@@ -207,7 +207,9 @@ def run_synchronous_reference(
 
     cycle = 0
     while not all(halted):
-        if cycle > budget:
+        # Budget = number of permitted cycles (0..budget-1), matching the
+        # optimized engine and the async-synchronized convention.
+        if cycle >= budget:
             laggards = [i for i in range(n) if not halted[i]]
             raise NonTerminationError(
                 f"cycle budget {budget} exhausted; still running: {laggards}"

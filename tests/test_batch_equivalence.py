@@ -1,0 +1,133 @@
+"""Batch engine vs generator engine: byte-identical results, property-style.
+
+The vectorized engine's whole contract is that batching is invisible:
+for every supported spec, the per-run :class:`RunResult` — outputs,
+``TraceStats`` (messages/bits/per-cycle histogram), cycles, halt times —
+pickles to the same bytes as ``run_synchronous``'s, and a run that
+exhausts its budget raises a ``NonTerminationError`` with the identical
+message.  Hypothesis drives random ring sizes, inputs, orientations,
+wake-up schedules and (sometimes starving) budgets through both engines,
+always with several specs per batch so padding and cross-run isolation
+are exercised too.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import run_batch_outcomes
+from repro.core import RingConfiguration
+from repro.runtime import RunSpec, execute
+
+
+def reference_outcome(spec: RunSpec):
+    """Run the generator engine, capturing the result or the failure."""
+    try:
+        return ("ok", pickle.dumps(execute(spec.with_(engine="sync"))))
+    except Exception as error:  # noqa: BLE001 - equivalence includes failures
+        return ("error", type(error).__name__, str(error))
+
+
+def batch_outcome(outcome):
+    if isinstance(outcome, BaseException):
+        return ("error", type(outcome).__name__, str(outcome))
+    return ("ok", pickle.dumps(outcome))
+
+
+def assert_batch_equivalent(specs):
+    outcomes = run_batch_outcomes(specs)
+    for spec, outcome in zip(specs, outcomes):
+        assert batch_outcome(outcome) == reference_outcome(spec)
+
+
+def _and_spec(rng: random.Random) -> RunSpec:
+    n = rng.randint(2, 12)
+    ring = RingConfiguration(
+        inputs=tuple(rng.randint(0, 1) for _ in range(n)),
+        orientations=tuple(rng.randint(0, 1) for _ in range(n)),
+    )
+    kwargs = {}
+    if rng.random() < 0.5:
+        kwargs["wakeup"] = tuple(rng.randint(0, 4) for _ in range(n))
+    if rng.random() < 0.3:
+        kwargs["budget"] = rng.randint(1, 2 * n + 4)  # sometimes starving
+    return RunSpec.make(
+        engine="sync-batch", ring=ring, algorithm="sync-and", **kwargs
+    )
+
+
+def _start_spec(rng: random.Random) -> RunSpec:
+    n = rng.randint(2, 10)
+    ring = RingConfiguration(
+        inputs=tuple(0 for _ in range(n)),
+        orientations=tuple(rng.randint(0, 1) for _ in range(n)),
+    )
+    kwargs = {}
+    if rng.random() < 0.6:
+        kwargs["wakeup"] = tuple(rng.randint(0, 5) for _ in range(n))
+    if rng.random() < 0.3:
+        kwargs["budget"] = rng.randint(1, 3 * n + 8)
+    return RunSpec.make(
+        engine="sync-batch", ring=ring, algorithm="start-sync", **kwargs
+    )
+
+
+class TestSyncAnd:
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent([_and_spec(rng) for _ in range(batch)])
+
+    def test_exhaustive_small_rings(self):
+        import itertools
+
+        specs = []
+        for n in (2, 3, 4):
+            for inputs in itertools.product((0, 1), repeat=n):
+                for orient in itertools.product((0, 1), repeat=n):
+                    ring = RingConfiguration(
+                        inputs=tuple(inputs), orientations=tuple(orient)
+                    )
+                    specs.append(
+                        RunSpec.make(
+                            engine="sync-batch", ring=ring, algorithm="sync-and"
+                        )
+                    )
+        assert_batch_equivalent(specs)
+
+
+class TestStartSync:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent([_start_spec(rng) for _ in range(batch)])
+
+
+class TestMixedBatches:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_both_algorithms_one_batch(self, seed):
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(rng.randint(2, 6)):
+            specs.append(
+                _and_spec(rng) if rng.random() < 0.5 else _start_spec(rng)
+            )
+        assert_batch_equivalent(specs)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_nontermination_parity_at_tight_budgets(self, seed):
+        """Every spec starved: errors must match message-for-message."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(4):
+            spec = _and_spec(rng) if rng.random() < 0.5 else _start_spec(rng)
+            specs.append(spec.with_(budget=rng.randint(1, 3)))
+        assert_batch_equivalent(specs)

@@ -1,0 +1,92 @@
+"""Cycle-budget semantics: ``max_cycles=b`` permits exactly ``b`` cycles.
+
+Regression tests for the off-by-one where ``run_synchronous`` raised
+only when ``cycle > budget``, silently granting ``budget + 1`` cycles
+and misreporting the bound in the ``NonTerminationError`` message.  Both
+cycle-driven engines now agree on the documented semantics: a budget of
+``b`` permits ``b`` cycles — indices ``0..b-1`` for the synchronous
+engine, delivery cycles ``1..b`` for the synchronized-adversary engine —
+so the minimal sufficient budget is an exact, testable number.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.async_input_distribution import AsyncInputDistribution
+from repro.algorithms.sync_and import SyncAnd
+from repro.asynch import run_async_synchronized
+from repro.core import RingConfiguration
+from repro.core.errors import NonTerminationError
+from repro.sync import run_synchronous
+
+from reference_engines import run_synchronous_reference
+
+
+def _ring(n: int, seed: int = 0) -> RingConfiguration:
+    return RingConfiguration.random(n, random.Random(seed), oriented=True)
+
+
+def _sync(config, max_cycles=None):
+    return run_synchronous(config, SyncAnd, max_cycles=max_cycles)
+
+
+def _sync_reference(config, max_cycles=None):
+    return run_synchronous_reference(config, SyncAnd, max_cycles=max_cycles)
+
+
+def _async_synchronized(config, max_cycles=None):
+    return run_async_synchronized(
+        config, AsyncInputDistribution, max_cycles=max_cycles
+    )
+
+
+# (runner, minimal budget as a function of the unbudgeted result) —
+# the sync engine's cycles are 0-indexed (a run whose last cycle index
+# is c used c+1 cycles); the synchronized engine counts delivery cycles
+# directly.
+ENGINES = [
+    pytest.param(_sync, lambda result: result.cycles + 1, id="sync"),
+    pytest.param(_sync_reference, lambda result: result.cycles + 1,
+                 id="sync-reference"),
+    pytest.param(_async_synchronized, lambda result: result.cycles,
+                 id="async-synchronized"),
+]
+
+
+@pytest.mark.parametrize("run,minimal", ENGINES)
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_minimal_budget_exactly_suffices(run, minimal, n):
+    config = _ring(n, seed=n)
+    need = minimal(run(config))
+    result = run(config, max_cycles=need)  # exactly enough: completes
+    assert result.outputs  # a real, finished run
+    with pytest.raises(NonTerminationError) as err:
+        run(config, max_cycles=need - 1)
+    # The message reports the bound that was actually enforced.
+    assert f"cycle budget {need - 1} exhausted" in str(err.value)
+
+
+@pytest.mark.parametrize("n", [3, 6])
+def test_sync_engines_agree_at_every_budget(n):
+    """Optimized and reference sync engines fail/succeed identically."""
+    config = _ring(n, seed=n + 17)
+    need = _sync(config).cycles + 1
+    for budget in range(1, need + 2):
+        try:
+            got = ("ok", _sync(config, max_cycles=budget).outputs)
+        except NonTerminationError as error:
+            got = ("err", str(error))
+        try:
+            want = ("ok", _sync_reference(config, max_cycles=budget).outputs)
+        except NonTerminationError as error:
+            want = ("err", str(error))
+        assert got == want
+
+
+def test_sync_budget_message_lists_laggards():
+    config = RingConfiguration.oriented((1, 1, 1, 1))
+    with pytest.raises(NonTerminationError, match=r"still running: \[0, 1, 2, 3\]"):
+        run_synchronous(config, SyncAnd, max_cycles=1)

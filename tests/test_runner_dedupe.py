@@ -1,0 +1,103 @@
+"""``Runner.map`` in-batch dedupe: one dispatch per unique cache key.
+
+Regression tests for the bugfix where a batch naming the same
+``cache_key`` several times executed the task once per mention even with
+a cache attached (the put only landed after the whole batch ran).  The
+counting stub observes executions from the task's own side; the
+telemetry assertions pin that ``executed`` and the ``deduped`` counter
+stay truthful.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import RingConfiguration
+from repro.runtime import ResultCache, Runner, RunSpec, TaskCall, task_digest
+
+#: Bumped by :func:`dedupe_counting_task` — observes real executions.
+CALLS = {"count": 0}
+
+
+def dedupe_counting_task(value: int) -> int:
+    CALLS["count"] += 1
+    return value * 3
+
+
+def _call(value: int) -> TaskCall:
+    return TaskCall(
+        func="test_runner_dedupe:dedupe_counting_task",
+        args=(value,),
+        cache_key=task_digest("dedupe-stub", value),
+    )
+
+
+class TestMapDedupe:
+    def test_duplicates_execute_once(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        CALLS["count"] = 0
+        results = runner.map([_call(7), _call(7), _call(7)])
+        assert results == [21, 21, 21]
+        assert CALLS["count"] == 1
+        assert runner.executed == 1
+
+    def test_fanout_preserves_submission_order(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        CALLS["count"] = 0
+        results = runner.map([_call(1), _call(2), _call(1), _call(2), _call(1)])
+        assert results == [3, 6, 3, 6, 3]
+        assert CALLS["count"] == 2
+
+    def test_telemetry_counts_deduped(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        runner.map([_call(4), _call(4), _call(5)])
+        batch = runner.batches[0]
+        assert batch["tasks"] == 3
+        assert batch["executed"] == 2
+        assert batch["deduped"] == 1
+        assert batch["cache_hits"] == 0
+        assert runner.metrics_snapshot()["deduped"] == 1
+
+    def test_second_batch_is_all_cache_hits(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        CALLS["count"] = 0
+        runner.map([_call(9), _call(9)])
+        runner.map([_call(9), _call(9)])
+        assert CALLS["count"] == 1
+        second = runner.batches[1]
+        assert second["cache_hits"] == 2 and second["deduped"] == 0
+
+    def test_without_cache_no_dedupe(self):
+        """No cache ⇒ no content address to dedupe on: duplicates run."""
+        CALLS["count"] = 0
+        runner = Runner()
+        assert runner.map([_call(2), _call(2)]) == [6, 6]
+        assert CALLS["count"] == 2
+        assert runner.batches[0]["deduped"] == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_parallel_pool_sees_only_unique_tasks(self, tmp_path, jobs):
+        """Dedupe happens before pool dispatch, for every jobs value."""
+        runner = Runner(jobs=jobs, cache=ResultCache(tmp_path))
+        results = runner.map([_call(v) for v in (1, 1, 2, 2, 3, 3)])
+        assert results == [3, 3, 6, 6, 9, 9]
+        assert runner.executed == 3
+
+
+class TestSpecDedupe:
+    """The same contract through ``run_specs`` (specs key by digest)."""
+
+    def _spec(self, n: int = 5) -> RunSpec:
+        ring = RingConfiguration.random(n, random.Random(n), oriented=True)
+        return RunSpec.make(engine="sync", ring=ring, algorithm="sync-and")
+
+    def test_duplicate_specs_execute_once(self, tmp_path):
+        import pickle
+
+        runner = Runner(cache=ResultCache(tmp_path))
+        spec = self._spec()
+        results = runner.run_specs([spec, spec])
+        assert runner.executed == 1
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])

@@ -405,7 +405,7 @@ class TestHarnessParity:
 
 class TestEngineConstant:
     def test_engines_tuple(self):
-        assert ENGINES == ("sync", "async", "async-synchronized")
+        assert ENGINES == ("sync", "sync-batch", "async", "async-synchronized")
 
 
 class TestRunnerTelemetry:
