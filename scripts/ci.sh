@@ -31,8 +31,20 @@ echo "== obs bench smoke (recorder-off overhead, quick) =="
 python -m repro bench --suite obs --quick --sizes 8 --output BENCH_obs_smoke.json
 rm -f BENCH_obs_smoke.json
 
-echo "== batch bench smoke (vectorized engine vs generator, quick) =="
-python -m repro bench --suite batch --quick --output BENCH_batch_smoke.json
+echo "== batch bench smoke (vectorized engine vs generator, quick, incl. n=10^5) =="
+# The quick grid includes the sparse-AND workload at n=100000 — the
+# large-n path (int32 lanes, padded delivery tables, bit accounting at
+# 10^5 processors) is exercised on every CI run.  The time cap guards
+# against the large-n row regressing into generator-like territory.
+timeout 300 python -m repro bench --suite batch --quick --output BENCH_batch_smoke.json
+python - <<'EOF'
+import json
+
+with open("BENCH_batch_smoke.json") as handle:
+    payload = json.load(handle)
+rows = payload["records"]
+assert any(r["n"] >= 100_000 for r in rows), "quick grid lost its large-n row"
+EOF
 rm -f BENCH_batch_smoke.json
 
 echo "== batched-sweep parity (--jobs 2, sync-batch vs sync, byte-identical) =="
@@ -59,6 +71,22 @@ generator = Runner(jobs=2).run_specs(
 assert [pickle.dumps(a) for a in batched] == [pickle.dumps(b) for b in generator], \
     "sync-batch results diverge from the generator engine"
 print(f"batched-sweep parity: {len(specs)} specs byte-identical")
+EOF
+
+echo "== sync fuzz corpus parity (batched vs generator, byte-identical) =="
+# The fault-free synchronous corpus rides the batched sweep path by
+# default; forcing the generator engine must produce the same report
+# bytes, or the engines have diverged.
+python - <<'EOF'
+import json
+from repro.faults import run_sync_corpus
+
+auto = run_sync_corpus(seed=20240501, engine="auto")
+forced = run_sync_corpus(seed=20240501, engine="sync")
+assert json.dumps(auto, sort_keys=True) == json.dumps(forced, sort_keys=True), \
+    "batched sync corpus diverges from the generator engine"
+assert auto["violations"] == 0, f"sync corpus violations: {auto['violations']}"
+print(f"sync corpus parity: {auto['cases']} cases byte-identical, 0 violations")
 EOF
 
 echo "== symmetry analysis benchmarks =="

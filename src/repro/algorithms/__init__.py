@@ -41,6 +41,7 @@ from .leader_election import (
     elect_leader,
     worst_case_labels,
 )
+from .leader_election_sync import ChangRobertsSync, elect_leader_sync
 from .orientation import QuasiOrientation, orient_ring, quasi_orient
 from .orientation_async import majority_switch_bit, orient_ring_async
 from .start_sync import StartSynchronization, synchronize_start
@@ -64,6 +65,7 @@ __all__ = [
     "AsyncInputDistribution",
     "BitStartSynchronization",
     "ChangRoberts",
+    "ChangRobertsSync",
     "Franklin",
     "HirschbergSinclair",
     "MAJORITY",
@@ -97,6 +99,7 @@ __all__ = [
     "distribute_inputs_sync",
     "distribute_inputs_sync_uni",
     "elect_leader",
+    "elect_leader_sync",
     "expected_message_count",
     "find_extremum_distinct",
     "find_extremum_general",

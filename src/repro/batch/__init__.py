@@ -23,13 +23,25 @@ specs select the engine with ``RunSpec.engine="sync-batch"`` and
 into one batch call automatically.
 """
 
+from .election import ChangRobertsSyncBatch
 from .engine import run_batch, run_batch_outcomes, supports_batch
+from .fig2 import (
+    Fig2InputDistributionBatch,
+    Fig2UnidirectionalBatch,
+    QuasiOrientationBatch,
+)
 from .programs import BatchProgram, StartSyncBatch, SyncAndBatch
+from .tokens import TokenTable
 
 __all__ = [
     "BatchProgram",
+    "ChangRobertsSyncBatch",
+    "Fig2InputDistributionBatch",
+    "Fig2UnidirectionalBatch",
+    "QuasiOrientationBatch",
     "StartSyncBatch",
     "SyncAndBatch",
+    "TokenTable",
     "run_batch",
     "run_batch_outcomes",
     "supports_batch",

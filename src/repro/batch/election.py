@@ -1,0 +1,113 @@
+"""Vectorized synchronous leader election (labeled baseline).
+
+:class:`ChangRobertsSyncBatch` is the batch twin of
+:class:`repro.algorithms.leader_election_sync.ChangRobertsSync`.  The
+wire format packs the generator's ``(tag, label)`` tuples into one int32
+— ``(label << 1) | tag`` — which the label-range check in ``validate``
+makes lossless; :meth:`bits` unpacks the same way so the accounting
+charges ``1 + bit_length(label)``, exactly what the tuple costs under
+:func:`repro.core.message.bit_length`.
+
+Per cycle the whole election is four masked passes: halt the lanes that
+announced or relayed an announcement last cycle, relay announcements
+rightward (adopting the leader), announce when the arriving candidacy
+equals the own label, forward when it is larger.  Swallowing smaller
+candidacies is the absence of a mask.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .programs import BatchProgram, _int_bits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.spec import RunSpec
+
+
+class ChangRobertsSyncBatch(BatchProgram):
+    """Vectorized synchronous Chang–Roberts (see ``ChangRobertsSync``)."""
+
+    name = "chang-roberts-sync"
+
+    def __init__(self, eng) -> None:
+        super().__init__(eng)
+        shape = (eng.B, eng.N)
+        self.label = np.zeros(shape, dtype=np.int32)
+        for b, ring in enumerate(eng.rings):
+            self.label[b, : ring.n] = np.fromiter(
+                ring.inputs, dtype=np.int32, count=ring.n
+            )
+        self.halt_next = np.zeros(shape, dtype=bool)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        if spec.ring.n < 2:
+            raise ConfigurationError("chang-roberts-sync needs n >= 2")
+        for value in spec.ring.inputs:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"chang-roberts-sync labels must be integers, got {value!r}"
+                )
+            if not 0 <= value < 2**30:
+                raise ConfigurationError(
+                    f"chang-roberts-sync labels must be in [0, 2**30), "
+                    f"got {value!r}"
+                )
+        # Batch-only restrictions; specs outside them fall back to the
+        # generator engine via supports_batch.
+        if not spec.ring.is_oriented:
+            raise ConfigurationError(
+                "the batch chang-roberts-sync program needs a clockwise-"
+                "oriented ring; use engine='sync' for general orientations"
+            )
+        if spec.wakeup is not None:
+            raise ConfigurationError(
+                "the batch chang-roberts-sync program needs a simultaneous "
+                "start; use engine='sync' for wake-up schedules"
+            )
+
+    def step(self, eng, active, first, cycle) -> None:
+        halting = active & self.halt_next
+        if halting.any():
+            eng.halt_now |= halting
+            self.halt_next &= ~halting
+            reader = active & ~halting
+        else:
+            reader = active
+        if first is not None:
+            # Cycle 0: every processor launches its candidacy rightward.
+            eng.emitR_has |= first
+            eng.emitR_val[first] = self.label[first] << 1
+            reader = reader & ~first
+        got = reader & eng.inL_has
+        if not got.any():
+            return
+        announce = got & ((eng.inL_val & 1) == 1)
+        if announce.any():
+            eng.emitR_has |= announce
+            eng.emitR_val[announce] = eng.inL_val[announce]
+            eng.out_val[announce] = eng.inL_val[announce] >> 1
+            self.halt_next |= announce
+        cand = got & ~announce
+        if cand.any():
+            value = eng.inL_val >> 1
+            win = cand & (value == self.label)
+            if win.any():
+                # Own candidacy survived the full circle: announce.
+                eng.emitR_has |= win
+                eng.emitR_val[win] = (self.label[win] << 1) | 1
+                eng.out_val[win] = self.label[win]
+                self.halt_next |= win
+            forward = cand & ~win & (value > self.label)
+            if forward.any():
+                eng.emitR_has |= forward
+                eng.emitR_val[forward] = eng.inL_val[forward]
+            # smaller labels are swallowed
+
+    def bits(self, values: np.ndarray) -> np.ndarray:
+        # (tag, label) costs bit_length(tag) + bit_length(label) = 1 + …
+        return 1 + _int_bits(values >> 1)

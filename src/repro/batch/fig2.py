@@ -1,0 +1,595 @@
+"""Vectorized Figure 2 family: token-id payloads over the batch engine.
+
+The §4.2.1 input-distribution algorithms and the §4.2.2 quasi-orientation
+are phase-structured: n-cycle phases in which actives emit once and
+collect, passives relay, and all per-lane decisions happen at phase
+boundaries.  That structure is what makes them batchable despite their
+*growing* tuple payloads: per cycle the data plane is pure array work
+(masked gathers, relays, :meth:`~repro.batch.tokens.TokenTable.\
+intern_pairs` for the accumulator appends), and the only Python-level
+work — comparing labels, rewriting winners — happens once per n cycles,
+on the handful of still-active lanes, over *decoded* tuples so the
+comparison semantics are the generator's exactly.
+
+Timing is transcribed from the generators, not re-derived: a message
+sent in cycle ``t`` is read at step ``t + 1``, a phase started at cycle
+``s`` emits at ``s`` and owns the arrivals of cycles ``s .. s+n-1``, so
+the reads of boundary step ``s + n`` belong to the *old* phase and are
+processed before the transition (the sole-active label returning at
+distance ``n``, the winner's accumulator, the phase-B ``d₂`` all land
+exactly there).  Halts replicate the generator's ``yield Out(...);
+return x`` shape with a ``halt_next`` flag: emit at ``t``, halt at
+``t + 1``.
+
+The programs accept the specs whose behavior they can reproduce
+byte-for-byte — clockwise-oriented rings (where the generator's module
+wrapper demands the same), no wake-up schedule, plain-int inputs for the
+input-distribution pair (int payloads pickle without memo references, so
+decoded outputs hash out byte-identical) — and reject the rest with a
+``ConfigurationError``, which makes ``supports_batch`` steer those specs
+back to the generator engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.views import RingView
+from .programs import BatchProgram
+from .tokens import TokenTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.spec import RunSpec
+    from .engine import _Batch
+
+
+def _require_batchable(spec: "RunSpec", name: str, int_inputs: bool) -> None:
+    """Batch-only restrictions (generator specs outside them fall back)."""
+    if not spec.ring.is_oriented:
+        raise ConfigurationError(
+            f"the batch {name} program needs a clockwise-oriented ring; "
+            "use engine='sync' for general orientations"
+        )
+    if spec.wakeup is not None:
+        raise ConfigurationError(
+            f"the batch {name} program needs a simultaneous start; "
+            "use engine='sync' for wake-up schedules"
+        )
+    if int_inputs:
+        for value in spec.ring.inputs:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"the batch {name} program needs plain int inputs, "
+                    f"got {value!r}; use engine='sync' for other payloads"
+                )
+
+
+class _Fig2Base(BatchProgram):
+    """Shared state and phases of the two input-distribution variants.
+
+    Subclasses drive the election phases and call the shared CREATE /
+    BCAST helpers; stage constants are per subclass (CREATE/BCAST must
+    be the two largest).
+    """
+
+    #: Stage ids; election stages are defined by subclasses below these.
+    CREATE = 8
+    BCAST = 9
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        B, N = eng.B, eng.N
+        shape = (B, N)
+        self.table = TokenTable()
+        #: Per-cell id of the (atomized) own input value.
+        self.input_atom = np.zeros(shape, dtype=np.int32)
+        #: Per-cell id of the current label tuple (actives only care).
+        self.label = np.zeros(shape, dtype=np.int32)
+        for b, ring in enumerate(eng.rings):
+            for i, value in enumerate(ring.inputs):
+                aid = self.table.atom(value)
+                self.input_atom[b, i] = aid
+                self.label[b, i] = self.table.cons(self.table.empty, aid)
+        self.active_ = eng.alive.copy()
+        self.stage = np.zeros(B, dtype=np.int64)
+        self.stage_start = np.zeros(B, dtype=np.int64)
+        self.winner = np.zeros(shape, dtype=bool)
+        self.had_winner = np.zeros(B, dtype=bool)
+        self.acc_has = np.zeros(shape, dtype=bool)
+        self.acc_val = np.zeros(shape, dtype=np.int32)
+        self.halt_next = np.zeros(shape, dtype=bool)
+        self.out_tok = np.zeros(shape, dtype=np.int32)
+
+    # -- shared per-cycle pieces ---------------------------------------
+
+    def _create_reads(self, lanes: np.ndarray, eng: "_Batch") -> None:
+        """CREATE phase arrivals: winners absorb, everyone else appends."""
+        got = lanes & eng.inL_has
+        if not got.any():
+            return
+        absorb = got & self.winner
+        if absorb.any():
+            self.acc_val[absorb] = eng.inL_val[absorb]
+            self.acc_has |= absorb
+        forward = got & ~self.winner
+        if forward.any():
+            self.active_[forward] = False
+            ids = self.table.intern_pairs(
+                eng.inL_val[forward], self.input_atom[forward]
+            )
+            eng.emitR_has |= forward
+            eng.emitR_val[forward] = ids
+
+    def _create_boundary(
+        self, runs: np.ndarray, eng: "_Batch", election_stage: int
+    ) -> None:
+        """End of CREATE: winners adopt labels; quiet runs broadcast."""
+        new_label = self.winner & self.acc_has
+        if new_label.any():
+            self.label[new_label] = self.table.intern_pairs(
+                self.acc_val[new_label], self.input_atom[new_label]
+            )
+        self.stage[runs] = np.where(
+            self.had_winner[runs], election_stage, self.BCAST
+        )
+        rows = runs[:, None]
+        self.winner &= ~rows
+        self.acc_has &= ~rows
+
+    def _bcast_reads(self, lanes: np.ndarray, eng: "_Batch") -> None:
+        """BCAST arrivals: rotate the period token, pass it on, halt."""
+        got = lanes & ~self.active_ & eng.inL_has
+        if not got.any():
+            return
+        arrived = eng.inL_val[got]
+        uniques, inverse = np.unique(arrived, return_inverse=True)
+        rot_ids = np.fromiter(
+            (self.table.rotate_left(int(tid)) for tid in uniques),
+            dtype=np.int32,
+            count=len(uniques),
+        )
+        rotated = rot_ids[np.ravel(inverse)]
+        eng.emitR_has |= got
+        eng.emitR_val[got] = rotated
+        self.out_tok[got] = rotated
+        self.halt_next |= got
+
+    def _bcast_start(self, runs: np.ndarray, eng: "_Batch") -> None:
+        """First BCAST cycle: actives launch their period and halt."""
+        launch = runs[:, None] & self.active_
+        if launch.any():
+            eng.emitR_has |= launch
+            eng.emitR_val[launch] = self.label[launch]
+            self.out_tok[launch] = self.label[launch]
+            self.halt_next |= launch
+
+    # -- results --------------------------------------------------------
+
+    def bits(self, values: np.ndarray) -> np.ndarray:
+        return self.table.bits_of(values)
+
+    def outputs(self, eng: "_Batch", b: int):
+        n = int(eng.n[b])
+        views = []
+        for i in range(n):
+            label = self.table.decode(int(self.out_tok[b, i]))
+            p = len(label)
+            views.append(
+                RingView(
+                    tuple((1, label[(p - 1 + d) % p]) for d in range(n))
+                )
+            )
+        return tuple(views)
+
+
+class Fig2InputDistributionBatch(_Fig2Base):
+    """Vectorized Figure 2 (see ``SyncInputDistribution`` for the story).
+
+    Stages: ELIM (actives flood their label both ways, passives relay
+    opposite-port; the boundary compares decoded labels — survive iff
+    ``label ≥`` both heard and ``>`` at least one), CREATE (winners
+    launch an empty accumulator rightward, relays append their input and
+    go passive, the next winner absorbs it as its label), BCAST (on a
+    winnerless — periodic — round: actives launch their label, everyone
+    rotates and halts).
+    """
+
+    name = "fig2-input-distribution"
+    ELIM = 0
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        shape = (eng.B, eng.N)
+        # Heard-label captures need no has-flags: every active hears
+        # exactly one label per port per elimination phase (fault-free),
+        # so the boundary reads always see this round's captures.
+        self.heardL_val = np.zeros(shape, dtype=np.int32)
+        self.heardR_val = np.zeros(shape, dtype=np.int32)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        if spec.ring.n < 2:
+            raise ConfigurationError("input distribution needs n >= 2")
+        _require_batchable(spec, "fig2-input-distribution", int_inputs=True)
+
+    def step(self, eng, active, first, cycle) -> None:
+        halting = active & self.halt_next
+        if halting.any():
+            eng.halt_now |= halting
+            self.halt_next &= ~halting
+            reader = active & ~halting
+        else:
+            reader = active
+        live = active.any(axis=1)
+        nv = eng.n
+
+        # ---- reads under the current stage ---------------------------
+        stage_rows = self.stage[:, None]
+        elim = reader & (stage_rows == self.ELIM)
+        if elim.any():
+            held = elim & self.active_
+            for in_has, in_val, h_val in (
+                (eng.inL_has, eng.inL_val, self.heardL_val),
+                (eng.inR_has, eng.inR_val, self.heardR_val),
+            ):
+                got = held & in_has
+                if got.any():
+                    h_val[got] = in_val[got]
+            relay = elim & ~self.active_
+            for in_has, in_val, fwd_has, fwd_val in (
+                (eng.inL_has, eng.inL_val, eng.emitR_has, eng.emitR_val),
+                (eng.inR_has, eng.inR_val, eng.emitL_has, eng.emitL_val),
+            ):
+                got = relay & in_has
+                if got.any():
+                    fwd_has |= got
+                    fwd_val[got] = in_val[got]
+        create = reader & (stage_rows == self.CREATE)
+        if create.any():
+            self._create_reads(create, eng)
+        bcast = reader & (stage_rows == self.BCAST)
+        if bcast.any():
+            self._bcast_reads(bcast, eng)
+
+        # ---- phase boundaries ----------------------------------------
+        # BCAST has no boundary: it ends by halting, not by the clock.
+        boundary = (
+            live
+            & (self.stage != self.BCAST)
+            & (cycle == self.stage_start + nv)
+        )
+        if boundary.any():
+            elim_end = boundary & (self.stage == self.ELIM)
+            for b in np.nonzero(elim_end)[0]:
+                any_win = False
+                for i in np.nonzero(self.active_[b])[0]:
+                    label = self.table.decode(int(self.label[b, i]))
+                    heard = (
+                        self.table.decode(int(self.heardL_val[b, i])),
+                        self.table.decode(int(self.heardR_val[b, i])),
+                    )
+                    if all(label >= other for other in heard) and any(
+                        label > other for other in heard
+                    ):
+                        self.winner[b, i] = True
+                        any_win = True
+                self.had_winner[b] = any_win
+            self.stage[elim_end] = self.CREATE
+
+            create_end = boundary & (self.stage == self.CREATE) & ~elim_end
+            if create_end.any():
+                self._create_boundary(create_end, eng, self.ELIM)
+            self.stage_start[boundary] = cycle
+
+        # ---- first cycle of a phase ----------------------------------
+        pos0 = live & (cycle == self.stage_start)
+        if pos0.any():
+            launch = pos0 & (self.stage == self.ELIM)
+            lanes = launch[:, None] & self.active_
+            if lanes.any():
+                eng.emitL_has |= lanes
+                eng.emitL_val[lanes] = self.label[lanes]
+                eng.emitR_has |= lanes
+                eng.emitR_val[lanes] = self.label[lanes]
+            seed = pos0 & (self.stage == self.CREATE)
+            lanes = seed[:, None] & self.winner
+            if lanes.any():
+                eng.emitR_has |= lanes
+                eng.emitR_val[lanes] = self.table.empty
+            launch = pos0 & (self.stage == self.BCAST)
+            if launch.any():
+                self._bcast_start(launch, eng)
+
+
+class Fig2UnidirectionalBatch(_Fig2Base):
+    """Vectorized unidirectional variant (``SyncInputDistributionUni``).
+
+    Stages: PHASE_A (actives send their label right, collect ``d₁`` from
+    the nearest left active), PHASE_B (relay ``d₁`` right, collect
+    ``d₂``; survive iff ``d₁ > label`` and ``d₁ ≥ d₂``), then Figure 2's
+    own CREATE / BCAST.  Passives relay left-port arrivals rightward.
+    """
+
+    name = "fig2-unidirectional"
+    PHASE_A = 0
+    PHASE_B = 1
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        shape = (eng.B, eng.N)
+        self.d1_val = np.zeros(shape, dtype=np.int32)
+        self.d2_val = np.zeros(shape, dtype=np.int32)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        if spec.ring.n < 2:
+            raise ConfigurationError("input distribution needs n >= 2")
+        _require_batchable(spec, "fig2-unidirectional", int_inputs=True)
+
+    def step(self, eng, active, first, cycle) -> None:
+        halting = active & self.halt_next
+        if halting.any():
+            eng.halt_now |= halting
+            self.halt_next &= ~halting
+            reader = active & ~halting
+        else:
+            reader = active
+        live = active.any(axis=1)
+        nv = eng.n
+
+        # ---- reads under the current stage ---------------------------
+        stage_rows = self.stage[:, None]
+        election = reader & (stage_rows <= self.PHASE_B)
+        if election.any():
+            got = election & self.active_ & eng.inL_has
+            if got.any():
+                in_a = got & (stage_rows == self.PHASE_A)
+                self.d1_val[in_a] = eng.inL_val[in_a]
+                in_b = got & (stage_rows == self.PHASE_B)
+                self.d2_val[in_b] = eng.inL_val[in_b]
+            relay = election & ~self.active_ & eng.inL_has
+            if relay.any():
+                eng.emitR_has |= relay
+                eng.emitR_val[relay] = eng.inL_val[relay]
+        create = reader & (stage_rows == self.CREATE)
+        if create.any():
+            self._create_reads(create, eng)
+        bcast = reader & (stage_rows == self.BCAST)
+        if bcast.any():
+            self._bcast_reads(bcast, eng)
+
+        # ---- phase boundaries ----------------------------------------
+        boundary = (
+            live
+            & (self.stage != self.BCAST)
+            & (cycle == self.stage_start + nv)
+        )
+        if boundary.any():
+            a_end = boundary & (self.stage == self.PHASE_A)
+            self.stage[a_end] = self.PHASE_B
+            b_end = boundary & (self.stage == self.PHASE_B) & ~a_end
+            for b in np.nonzero(b_end)[0]:
+                any_win = False
+                for i in np.nonzero(self.active_[b])[0]:
+                    label = self.table.decode(int(self.label[b, i]))
+                    d1 = self.table.decode(int(self.d1_val[b, i]))
+                    d2 = self.table.decode(int(self.d2_val[b, i]))
+                    if d1 > label and d1 >= d2:
+                        self.winner[b, i] = True
+                        any_win = True
+                self.had_winner[b] = any_win
+            self.stage[b_end] = self.CREATE
+            create_end = boundary & (self.stage == self.CREATE) & ~b_end
+            if create_end.any():
+                self._create_boundary(create_end, eng, self.PHASE_A)
+            self.stage_start[boundary] = cycle
+
+        # ---- first cycle of a phase ----------------------------------
+        pos0 = live & (cycle == self.stage_start)
+        if pos0.any():
+            stage_rows = self.stage[:, None]
+            launch = (pos0[:, None] & self.active_) & (
+                stage_rows <= self.PHASE_B
+            )
+            if launch.any():
+                in_a = launch & (stage_rows == self.PHASE_A)
+                if in_a.any():
+                    eng.emitR_has |= in_a
+                    eng.emitR_val[in_a] = self.label[in_a]
+                in_b = launch & (stage_rows == self.PHASE_B)
+                if in_b.any():
+                    eng.emitR_has |= in_b
+                    eng.emitR_val[in_b] = self.d1_val[in_b]
+            seed = pos0 & (self.stage == self.CREATE)
+            lanes = seed[:, None] & self.winner
+            if lanes.any():
+                eng.emitR_has |= lanes
+                eng.emitR_val[lanes] = self.table.empty
+            launch = pos0 & (self.stage == self.BCAST)
+            if launch.any():
+                self._bcast_start(launch, eng)
+
+
+class QuasiOrientationBatch(BatchProgram):
+    """Vectorized Figure 4 quasi-orientation (``QuasiOrientation``).
+
+    All-int payloads, no token table: phase-1 port tags and phase-2
+    signals are the bits 0/1, and the final-stage ``(case, origin,
+    parity)`` token packs into ``8 | case<<2 | origin<<1 | parity`` —
+    values ≥ 8 are tokens (3 payload bits), values < 8 are bits (1).
+    Per-lane decisions (endpoint?, got a reply?) are flag folds; the
+    sequential first-``0``-only relay rule of phase 2 is two ordered
+    vector passes, LEFT then RIGHT, the generator's ``items()`` order.
+    """
+
+    name = "quasi-orientation"
+    P1, P2, FINAL = 0, 1, 2
+
+    def __init__(self, eng: "_Batch") -> None:
+        super().__init__(eng)
+        B, N = eng.B, eng.N
+        shape = (B, N)
+        self.active_ = eng.alive.copy()
+        self.marked = np.zeros(shape, dtype=bool)
+        self.case_alt = np.zeros(shape, dtype=bool)
+        self.endpoint = np.zeros(shape, dtype=bool)
+        self.got_reply = np.zeros(shape, dtype=bool)
+        self.seen_any = np.zeros(shape, dtype=bool)
+        self.halt_next = np.zeros(shape, dtype=bool)
+        self.stage = np.zeros(B, dtype=np.int64)
+        self.stage_start = np.zeros(B, dtype=np.int64)
+        #: True when the round that is running started with no actives —
+        #: its silence is the election-over signal (run-uniform).
+        self.round_quiet = np.zeros(B, dtype=bool)
+
+    @classmethod
+    def validate(cls, spec: "RunSpec") -> None:
+        if spec.ring.n < 2:
+            raise ConfigurationError("orientation needs n >= 2")
+        if spec.wakeup is not None:
+            raise ConfigurationError(
+                "the batch quasi-orientation program needs a simultaneous "
+                "start; use engine='sync' for wake-up schedules"
+            )
+
+    def step(self, eng, active, first, cycle) -> None:
+        halting = active & self.halt_next
+        if halting.any():
+            eng.halt_now |= halting
+            self.halt_next &= ~halting
+            reader = active & ~halting
+        else:
+            reader = active
+        live = active.any(axis=1)
+        nv = eng.n
+
+        # ---- reads under the current stage ---------------------------
+        stage_rows = self.stage[:, None]
+        p1 = reader & (stage_rows == self.P1)
+        if p1.any():
+            held = p1 & self.active_
+            self.endpoint |= held & eng.inL_has & (eng.inL_val == 0)
+            relay = p1 & ~self.active_
+            touched = relay & (eng.inL_has | eng.inR_has)
+            if touched.any():
+                self.marked &= ~touched
+                got = relay & eng.inL_has
+                eng.emitR_has |= got
+                eng.emitR_val[got] = eng.inL_val[got]
+                got = relay & eng.inR_has
+                eng.emitL_has |= got
+                eng.emitL_val[got] = eng.inR_val[got]
+        p2 = reader & (stage_rows == self.P2)
+        if p2.any():
+            held = p2 & self.active_
+            self.got_reply |= held & (
+                (eng.inL_has & (eng.inL_val == 1))
+                | (eng.inR_has & (eng.inR_val == 1))
+            )
+            relay = p2 & ~self.active_
+            touched = relay & (eng.inL_has | eng.inR_has)
+            if touched.any():
+                self.marked &= ~touched
+                both0 = (
+                    relay
+                    & eng.inL_has
+                    & eng.inR_has
+                    & (eng.inL_val == 0)
+                    & (eng.inR_val == 0)
+                )
+                eng.emitR_has |= both0
+                eng.emitR_val[both0] = 1
+                rest = relay & ~both0
+                # LEFT arrival first: forwarded if it is a 1 or nothing
+                # has been seen yet; it counts as seen either way before
+                # the RIGHT arrival of the same cycle is examined.
+                gotL = rest & eng.inL_has
+                fwd = gotL & ((eng.inL_val == 1) | ~self.seen_any)
+                eng.emitR_has |= fwd
+                eng.emitR_val[fwd] = eng.inL_val[fwd]
+                seen1 = self.seen_any | gotL
+                gotR = rest & eng.inR_has
+                fwd = gotR & ((eng.inR_val == 1) | ~seen1)
+                eng.emitL_has |= fwd
+                eng.emitL_val[fwd] = eng.inR_val[fwd]
+                self.seen_any = seen1 | gotR | both0
+        final = reader & (stage_rows == self.FINAL) & ~self.marked
+        if final.any():
+            for in_has, in_val, fwd_has, fwd_val, left in (
+                (eng.inL_has, eng.inL_val, eng.emitR_has, eng.emitR_val, True),
+                (eng.inR_has, eng.inR_val, eng.emitL_has, eng.emitL_val, False),
+            ):
+                got = final & in_has
+                if not got.any():
+                    continue
+                token = in_val[got]
+                case = (token >> 2) & 1
+                origin = (token >> 1) & 1
+                parity = token & 1
+                rel = origin if left else 1 - origin
+                eng.out_val[got] = (1 - ((rel + parity * case) & 1)).astype(
+                    np.int32
+                )
+                fwd_has |= got
+                fwd_val[got] = token ^ 1
+                self.halt_next |= got
+
+        # ---- phase boundaries ----------------------------------------
+        boundary = (
+            live
+            & (self.stage != self.FINAL)
+            & (cycle == self.stage_start + nv)
+        )
+        if boundary.any():
+            p1_end = boundary & (self.stage == self.P1)
+            if p1_end.any():
+                rows = p1_end[:, None]
+                demote = rows & self.active_ & ~self.endpoint
+                self.active_ &= ~demote
+                self.marked |= demote
+                self.case_alt &= ~demote
+                self.endpoint &= ~rows
+                self.got_reply &= ~rows
+                self.seen_any &= ~rows
+                self.stage[p1_end] = self.P2
+            p2_end = boundary & (self.stage == self.P2) & ~p1_end
+            if p2_end.any():
+                rows = p2_end[:, None]
+                demote = rows & self.active_ & ~self.got_reply
+                self.active_ &= ~demote
+                self.marked |= demote
+                self.case_alt |= demote
+                self.stage[p2_end] = np.where(
+                    self.round_quiet[p2_end], self.FINAL, self.P1
+                )
+                back = p2_end & (self.stage == self.P1)
+                self.round_quiet[back] = ~self.active_[back].any(axis=1)
+            self.stage_start[boundary] = cycle
+
+        # ---- first cycle of a phase ----------------------------------
+        pos0 = live & (cycle == self.stage_start)
+        if pos0.any():
+            launch = (pos0 & (self.stage == self.P1))[:, None] & self.active_
+            if launch.any():
+                eng.emitL_has |= launch
+                eng.emitL_val[launch] = 0  # _TAG_LEFT
+                eng.emitR_has |= launch
+                eng.emitR_val[launch] = 1  # _TAG_RIGHT
+            launch = (pos0 & (self.stage == self.P2))[:, None] & self.active_
+            if launch.any():
+                eng.emitR_has |= launch
+                eng.emitR_val[launch] = 0
+            anchors = (pos0 & (self.stage == self.FINAL))[:, None] & self.marked
+            if anchors.any():
+                case = self.case_alt[anchors].astype(np.int32)
+                eng.emitL_has |= anchors
+                eng.emitL_val[anchors] = 8 | (case << 2) | 1  # origin LEFT
+                eng.emitR_has |= anchors
+                eng.emitR_val[anchors] = 8 | (case << 2) | 2 | 1
+                self.halt_next |= anchors  # out_val stays 0
+
+    def bits(self, values: np.ndarray) -> np.ndarray:
+        return np.where(values >= 8, 3, 1).astype(np.int64)

@@ -22,11 +22,12 @@ The contract (checked per algorithm by the property suite):
   :func:`repro.core.message.bit_length` so the bit accounting matches
   to the bit.
 
-Only algorithms whose per-cycle behavior is expressible over fixed-width
-arrays qualify: ``sync-and`` (pure signalling) and ``start-sync``
-(integer clock counts) are implemented here.  The Figure 2 family
-carries growing tuple payloads (labels, accumulated views) and stays on
-the generator engine — see ``docs/batch.md``.
+``sync-and`` (pure signalling) and ``start-sync`` (integer clock counts)
+live here, their payloads plain int32.  The Figure 2 family and the
+synchronous leader-election baseline carry growing tuple payloads
+(labels, accumulated views) and batch through the token-id indirection
+of :mod:`repro.batch.tokens` — see :mod:`repro.batch.fig2`,
+:mod:`repro.batch.election` and ``docs/batch.md``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,217 @@
+"""Token-id interning for batch programs with growing tuple payloads.
+
+The batch engine moves payloads as ``int32`` — perfect for clock counts,
+useless for the Figure 2 family, whose messages are *tuples* that grow
+as labels accumulate segment inputs.  A :class:`TokenTable` closes the
+gap: every structured value a batch carries is interned once into a
+small integer id, and from then on the whole program — state buffers,
+emission buffers, inboxes — stays fixed-width ``(batch, n)`` int32
+arrays of ids.
+
+Ids are arena-style: the table is created per :class:`~repro.batch.\
+engine._Batch` group, ids are dense (0, 1, 2, …) and stable for the
+lifetime of that batch, and id 0 is always the empty tuple ``()`` so a
+zero-initialized engine buffer holds a *valid* id (garbage lanes in the
+emission arrays can be decoded or costed without faulting; the engine
+masks them out of the accounting anyway).
+
+Two interning paths exist:
+
+* **scalar** — :meth:`TokenTable.atom`, :meth:`TokenTable.cons`,
+  :meth:`TokenTable.tuple_of` build ids one value at a time (setup,
+  phase boundaries, outputs);
+* **vectorized** — :meth:`TokenTable.intern_pairs` interns a whole
+  array of ``tuple + (element,)`` extensions per round via one
+  ``np.unique`` over the stacked ``(prefix_id, element_id)`` columns,
+  which is the per-cycle hot path: deduplication happens in numpy and
+  only the handful of *novel* pairs ever reach Python.
+
+Every id knows its wire cost (:meth:`TokenTable.bits_of`, vectorized)
+under :func:`repro.core.message.bit_length`'s rules, so the engine's
+bit accounting matches the generator engine to the bit — including the
+subtlety that an empty tuple costs 1 bit on the wire (``max(1, 0)``)
+but contributes 0 bits as the prefix of a longer tuple (the sum skips
+it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.message import bit_length
+
+#: Placeholder in ``_values`` for ids created by ``intern_pairs`` whose
+#: tuple has not been materialized yet (decoded lazily on demand).
+_PENDING = object()
+
+
+class TokenTable:
+    """Bidirectional value ↔ int32-id map for one batch's payloads."""
+
+    def __init__(self) -> None:
+        #: Hashable leaf value -> id (tuples included, keyed structurally).
+        self._atoms: Dict[Any, int] = {}
+        #: (prefix_id, element_id) -> id of ``decode(prefix) + (element,)``.
+        self._pairs: Dict[Tuple[int, int], int] = {}
+        #: id -> (prefix_id, element_id) for cons-built ids.
+        self._nodes: Dict[int, Tuple[int, int]] = {}
+        #: (base_id, shift) -> id of the left-rotation alias node.
+        self._rot_index: Dict[Tuple[int, int], int] = {}
+        #: id -> (base_id, shift) for rotation alias nodes.
+        self._rotations: Dict[int, Tuple[int, int]] = {}
+        #: id -> materialized value (or _PENDING for lazy cons nodes).
+        self._values: List[Any] = []
+        #: id -> sum of element bit_lengths when the id is a tuple used
+        #: as a *prefix* (0 for the empty tuple; undefined-as-0 for
+        #: non-tuple atoms, which are never legal prefixes).
+        self._tuple_sum: List[int] = []
+        #: id -> wire cost in bits (max(1, tuple_sum) for tuples,
+        #: bit_length(value) for other atoms), mirrored into a numpy
+        #: array for vectorized lookup.
+        self._bits_list: List[int] = []
+        self._bits = np.zeros(64, dtype=np.int64)
+        #: id of the empty tuple — always 0, see module docstring.
+        self.empty = self.atom(())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- scalar interning ----------------------------------------------
+
+    def _new_id(self, value: Any, tuple_sum: int, bits: int) -> int:
+        tid = len(self._values)
+        self._values.append(value)
+        self._tuple_sum.append(tuple_sum)
+        self._bits_list.append(bits)
+        if tid >= len(self._bits):
+            grown = np.zeros(max(64, 2 * len(self._bits)), dtype=np.int64)
+            grown[: len(self._bits)] = self._bits
+            self._bits = grown
+        self._bits[tid] = bits
+        return tid
+
+    def atom(self, value: Any) -> int:
+        """Intern a hashable value as-is; returns its stable id.
+
+        Keys are ``(type, value)`` so values that compare equal across
+        types (``True == 1``, ``1 == 1.0``) keep distinct ids — decoding
+        must return an object of the original type, or outputs would
+        pickle differently from the generator's.
+        """
+        key = (type(value), value)
+        tid = self._atoms.get(key)
+        if tid is not None:
+            return tid
+        if isinstance(value, tuple):
+            tuple_sum = sum(bit_length(item) for item in value)
+            bits = max(1, tuple_sum)
+        else:
+            tuple_sum = 0
+            bits = bit_length(value)
+        tid = self._new_id(value, tuple_sum, bits)
+        self._atoms[key] = tid
+        return tid
+
+    def cons(self, prefix_id: int, element_id: int) -> int:
+        """Id of ``decode(prefix_id) + (decode(element_id),)``.
+
+        The prefix must denote a tuple.  The element's *wire* bits are
+        what the extended tuple gains — for tuple elements that is
+        ``max(1, sum)``, exactly what :func:`bit_length` charges a
+        nested tuple inside the flat sum.
+        """
+        key = (prefix_id, element_id)
+        tid = self._pairs.get(key)
+        if tid is not None:
+            return tid
+        tuple_sum = self._tuple_sum[prefix_id] + int(self._bits[element_id])
+        tid = self._new_id(_PENDING, tuple_sum, max(1, tuple_sum))
+        self._pairs[key] = tid
+        self._nodes[tid] = key
+        return tid
+
+    def tuple_of(self, items: Tuple[Any, ...]) -> int:
+        """Intern a tuple by folding :meth:`cons` from the empty tuple."""
+        tid = self.empty
+        for item in items:
+            tid = self.cons(tid, self.atom(item))
+        return tid
+
+    def rotate_left(self, tid: int) -> int:
+        """Id of ``value[1:] + (value[0],)`` for the tuple behind ``tid``.
+
+        O(1): rotations are *alias* nodes — a base id plus an
+        accumulated shift, decoded arithmetically on demand.  A rotation
+        has the same wire bits and prefix sum as its base (rotating
+        permutes the elements, and the costs are sums over them), so no
+        tuple is ever materialized on the hot path.  Rotating a rotation
+        just bumps the shift against the same base.
+        """
+        base, shift = self._rotations.get(tid, (tid, 0))
+        key = (base, shift + 1)
+        rid = self._rot_index.get(key)
+        if rid is None:
+            rid = self._new_id(
+                _PENDING, self._tuple_sum[base], int(self._bits[base])
+            )
+            self._rot_index[key] = rid
+            self._rotations[rid] = key
+        return rid
+
+    # -- vectorized interning ------------------------------------------
+
+    def intern_pairs(
+        self, prefix_ids: np.ndarray, element_ids: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`cons` over parallel id arrays.
+
+        One ``np.unique`` finds the distinct (prefix, element) columns;
+        only those few reach the Python-level pair cache.  Shapes are
+        preserved; dtype is the table's int32.
+        """
+        stacked = np.stack(
+            [np.ravel(prefix_ids), np.ravel(element_ids)], axis=1
+        )
+        uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        ids = np.fromiter(
+            (self.cons(int(p), int(e)) for p, e in uniques),
+            dtype=np.int32,
+            count=len(uniques),
+        )
+        return ids[np.ravel(inverse)].reshape(np.shape(prefix_ids))
+
+    # -- reading back ---------------------------------------------------
+
+    def decode(self, tid: int) -> Any:
+        """Materialize the value behind an id (caching intermediates)."""
+        value = self._values[tid]
+        if value is not _PENDING:
+            return value
+        # Walk down the cons chain to the deepest pending node, then
+        # rebuild upward so long labels decode without deep recursion.
+        # Rotation aliases terminate the walk: they materialize by
+        # slicing their (recursively decoded) base.
+        chain: List[int] = []
+        probe = tid
+        while self._values[probe] is _PENDING:
+            node = self._nodes.get(probe)
+            if node is None:
+                base_id, shift = self._rotations[probe]
+                base_value = self.decode(base_id)
+                cut = shift % len(base_value) if base_value else 0
+                self._values[probe] = base_value[cut:] + base_value[:cut]
+                break
+            chain.append(probe)
+            probe = node[0]
+        for node in reversed(chain):
+            prefix_id, element_id = self._nodes[node]
+            self._values[node] = self._values[prefix_id] + (
+                self.decode(element_id),
+            )
+        return self._values[tid]
+
+    def bits_of(self, ids: np.ndarray) -> np.ndarray:
+        """Wire cost per id, vectorized (valid for every allocated id)."""
+        return self._bits[: len(self._values)].take(ids)

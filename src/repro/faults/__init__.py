@@ -17,8 +17,22 @@ package turns that quantifier into an executable check:
   ``python -m repro fuzz``.
 """
 
-from .fuzzer import FuzzCase, Violation, run_case, run_fuzz, shrink_trace
-from .registry import FuzzTarget, default_targets, target_by_name
+from .fuzzer import (
+    FuzzCase,
+    Violation,
+    run_case,
+    run_fuzz,
+    run_sync_corpus,
+    shrink_trace,
+)
+from .registry import (
+    FuzzTarget,
+    SyncFuzzTarget,
+    default_sync_targets,
+    default_targets,
+    sync_target_by_name,
+    target_by_name,
+)
 from .report import render_summary, write_report
 from .trace import RecordingScheduler, ReplayDivergence, ReplayScheduler, ScheduleTrace
 
@@ -29,12 +43,15 @@ __all__ = [
     "ReplayDivergence",
     "ReplayScheduler",
     "ScheduleTrace",
+    "SyncFuzzTarget",
     "Violation",
+    "default_sync_targets",
     "default_targets",
     "render_summary",
     "run_case",
     "run_fuzz",
+    "run_sync_corpus",
     "shrink_trace",
+    "sync_target_by_name",
     "target_by_name",
-    "write_report",
 ]

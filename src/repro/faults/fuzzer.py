@@ -50,6 +50,7 @@ from ..asynch.schedulers import (
 )
 from ..asynch.simulator import run_asynchronous
 from ..core.errors import (
+    ConfigurationError,
     NonTerminationError,
     OutputDisagreement,
     ReproError,
@@ -58,7 +59,14 @@ from ..core.errors import (
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult
 from ..runtime.runner import Runner, TaskCall, derive_seed, task_digest
-from .registry import FuzzTarget, default_targets, target_by_name
+from ..runtime.spec import RunSpec
+from .registry import (
+    FuzzTarget,
+    SyncFuzzTarget,
+    default_sync_targets,
+    default_targets,
+    target_by_name,
+)
 from .trace import RecordingScheduler, ReplayScheduler, ScheduleTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -392,6 +400,133 @@ def _case_calls(
     return calls
 
 
+def _sync_case(
+    target: SyncFuzzTarget, n: int, case_seed: int, engine: str
+) -> Tuple[RingConfiguration, RunSpec]:
+    """Regenerate one sync case's ring and spec from its coordinates.
+
+    ``engine="auto"`` selects the vectorized engine whenever the batch
+    program supports the spec (the default path); ``engine="sync"``
+    forces the generator engine.  The two must produce byte-identical
+    reports — the CI smoke asserts exactly that.
+    """
+    rng = random.Random(case_seed)
+    config = target.make_config(n, rng)
+    kwargs: Dict[str, Any] = {}
+    if target.wakeups:
+        raw = [rng.randint(0, 2 * n) for _ in range(n)]
+        base = min(raw)  # schedules are normalized: min wake time is 0
+        kwargs["wakeup"] = tuple(value - base for value in raw)
+    spec = RunSpec.make(
+        engine="sync-batch", ring=config, algorithm=target.name, **kwargs
+    )
+    if engine == "sync" or not _supports_batch(spec):
+        spec = spec.with_(engine="sync")
+    return config, spec
+
+
+def _supports_batch(spec: RunSpec) -> bool:
+    from ..batch.engine import supports_batch
+
+    return supports_batch(spec)
+
+
+def run_sync_corpus(
+    seed: int,
+    targets: Optional[Tuple[SyncFuzzTarget, ...]] = None,
+    cases_per_campaign: int = 4,
+    runner: Optional[Runner] = None,
+    engine: str = "auto",
+) -> Dict[str, Any]:
+    """Sweep the fault-free synchronous corpus; returns the report section.
+
+    The synchronous engines are deterministic, so there is no schedule
+    to fuzz: each case is a seeded random ring (plus a seeded wake-up
+    schedule where the target takes one) whose result is checked against
+    the target's semantic invariant.  All cases execute as one spec
+    batch through :meth:`Runner.run_specs` — with ``engine="auto"``
+    every supported spec takes the vectorized ``sync-batch`` path, and
+    the report is byte-identical to the forced generator path
+    (``engine="sync"``) by the batch engine's correctness contract.
+    The ``engine`` knob is deliberately absent from the report.
+    """
+    if engine not in ("auto", "sync"):
+        raise ConfigurationError(
+            f"sync corpus engine must be 'auto' or 'sync', got {engine!r}"
+        )
+    targets = targets if targets is not None else default_sync_targets()
+    runner = runner if runner is not None else Runner()
+
+    coords: List[Tuple[SyncFuzzTarget, int]] = []
+    cases: List[Tuple[RingConfiguration, int]] = []
+    specs: List[RunSpec] = []
+    for target in targets:
+        for n in target.sizes:
+            coords.append((target, n))
+            for index in range(cases_per_campaign):
+                case_seed = derive_seed(seed, "sync", target.name, n, index)
+                config, spec = _sync_case(target, n, case_seed, engine)
+                cases.append((config, case_seed))
+                specs.append(spec)
+    results = runner.run_specs(specs)
+
+    campaigns: List[Dict[str, Any]] = []
+    total_cases = 0
+    total_violations = 0
+    cursor = 0
+    for target, n in coords:
+        records: List[Dict[str, Any]] = []
+        violations = 0
+        for (config, case_seed), result in zip(
+            cases[cursor : cursor + cases_per_campaign],
+            results[cursor : cursor + cases_per_campaign],
+        ):
+            record: Dict[str, Any] = {
+                "target": target.name,
+                "n": n,
+                "case_seed": case_seed,
+                "messages": result.stats.messages,
+                "bits": result.stats.bits,
+                "cycles": result.cycles,
+            }
+            detail = target.check(config, result)
+            if detail is None:
+                record["status"] = "ok"
+            else:
+                record["status"] = "violation"
+                record["violation"] = {
+                    "kind": "invariant",
+                    "detail": detail,
+                    "config": _describe_config(config),
+                }
+                violations += 1
+            records.append(record)
+        cursor += cases_per_campaign
+        total_cases += len(records)
+        total_violations += violations
+        campaigns.append(
+            {
+                "target": target.name,
+                "n": n,
+                "cases": records,
+                "ok": sum(1 for r in records if r["status"] == "ok"),
+                "violations": violations,
+            }
+        )
+    return {
+        "targets": {
+            target.name: {
+                "description": target.description,
+                "sizes": list(target.sizes),
+            }
+            for target in targets
+        },
+        "campaigns": campaigns,
+        "cases": total_cases,
+        "violations": total_violations,
+    }
+
+
 def run_fuzz(
     seed: int,
     targets: Optional[Tuple[FuzzTarget, ...]] = None,
@@ -400,6 +535,9 @@ def run_fuzz(
     cases_per_campaign: int = 8,
     jobs: int = 1,
     runner: Optional[Runner] = None,
+    sync_targets: Optional[Tuple[SyncFuzzTarget, ...]] = None,
+    sync_cases_per_campaign: int = 4,
+    sync_engine: str = "auto",
 ) -> Dict[str, Any]:
     """Sweep the registry; returns the full JSON-able fuzz report.
 
@@ -407,9 +545,24 @@ def run_fuzz(
     byte-identical report (no timestamps, no ambient randomness), for
     every ``jobs`` value — each case is an independent task fanned over
     the runner's pool and reassembled in campaign order.
+
+    Alongside the asynchronous schedule-fuzzing campaigns the report
+    carries the fault-free synchronous corpus (:func:`run_sync_corpus`),
+    executed as one spec batch through the runner.  ``sync_engine`` is
+    an unserialized execution knob: ``"auto"`` (the default) routes
+    supported specs through the vectorized batch engine, ``"sync"``
+    forces the generator engine, and the report bytes are identical
+    either way.
     """
     targets = targets if targets is not None else default_targets()
     runner = runner if runner is not None else Runner(jobs=jobs)
+    sync_section = run_sync_corpus(
+        seed,
+        targets=sync_targets,
+        cases_per_campaign=sync_cases_per_campaign,
+        runner=runner,
+        engine=sync_engine,
+    )
 
     # Enumerate every campaign's cases up front (order is the report
     # order), fan the flat case list over the runner, then reassemble.
@@ -478,9 +631,13 @@ def run_fuzz(
             for target in targets
         },
         "campaigns": campaigns,
+        "sync_targets": sync_section["targets"],
+        "sync_campaigns": sync_section["campaigns"],
         "totals": {
             "campaigns": len(campaigns),
             "cases": total_cases,
             "violations": total_violations,
+            "sync_cases": sync_section["cases"],
+            "sync_violations": sync_section["violations"],
         },
     }

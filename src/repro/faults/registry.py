@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from ..asynch.process import AsyncFactory
 from ..core.errors import ConfigurationError
@@ -135,4 +135,141 @@ def target_by_name(name: str) -> FuzzTarget:
     except KeyError:
         raise ConfigurationError(
             f"unknown fuzz target {name!r}; choose from {sorted(targets)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Synchronous (fault-free) corpus
+# ----------------------------------------------------------------------
+
+#: An invariant checker: ``(config, result) -> None`` or a violation detail.
+SyncChecker = Callable[[RingConfiguration, Any], "Any"]
+
+
+@dataclass(frozen=True)
+class SyncFuzzTarget:
+    """One synchronous algorithm swept by the fault-free sync corpus.
+
+    Unlike :class:`FuzzTarget` there is no schedule to fuzz — the
+    synchronous engines are deterministic — so a case is just a seeded
+    random ring (plus, when ``wakeups`` is set, a seeded random wake-up
+    schedule), and the invariant is a semantic check on the result.
+    Cases execute as :class:`~repro.runtime.spec.RunSpec` batches through
+    :meth:`Runner.run_specs`, which routes every spec the vectorized
+    engine supports through one struct-of-arrays call.
+    """
+
+    name: str
+    make_config: ConfigMaker
+    sizes: Tuple[int, ...]
+    check: SyncChecker
+    wakeups: bool = False
+    description: str = ""
+
+
+def _int_ring(n: int, rng: random.Random) -> RingConfiguration:
+    """Clockwise-oriented ring with small int inputs (Figure 2 family)."""
+    return RingConfiguration.oriented(tuple(rng.randint(0, 7) for _ in range(n)))
+
+
+def _zeros_ring(n: int, rng: random.Random) -> RingConfiguration:
+    del rng
+    return RingConfiguration.oriented((0,) * n)
+
+
+def _check_sync_and(config: RingConfiguration, result: Any) -> Any:
+    expected = int(all(config.inputs))
+    if any(out != expected for out in result.outputs):
+        return f"outputs {result.outputs!r} != AND of inputs ({expected})"
+    return None
+
+
+def _check_ring_views(config: RingConfiguration, result: Any) -> Any:
+    """Every processor's view lists the inputs clockwise from itself."""
+    n = config.n
+    for i, view in enumerate(result.outputs):
+        values = tuple(value for _, value in view.entries)
+        expected = tuple(config.inputs[(i + d) % n] for d in range(n))
+        if values != expected:
+            return f"view at {i} is {values!r}, expected {expected!r}"
+    return None
+
+
+def _check_quasi_orientation(config: RingConfiguration, result: Any) -> Any:
+    if not config.apply_switches(result.outputs).is_quasi_oriented:
+        return f"switches {result.outputs!r} do not quasi-orient the ring"
+    return None
+
+
+def _check_leader(config: RingConfiguration, result: Any) -> Any:
+    expected = max(config.inputs)
+    if any(out != expected for out in result.outputs):
+        return f"outputs {result.outputs!r} != max label ({expected})"
+    return None
+
+
+def _check_common_start(config: RingConfiguration, result: Any) -> Any:
+    del config
+    if len(set(result.outputs)) != 1:
+        return f"processors disagree on the start cycle: {result.outputs!r}"
+    return None
+
+
+def default_sync_targets() -> Tuple[SyncFuzzTarget, ...]:
+    """The synchronous algorithms swept by the fault-free corpus."""
+    return (
+        SyncFuzzTarget(
+            name="sync-and",
+            make_config=_random_ring,
+            sizes=(2, 4, 9, 16),
+            check=_check_sync_and,
+            description="linear-message synchronous AND (§4.2)",
+        ),
+        SyncFuzzTarget(
+            name="fig2-input-distribution",
+            make_config=_int_ring,
+            sizes=(2, 5, 9, 16),
+            check=_check_ring_views,
+            description="Figure 2 synchronous input distribution (§4.2.1)",
+        ),
+        SyncFuzzTarget(
+            name="fig2-unidirectional",
+            make_config=_int_ring,
+            sizes=(2, 5, 9, 16),
+            check=_check_ring_views,
+            description="unidirectional Figure 2 variant (§4.2.1 remark)",
+        ),
+        SyncFuzzTarget(
+            name="quasi-orientation",
+            make_config=_random_ring,
+            sizes=(2, 5, 9, 16),
+            check=_check_quasi_orientation,
+            description="Figure 4 quasi-orientation (§4.2.2)",
+        ),
+        SyncFuzzTarget(
+            name="start-sync",
+            make_config=_zeros_ring,
+            sizes=(2, 5, 9, 16),
+            check=_check_common_start,
+            wakeups=True,
+            description="Figure 5 start synchronization (§4.2.3)",
+        ),
+        SyncFuzzTarget(
+            name="chang-roberts-sync",
+            make_config=_labeled_ring,
+            sizes=(2, 5, 9, 16),
+            check=_check_leader,
+            description="round-synchronized Chang-Roberts election",
+        ),
+    )
+
+
+def sync_target_by_name(name: str) -> SyncFuzzTarget:
+    """Look up a sync-corpus target, with a helpful error on typos."""
+    targets = {t.name: t for t in default_sync_targets()}
+    try:
+        return targets[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sync fuzz target {name!r}; choose from {sorted(targets)}"
         ) from None

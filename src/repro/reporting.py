@@ -31,8 +31,6 @@ from .algorithms import (
     distribute_inputs_alternating,
     distribute_inputs_async,
     distribute_inputs_general,
-    distribute_inputs_sync,
-    distribute_inputs_sync_uni,
     elect_leader,
     expected_message_count,
     find_extremum_general,
@@ -70,7 +68,10 @@ from .lowerbounds import (
     xor_arbitrary_pair,
     xor_sync_pair,
 )
+from .batch import supports_batch
+from .core.tracing import RunResult
 from .runtime.runner import Runner, TaskCall, task_digest
+from .runtime.spec import RunSpec
 
 
 @dataclass
@@ -94,6 +95,28 @@ def _ring(n: int, seed: int = 0, oriented: bool = True) -> RingConfiguration:
 
 def _zeros(n: int) -> RingConfiguration:
     return RingConfiguration.oriented((0,) * n)
+
+
+def _run_sync_sweep(
+    algorithm: str, rings: Sequence[RingConfiguration]
+) -> List[RunResult]:
+    """Run one synchronous config per ring through the runtime layer.
+
+    Each ring becomes a :class:`RunSpec` with ``engine="sync-batch"``
+    whenever the vectorized engine supports it, so a whole n-sweep
+    executes as one struct-of-arrays call inside
+    :meth:`Runner.run_specs`; unsupported specs fall back to the
+    generator engine, spec by spec.  Results are byte-identical either
+    way (the batch engine's correctness contract), so the report's
+    measured numbers do not depend on which path ran.
+    """
+    specs = []
+    for ring in rings:
+        spec = RunSpec.make(engine="sync-batch", ring=ring, algorithm=algorithm)
+        if not supports_batch(spec):
+            spec = spec.with_(engine="sync")
+        specs.append(spec)
+    return Runner(jobs=1).run_specs(specs)
 
 
 @dataclass(frozen=True)
@@ -174,8 +197,10 @@ def experiment_e3(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
         "Figure 2 input distribution",
         "≤ n(3·log₁.₅n + 3) messages, ≤ n(2·log₁.₅n + 3) cycles (§4.2.1)",
     )
-    for n in sizes:
-        result = distribute_inputs_sync(_ring(n, n))
+    results = _run_sync_sweep(
+        "fig2-input-distribution", [_ring(n, n) for n in sizes]
+    )
+    for n, result in zip(sizes, results):
         record.rows.append(
             BoundCheck("E3 msgs", n, result.stats.messages, _fig2.message_bound(n), "upper")
         )
@@ -192,9 +217,9 @@ def experiment_e4(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
         "Figure 4 quasi-orientation",
         "≤ 3.5n(log₃n + 1) + 2n messages (§4.2.2); odd rings end oriented",
     )
-    for n in sizes:
-        config = RingConfiguration.random(n, random.Random(n))
-        result = quasi_orient(config)
+    configs = [RingConfiguration.random(n, random.Random(n)) for n in sizes]
+    results = _run_sync_sweep("quasi-orientation", configs)
+    for n, config, result in zip(sizes, configs, results):
         fixed = config.apply_switches(result.outputs)
         assert fixed.is_quasi_oriented
         record.rows.append(
@@ -386,9 +411,9 @@ def experiment_e14(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
         "Fig.2: few messages, long time; lockstep n²: many 1-bit messages, "
         "time ≈ n/2 (§8)",
     )
-    for n in sizes:
-        config = _ring(n, n)
-        fig2 = distribute_inputs_sync(config)
+    configs = [_ring(n, n) for n in sizes]
+    fig2_results = _run_sync_sweep("fig2-input-distribution", configs)
+    for n, config, fig2 in zip(sizes, configs, fig2_results):
         lockstep = run_async_synchronized(
             config, lambda value, size: AsyncInputDistribution(value, size)
         )
@@ -461,8 +486,8 @@ def experiment_e17(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
         "Unidirectional Figure 2 (§4.2.1 remark)",
         "one-sided traffic; ≤ n(3·log₂n + 4) messages",
     )
-    for n in sizes:
-        result = distribute_inputs_sync_uni(_ring(n, n))
+    results = _run_sync_sweep("fig2-unidirectional", [_ring(n, n) for n in sizes])
+    for n, result in zip(sizes, results):
         record.rows.append(
             BoundCheck("E17", n, result.stats.messages,
                        _fig2_uni.message_bound(n), "upper")

@@ -34,6 +34,7 @@ from ..algorithms.leader_election import (
     HirschbergSinclair,
     Peterson,
 )
+from ..algorithms.leader_election_sync import ChangRobertsSync
 from ..algorithms.orientation import QuasiOrientation
 from ..algorithms.orientation_async import majority_switch_bit
 from ..algorithms.start_sync import StartSynchronization
@@ -172,6 +173,30 @@ def _batch_start_sync() -> Any:
     return StartSyncBatch
 
 
+def _batch_fig2() -> Any:
+    from ..batch.fig2 import Fig2InputDistributionBatch
+
+    return Fig2InputDistributionBatch
+
+
+def _batch_fig2_uni() -> Any:
+    from ..batch.fig2 import Fig2UnidirectionalBatch
+
+    return Fig2UnidirectionalBatch
+
+
+def _batch_quasi_orientation() -> Any:
+    from ..batch.fig2 import QuasiOrientationBatch
+
+    return QuasiOrientationBatch
+
+
+def _batch_chang_roberts_sync() -> Any:
+    from ..batch.election import ChangRobertsSyncBatch
+
+    return ChangRobertsSyncBatch
+
+
 for _entry in (
     AlgorithmEntry(
         name="input-distribution",
@@ -228,18 +253,21 @@ for _entry in (
         kind=SYNC,
         build=_returning(SyncInputDistribution),
         description="Figure 2 synchronous input distribution (§4.2.1)",
+        batch_program=_batch_fig2,
     ),
     AlgorithmEntry(
         name="fig2-unidirectional",
         kind=SYNC,
         build=_returning(SyncInputDistributionUni),
         description="unidirectional Figure 2 variant (§4.2.1 remark)",
+        batch_program=_batch_fig2_uni,
     ),
     AlgorithmEntry(
         name="quasi-orientation",
         kind=SYNC,
         build=_returning(QuasiOrientation),
         description="Figure 4 quasi-orientation (§4.2.2)",
+        batch_program=_batch_quasi_orientation,
     ),
     AlgorithmEntry(
         name="start-sync",
@@ -247,6 +275,14 @@ for _entry in (
         build=_returning(StartSynchronization),
         description="Figure 5 start synchronization (§4.2.3)",
         batch_program=_batch_start_sync,
+    ),
+    AlgorithmEntry(
+        name="chang-roberts-sync",
+        kind=SYNC,
+        build=_returning(ChangRobertsSync),
+        description="round-synchronized Chang-Roberts election "
+        "(labeled baseline)",
+        batch_program=_batch_chang_roberts_sync,
     ),
 ):
     register(_entry)

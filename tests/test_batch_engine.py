@@ -103,7 +103,19 @@ class TestValidation:
         )
         assert not supports_batch(async_spec)
 
-    def test_algorithm_without_batch_program_rejected(self):
+    def test_algorithm_without_batch_program_rejected(self, monkeypatch):
+        # Every registered sync algorithm now ships a batch program, so
+        # strip one temporarily to keep the "no batch program" path pinned.
+        import dataclasses
+
+        from repro.runtime import registry as registry_module
+
+        entry = registry_module.algorithm("fig2-input-distribution")
+        monkeypatch.setitem(
+            registry_module._REGISTRY,
+            "fig2-input-distribution",
+            dataclasses.replace(entry, batch_program=None),
+        )
         spec = RunSpec.make(
             engine="sync",  # spec itself is valid on the generator engine
             ring=RingConfiguration.oriented((0, 1, 0)),
@@ -133,6 +145,51 @@ class TestValidation:
 
         with pytest.raises(SimulationError, match="schedule covers"):
             run_batch([_and_spec([1, 1, 1], wakeup=(0, 1))])
+
+
+#: Canonical in-envelope ring/kwargs per batched algorithm.  The
+#: round-trip test below fails loudly when a new batch_program lands
+#: without an entry here — add one and the algorithm is covered.
+_CANONICAL_BATCH_SPECS = {
+    "sync-and": dict(ring=RingConfiguration.oriented((1, 0, 1, 1))),
+    "start-sync": dict(
+        ring=RingConfiguration.oriented((0, 0, 0, 0)), wakeup=(0, 2, 1, 3)
+    ),
+    "fig2-input-distribution": dict(
+        ring=RingConfiguration.oriented((1, 0, 0, 1, 1))
+    ),
+    "fig2-unidirectional": dict(
+        ring=RingConfiguration.oriented((0, 1, 1, 0, 1))
+    ),
+    "quasi-orientation": dict(
+        ring=RingConfiguration(
+            inputs=(0, 0, 0, 0), orientations=(0, 1, 1, 0)
+        )
+    ),
+    "chang-roberts-sync": dict(ring=RingConfiguration.oriented((3, 1, 0, 2))),
+}
+
+
+class TestRegistryRoundTrip:
+    def test_every_batched_entry_round_trips_sync_batch_specs(self):
+        from repro.runtime.registry import registered_algorithms
+
+        batched = [e for e in registered_algorithms() if e.batch_program]
+        assert len(batched) >= 6
+        for entry in batched:
+            kwargs = _CANONICAL_BATCH_SPECS.get(entry.name)
+            assert kwargs is not None, (
+                f"{entry.name} has a batch program but no canonical spec in "
+                "_CANONICAL_BATCH_SPECS; add one so the round-trip test "
+                "covers it"
+            )
+            spec = RunSpec.make(
+                engine="sync-batch", algorithm=entry.name, **kwargs
+            )
+            assert supports_batch(spec), entry.name
+            result = run_batch([spec])[0]
+            reference = execute(spec.with_(engine="sync"))
+            assert pickle.dumps(result) == pickle.dumps(reference), entry.name
 
 
 class TestExecuteDispatch:
@@ -193,4 +250,63 @@ class TestRunnerFastPath:
         other = Runner(jobs=jobs).run_specs(self._mixed_specs())
         assert [pickle.dumps(a) for a in serial] == [
             pickle.dumps(b) for b in other
+        ]
+
+
+class TestMixedTokenAndUnitBatches:
+    """Token-carrying and unit-bits programs sharing one run_specs call.
+
+    The batch engine groups specs per program but shares one call; the
+    Runner must keep submission order and the bytes must not depend on
+    the jobs value or on what else rides in the batch.
+    """
+
+    def _specs(self):
+        return [
+            _and_spec([1, 1, 1, 1, 1, 1]),  # unit-bits, n=6
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration.oriented((1, 0, 0, 1)),
+                algorithm="fig2-input-distribution",  # token, n=4
+            ),
+            _start_spec(9, wakeup=(0, 1, 2, 0, 1, 2, 0, 1, 2)),  # n=9
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration.oriented((4, 2, 0, 1, 3, 6, 5)),
+                algorithm="chang-roberts-sync",  # token, n=7
+            ),
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration(
+                    inputs=(0, 0, 0, 0, 0), orientations=(1, 0, 1, 1, 0)
+                ),
+                algorithm="quasi-orientation",  # token, n=5
+            ),
+            _and_spec([1, 1, 0]),  # unit-bits, n=3
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration.oriented((0, 1, 1, 0, 1, 0, 1, 1)),
+                algorithm="fig2-unidirectional",  # token, n=8
+            ),
+        ]
+
+    def test_submission_order_preserved(self):
+        results = Runner().run_specs(self._specs())
+        assert [r.n for r in results] == [6, 4, 9, 7, 5, 3, 8]
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_bit_identical_to_generator_for_every_jobs(self, jobs):
+        specs = self._specs()
+        results = Runner(jobs=jobs).run_specs(specs)
+        for spec, result in zip(specs, results):
+            reference = execute(spec.with_(engine="sync"))
+            assert pickle.dumps(result) == pickle.dumps(reference)
+
+    def test_batching_context_does_not_change_bytes(self):
+        """Each run is isolated: alone vs in the mixed batch, same bytes."""
+        specs = self._specs()
+        together = Runner().run_specs(specs)
+        alone = [Runner().run_specs([spec])[0] for spec in specs]
+        assert [pickle.dumps(a) for a in together] == [
+            pickle.dumps(b) for b in alone
         ]

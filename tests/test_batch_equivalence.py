@@ -76,6 +76,57 @@ def _start_spec(rng: random.Random) -> RunSpec:
     )
 
 
+def _fig2_spec(rng: random.Random, algorithm: str) -> RunSpec:
+    """Within the batch envelope: oriented ring, plain-int inputs, no wakeup.
+
+    Inputs mix small bits (the realistic case) with negative and huge
+    ints so label accumulation and bit accounting are stressed beyond
+    the int32 lanes the engine uses for everything *except* tokens.
+    """
+    n = rng.randint(2, 10)
+    pool = (0, 1, 1, 0, 2, 7, -3, 2**40)
+    ring = RingConfiguration.oriented(
+        tuple(rng.choice(pool) for _ in range(n))
+    )
+    kwargs = {}
+    if rng.random() < 0.3:
+        kwargs["budget"] = rng.randint(1, 4 * n + 8)  # sometimes starving
+    return RunSpec.make(
+        engine="sync-batch", ring=ring, algorithm=algorithm, **kwargs
+    )
+
+
+def _quasi_spec(rng: random.Random) -> RunSpec:
+    n = rng.randint(2, 10)
+    ring = RingConfiguration(
+        inputs=tuple(rng.randint(0, 1) for _ in range(n)),
+        orientations=tuple(rng.randint(0, 1) for _ in range(n)),
+    )
+    kwargs = {}
+    if rng.random() < 0.3:
+        kwargs["budget"] = rng.randint(1, 4 * n + 8)
+    return RunSpec.make(
+        engine="sync-batch", ring=ring, algorithm="quasi-orientation", **kwargs
+    )
+
+
+def _chang_roberts_spec(rng: random.Random) -> RunSpec:
+    n = rng.randint(2, 10)
+    if rng.random() < 0.4:
+        # Small label pool: duplicates are likely, which is where the
+        # halting/forwarding tie-break logic earns its keep.
+        labels = tuple(rng.randint(0, 3) for _ in range(n))
+    else:
+        labels = tuple(rng.randint(0, 2**30 - 1) for _ in range(n))
+    ring = RingConfiguration.oriented(labels)
+    kwargs = {}
+    if rng.random() < 0.3:
+        kwargs["budget"] = rng.randint(1, 3 * n + 8)
+    return RunSpec.make(
+        engine="sync-batch", ring=ring, algorithm="chang-roberts-sync", **kwargs
+    )
+
+
 class TestSyncAnd:
     @given(st.integers(0, 10_000), st.integers(2, 8))
     @settings(max_examples=40, deadline=None)
@@ -109,6 +160,102 @@ class TestStartSync:
         assert_batch_equivalent([_start_spec(rng) for _ in range(batch)])
 
 
+class TestFig2InputDistribution:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent(
+            [_fig2_spec(rng, "fig2-input-distribution") for _ in range(batch)]
+        )
+
+    def test_exhaustive_small_bit_rings(self):
+        import itertools
+
+        specs = []
+        for n in (2, 3, 4, 5):
+            for inputs in itertools.product((0, 1), repeat=n):
+                specs.append(
+                    RunSpec.make(
+                        engine="sync-batch",
+                        ring=RingConfiguration.oriented(tuple(inputs)),
+                        algorithm="fig2-input-distribution",
+                    )
+                )
+        assert_batch_equivalent(specs)
+
+
+class TestFig2Unidirectional:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent(
+            [_fig2_spec(rng, "fig2-unidirectional") for _ in range(batch)]
+        )
+
+    def test_exhaustive_small_bit_rings(self):
+        import itertools
+
+        specs = []
+        for n in (2, 3, 4, 5):
+            for inputs in itertools.product((0, 1), repeat=n):
+                specs.append(
+                    RunSpec.make(
+                        engine="sync-batch",
+                        ring=RingConfiguration.oriented(tuple(inputs)),
+                        algorithm="fig2-unidirectional",
+                    )
+                )
+        assert_batch_equivalent(specs)
+
+
+class TestQuasiOrientation:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent([_quasi_spec(rng) for _ in range(batch)])
+
+    def test_exhaustive_small_orientation_rings(self):
+        import itertools
+
+        specs = []
+        for n in (2, 3, 4, 5):
+            for orient in itertools.product((0, 1), repeat=n):
+                specs.append(
+                    RunSpec.make(
+                        engine="sync-batch",
+                        ring=RingConfiguration(
+                            inputs=(0,) * n, orientations=tuple(orient)
+                        ),
+                        algorithm="quasi-orientation",
+                    )
+                )
+        assert_batch_equivalent(specs)
+
+
+class TestChangRobertsSync:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches(self, seed, batch):
+        rng = random.Random(seed)
+        assert_batch_equivalent([_chang_roberts_spec(rng) for _ in range(batch)])
+
+    def test_worst_case_decreasing_labels(self):
+        specs = [
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration.oriented(
+                    tuple((n - 1 - i) % n for i in range(n))
+                ),
+                algorithm="chang-roberts-sync",
+            )
+            for n in range(2, 12)
+        ]
+        assert_batch_equivalent(specs)
+
+
 class TestMixedBatches:
     @given(st.integers(0, 10_000))
     @settings(max_examples=25, deadline=None)
@@ -122,6 +269,22 @@ class TestMixedBatches:
         assert_batch_equivalent(specs)
 
     @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_all_programs_one_batch(self, seed):
+        """Token-carrying and unit-bits programs share one batch call."""
+        rng = random.Random(seed)
+        builders = (
+            _and_spec,
+            _start_spec,
+            lambda r: _fig2_spec(r, "fig2-input-distribution"),
+            lambda r: _fig2_spec(r, "fig2-unidirectional"),
+            _quasi_spec,
+            _chang_roberts_spec,
+        )
+        specs = [rng.choice(builders)(rng) for _ in range(rng.randint(3, 8))]
+        assert_batch_equivalent(specs)
+
+    @given(st.integers(0, 10_000))
     @settings(max_examples=15, deadline=None)
     def test_nontermination_parity_at_tight_budgets(self, seed):
         """Every spec starved: errors must match message-for-message."""
@@ -131,3 +294,68 @@ class TestMixedBatches:
             spec = _and_spec(rng) if rng.random() < 0.5 else _start_spec(rng)
             specs.append(spec.with_(budget=rng.randint(1, 3)))
         assert_batch_equivalent(specs)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_token_program_budget_starvation(self, seed):
+        """Starved token-carrying runs raise the generator's exact error."""
+        rng = random.Random(seed)
+        builders = (
+            lambda r: _fig2_spec(r, "fig2-input-distribution"),
+            lambda r: _fig2_spec(r, "fig2-unidirectional"),
+            _quasi_spec,
+            _chang_roberts_spec,
+        )
+        specs = [
+            rng.choice(builders)(rng).with_(budget=rng.randint(1, 4))
+            for _ in range(4)
+        ]
+        assert_batch_equivalent(specs)
+
+
+class TestEnvelopeFallback:
+    """Out-of-envelope specs fall outside ``supports_batch``.
+
+    Two flavors: shapes the generator *does* support (bool inputs —
+    sweep callers downgrade these to ``engine='sync'`` and keep going)
+    and shapes neither engine supports (unoriented rings, staggered
+    wake-ups — the batch envelope mirrors the generator's real limits,
+    so nothing runnable is ever rejected).
+    """
+
+    def test_bool_inputs_fall_back_to_generator(self):
+        from repro.batch import supports_batch
+
+        ring = RingConfiguration.oriented((True, False, True))
+        spec = RunSpec.make(
+            engine="sync-batch", ring=ring, algorithm="fig2-input-distribution"
+        )
+        assert not supports_batch(spec)
+        result = execute(spec.with_(engine="sync"))
+        assert len(result.outputs) == 3
+
+    def test_envelope_mirrors_generator_limits(self):
+        import pytest
+
+        from repro.batch import supports_batch
+        from repro.core.errors import ProtocolError
+
+        unsupported = [
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration(
+                    inputs=(1, 0, 1), orientations=(0, 1, 0)
+                ),
+                algorithm="fig2-input-distribution",
+            ),
+            RunSpec.make(
+                engine="sync-batch",
+                ring=RingConfiguration.oriented((2, 0, 1)),
+                algorithm="chang-roberts-sync",
+                wakeup=(0, 1, 2),
+            ),
+        ]
+        for spec in unsupported:
+            assert not supports_batch(spec)
+            with pytest.raises(ProtocolError):
+                execute(spec.with_(engine="sync"))

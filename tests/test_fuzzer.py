@@ -23,9 +23,12 @@ from repro.faults import (
     ReplayDivergence,
     ReplayScheduler,
     ScheduleTrace,
+    default_sync_targets,
     default_targets,
     run_case,
     run_fuzz,
+    run_sync_corpus,
+    sync_target_by_name,
     target_by_name,
 )
 from repro.faults.report import report_json
@@ -280,3 +283,65 @@ class TestWitnessEvents:
             v["events"] for c in second["campaigns"] for v in c["violations"]
         ]
         assert events_a == events_b
+
+
+class TestSyncCorpus:
+    """The fault-free synchronous corpus rides the batched sweep path."""
+
+    def test_engine_knob_is_invisible_in_the_report(self):
+        """auto (sync-batch where supported) vs forced sync: same bytes."""
+        import json
+
+        auto = run_sync_corpus(seed=11, engine="auto")
+        forced = run_sync_corpus(seed=11, engine="sync")
+        assert json.dumps(auto, sort_keys=True) == json.dumps(
+            forced, sort_keys=True
+        )
+
+    def test_every_default_target_runs_clean(self):
+        report = run_sync_corpus(seed=7)
+        assert report["violations"] == 0
+        assert set(report["targets"]) == {
+            t.name for t in default_sync_targets()
+        }
+        by_target = {c["target"] for c in report["campaigns"]}
+        assert by_target == set(report["targets"])
+        for campaign in report["campaigns"]:
+            assert campaign["ok"] == len(campaign["cases"])
+
+    def test_invariant_checker_catches_wrong_outputs(self):
+        """A deliberately broken checker proves the wiring can fail."""
+        import dataclasses
+
+        target = sync_target_by_name("sync-and")
+        broken = dataclasses.replace(
+            target, check=lambda config, result: "planted mismatch"
+        )
+        report = run_sync_corpus(seed=5, targets=(broken,))
+        assert report["violations"] == report["cases"] > 0
+        violation = report["campaigns"][0]["cases"][0]["violation"]
+        assert violation["kind"] == "invariant"
+        assert violation["detail"] == "planted mismatch"
+        assert "config" in violation
+
+    def test_rejects_unknown_engine(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="'auto' or 'sync'"):
+            run_sync_corpus(seed=1, engine="sync-batch")
+
+    def test_corpus_section_reaches_run_fuzz_report(self):
+        report = run_fuzz(
+            seed=13,
+            targets=(target_by_name("and"),),
+            sizes=(3,),
+            profiles=("none",),
+            cases_per_campaign=1,
+            sync_cases_per_campaign=1,
+        )
+        assert report["totals"]["sync_cases"] > 0
+        assert report["totals"]["sync_violations"] == 0
+        assert set(report["sync_targets"]) == {
+            t.name for t in default_sync_targets()
+        }
+        assert report["sync_campaigns"]
