@@ -14,8 +14,15 @@ Commands:
 * ``trace``   — run one algorithm with event recording on, write the
   JSONL event log + a Perfetto-loadable Chrome trace, and draw the
   space–time diagram from the recorded events.
-* ``cache``   — inspect (``stats``) or clean (``prune``) the on-disk
-  result cache.
+* ``cache``   — inspect (``stats``), clean (``prune``), or migrate
+  (``migrate``, pickle layout → sqlite) the on-disk result cache;
+  ``--backend pickle|sqlite`` picks the store (default: auto-detect).
+* ``serve``   — the asyncio HTTP gateway: accept RunSpec batches over
+  HTTP, answer warm digests from the shared cache, queue cold specs
+  (bounded, 429 on overflow) onto Runner worker processes, stream
+  per-run status + obs events as NDJSON (see docs/serve.md).
+* ``submit``  — client for ``serve``: post a JSON spec file to a
+  gateway and print per-run outcomes.
 
 ``report``/``bench``/``fuzz`` accept ``--metrics PATH`` (sweep telemetry
 as METRICS.json) and ``--progress`` (stderr progress lines); both are
@@ -32,10 +39,12 @@ import time
 
 def _make_runner(args: argparse.Namespace):
     """A Runner honouring ``--jobs``, ``--cache`` / $REPRO_CACHE_DIR, ``--progress``."""
-    from .runtime import ResultCache, Runner, default_cache
+    from .runtime import Runner, default_cache, open_cache
 
     if getattr(args, "cache", None):
-        cache = ResultCache(args.cache)
+        # Auto-detects the layout, so a migrated (sqlite) root keeps
+        # answering report/bench/fuzz without any flag changes.
+        cache = open_cache(args.cache)
     else:
         cache = default_cache()
     return Runner(
@@ -363,31 +372,142 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .runtime import ResultCache, default_cache
+    import os
 
-    cache = ResultCache(args.cache) if args.cache else default_cache()
-    if cache is None:
+    from .runtime import CACHE_DIR_ENV, open_cache
+    from .runtime.cache_sqlite import migrate_pickle_cache
+
+    root = args.cache or os.environ.get(CACHE_DIR_ENV)
+    if not root:
         print(
             "no cache directory: pass --cache DIR or set $REPRO_CACHE_DIR",
             file=sys.stderr,
         )
         return 2
+    if args.action == "migrate":
+        outcome = migrate_pickle_cache(root)
+        print(
+            f"migrated {outcome['migrated']} entries to sqlite "
+            f"({outcome['skipped']} unreadable skipped, "
+            f"{outcome['kept']} already present)"
+        )
+        return 0
+    cache = open_cache(root, args.backend)
     if args.action == "stats":
         stats = cache.stats()
-        print(f"cache root: {stats['root']}")
-        print(f"  entries: {stats['entries']}  bytes: {stats['bytes']}")
+        print(f"cache root: {stats['root']} [{stats['backend']}]")
+        print(
+            f"  entries: {stats['entries']}  bytes: {stats['bytes']}"
+            + (
+                f"  orphaned tmp files: {stats['tmp_files']}"
+                if stats.get("tmp_files")
+                else ""
+            )
+        )
         print(
             f"  lifetime: {stats['lifetime_hits']} hits, "
             f"{stats['lifetime_misses']} misses, "
             f"{stats['lifetime_writes']} writes"
         )
         return 0
-    outcome = cache.prune()
+    if args.max_bytes is not None:
+        from .runtime import SqliteResultCache
+
+        if not isinstance(cache, SqliteResultCache):
+            print("--max-bytes needs the sqlite backend", file=sys.stderr)
+            return 2
+        outcome = cache.prune(max_bytes=args.max_bytes)
+    else:
+        outcome = cache.prune()
+    extras = []
+    if outcome.get("tmp_removed"):
+        extras.append(f"{outcome['tmp_removed']} orphaned tmp files")
+    if outcome.get("evicted"):
+        extras.append(f"{outcome['evicted']} LRU-evicted")
+    suffix = f" (incl. {', '.join(extras)})" if extras else ""
     print(
-        f"pruned {outcome['removed']} stale entries "
+        f"pruned {outcome['removed']} stale entries{suffix} "
         f"({outcome['freed_bytes']} bytes); {outcome['kept']} kept"
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import open_cache
+    from .serve.app import run_server
+
+    cache = open_cache(args.cache, args.backend) if args.cache else None
+    if cache is None:
+        import os
+
+        from .runtime import CACHE_DIR_ENV
+
+        root = os.environ.get(CACHE_DIR_ENV)
+        if root:
+            cache = open_cache(root, args.backend)
+
+    def ready(server, _gateway) -> None:
+        # Machine-readable readiness line (the CI smoke parses the url).
+        print(f"serving on {server.url}", flush=True)
+        print(
+            f"  jobs={args.jobs} queue_limit={args.queue_limit} "
+            f"cache={'none' if cache is None else cache.stats()['root']}",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                queue_limit=args.queue_limit,
+                chunk=args.chunk,
+                cache=cache,
+                on_ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("gateway stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .runtime import RunSpec
+    from .serve.client import ServeClientError, ServerQueueFull, submit_specs
+
+    payload = json.loads(Path(args.specs).read_text())
+    if isinstance(payload, dict):
+        payload = payload.get("specs", [])
+    specs = [RunSpec.from_json_dict(data) for data in payload]
+    try:
+        outcomes = submit_specs(args.url, specs, timeout=args.timeout)
+    except ServerQueueFull as exc:
+        print(f"rejected: {exc} (retry after {exc.retry_after}s)", file=sys.stderr)
+        return 3
+    except (ServeClientError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    failed = 0
+    for outcome in outcomes:
+        if outcome.ok:
+            summary = outcome.result.stats
+            print(
+                f"run {outcome.index} [{outcome.status}] {outcome.digest[:16]}: "
+                f"{summary.messages} messages, {summary.bits} bits"
+                + (f", {len(outcome.events)} events" if outcome.events else "")
+            )
+        else:
+            failed += 1
+            print(
+                f"run {outcome.index} [error] {outcome.digest[:16]}: {outcome.error}"
+            )
+    print(f"{len(outcomes) - failed}/{len(outcomes)} runs ok", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -542,15 +662,91 @@ def main(argv=None) -> int:
         help="skip the ASCII space-time diagram",
     )
     trace.set_defaults(fn=_cmd_trace)
-    cache = sub.add_parser("cache", help="inspect or clean the result cache")
-    cache.add_argument("action", choices=("stats", "prune"))
+    cache = sub.add_parser(
+        "cache", help="inspect, clean, or migrate the result cache"
+    )
+    cache.add_argument("action", choices=("stats", "prune", "migrate"))
     cache.add_argument(
         "--cache",
         default=None,
         metavar="DIR",
         help="cache directory (default: $REPRO_CACHE_DIR)",
     )
+    cache.add_argument(
+        "--backend",
+        choices=("auto", "pickle", "sqlite"),
+        default="auto",
+        help="cache store: pickle-per-file directory or sqlite database "
+        "(auto: sqlite when the root holds cache.sqlite)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with prune + the sqlite backend: also evict least-recently-"
+        "used entries until the store fits N bytes",
+    )
     cache.set_defaults(fn=_cmd_cache)
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP gateway: RunSpec batches in, cached/queued results out "
+        "(NDJSON streaming; see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="worker processes draining the queue"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max cold specs queued or running; beyond it submissions get "
+        "429 + Retry-After",
+    )
+    serve.add_argument(
+        "--chunk",
+        type=int,
+        default=16,
+        help="max jobs per runner batch when draining the queue",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="shared result cache (default: $REPRO_CACHE_DIR if set, else "
+        "no cache — every spec runs cold)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "pickle", "sqlite"),
+        default="auto",
+        help="cache backend (auto-detected from the root by default)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+    submit = sub.add_parser(
+        "submit", help="post a JSON spec batch to a running gateway"
+    )
+    submit.add_argument(
+        "specs",
+        help='JSON file: a list of RunSpec objects, or {"specs": [...]} '
+        "(the to_json_dict format; see docs/serve.md)",
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="gateway base url (default http://127.0.0.1:8642)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="overall response timeout in seconds",
+    )
+    submit.set_defaults(fn=_cmd_submit)
     args = parser.parse_args(argv)
     return args.fn(args)
 

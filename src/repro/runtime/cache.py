@@ -33,12 +33,86 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Protocol, Tuple, runtime_checkable
+
+from ..core.errors import ConfigurationError
 
 #: Environment variable consulted by the CLI for a default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable selecting the default backend (``pickle``/``sqlite``).
+CACHE_BACKEND_ENV = "REPRO_CACHE_BACKEND"
+
+#: Backend names :func:`open_cache` resolves.
+CACHE_BACKENDS = ("pickle", "sqlite")
+
+#: Everything a truncated, garbage, or half-written pickle can raise.
+#:
+#: ``pickle.load`` on corrupt bytes is not limited to
+#: :class:`pickle.UnpicklingError`: a truncated stream raises
+#: :class:`EOFError`, a garbage opcode argument raises :class:`ValueError`
+#: or :class:`struct.error`, a memo reference into nowhere raises
+#: :class:`IndexError` or :class:`KeyError`, and a stale class path (an
+#: entry written by renamed code) raises :class:`AttributeError`,
+#: :class:`ImportError` or :class:`ModuleNotFoundError`.  Any of these
+#: means "this entry is unreadable", which the cache contract defines as
+#: a miss — never a crash of the sweep that happened to look it up.
+CORRUPT_ENTRY_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    OverflowError,
+    struct.error,
+    MemoryError,
+)
+
+#: ``prune`` leaves ``*.tmp`` files younger than this alone: they may be
+#: a concurrent worker's in-flight atomic write, not an orphan.
+TMP_GRACE_SECONDS = 60.0
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What every result-cache backend provides.
+
+    Extracted from :class:`ResultCache` so alternative stores (the
+    sqlite backend in :mod:`repro.runtime.cache_sqlite`) can slot into
+    :class:`~repro.runtime.runner.Runner` and the CLI unchanged.  The
+    contract, shared by all implementations:
+
+    * ``get`` never raises on a corrupt, truncated, or foreign entry —
+      unreadable means miss (see :data:`CORRUPT_ENTRY_ERRORS`);
+    * ``put`` is atomic with respect to concurrent readers and safe
+      under concurrent writers of the same key (last writer wins);
+    * ``hits``/``misses``/``writes`` are per-instance counters and
+      ``flush_counters`` folds them into per-root lifetime totals;
+    * ``stats``/``prune`` report and maintain the store without ever
+      removing a live current-version entry.
+    """
+
+    hits: int
+    misses: int
+    writes: int
+
+    def get(self, key: str) -> Tuple[bool, Any]: ...
+
+    def put(self, key: str, value: Any) -> None: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    def prune(self) -> Dict[str, int]: ...
+
+    def flush_counters(self) -> None: ...
 
 _code_version: Optional[str] = None
 
@@ -98,7 +172,7 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 entry = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except CORRUPT_ENTRY_ERRORS:
             self.misses += 1
             return False, None
         # Entries not in the wrapper format (pre-wrapper caches, foreign
@@ -140,6 +214,21 @@ class ResultCache:
                 continue
             yield from sorted(shard.glob("*.pkl"))
 
+    def _tmp_files(self) -> Iterator[Path]:
+        """Yield every ``*.tmp`` under the root (shards and the root itself).
+
+        A worker killed mid-:meth:`put` (SIGKILL skips the cleanup
+        handler) leaves its ``mkstemp`` file behind; :meth:`flush_counters`
+        can leave one at the root the same way.  They are invisible to
+        :meth:`_entries` by design — this is the sweep that finds them.
+        """
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.tmp"))
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.tmp"))
+
     def stats(self) -> Dict[str, Any]:
         """Entry count, total bytes, and lifetime + in-process counters.
 
@@ -155,10 +244,19 @@ class ResultCache:
                 size += path.stat().st_size
             except OSError:
                 continue
+        tmp_files = 0
+        for path in self._tmp_files():
+            tmp_files += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
         persisted = self._read_counters()
         return {
             "root": str(self.root),
+            "backend": "pickle",
             "entries": entries,
+            "tmp_files": tmp_files,
             "bytes": size,
             "hits": self.hits,
             "misses": self.misses,
@@ -172,23 +270,27 @@ class ResultCache:
             - self._flushed["writes"],
         }
 
-    def prune(self) -> Dict[str, int]:
+    def prune(self, tmp_grace_seconds: float = TMP_GRACE_SECONDS) -> Dict[str, int]:
         """Remove entries whose stored code version is not the current one.
 
         Such entries can never be hit again — every lookup key mixes in
         the current :func:`code_version` — so removing them only frees
         disk.  Unreadable or non-wrapper files are stale by definition
-        and removed too.  Returns ``{"removed": ..., "kept": ...,
-        "freed_bytes": ...}``.
+        and removed too, and so are orphaned ``*.tmp`` files older than
+        ``tmp_grace_seconds`` (the leftovers of writers killed mid-write;
+        younger ones are spared because they may be a concurrent worker's
+        in-flight atomic write).  Returns ``{"removed": ..., "kept": ...,
+        "freed_bytes": ..., "tmp_removed": ...}``; ``removed`` includes
+        the swept tmp files.
         """
         current = code_version()
-        removed = kept = freed = 0
+        removed = kept = freed = tmp_removed = 0
         for path in list(self._entries()):
             stale = False
             try:
                 with path.open("rb") as handle:
                     entry = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            except CORRUPT_ENTRY_ERRORS:
                 stale = True
             else:
                 stale = (
@@ -207,7 +309,27 @@ class ResultCache:
                 continue
             removed += 1
             freed += size
-        return {"removed": removed, "kept": kept, "freed_bytes": freed}
+        cutoff = time.time() - tmp_grace_seconds
+        for path in list(self._tmp_files()):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            if status.st_mtime > cutoff:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            tmp_removed += 1
+            freed += status.st_size
+        return {
+            "removed": removed,
+            "kept": kept,
+            "freed_bytes": freed,
+            "tmp_removed": tmp_removed,
+        }
 
     def _counters_path(self) -> Path:
         return self.root / COUNTERS_FILE
@@ -263,7 +385,39 @@ class ResultCache:
         )
 
 
-def default_cache() -> Optional[ResultCache]:
-    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` when unset."""
+#: Filename of the sqlite backend's database inside a cache root —
+#: doubles as the marker :func:`open_cache` auto-detects a backend by.
+SQLITE_DB_NAME = "cache.sqlite"
+
+
+def open_cache(root: os.PathLike, backend: Optional[str] = None) -> CacheBackend:
+    """Open the cache at ``root`` with the named (or detected) backend.
+
+    ``backend=None`` (or ``"auto"``) picks sqlite when the root already
+    holds a ``cache.sqlite`` database and the pickle-per-file layout
+    otherwise, so existing caches keep working untouched and migrated
+    roots are picked up automatically.
+    """
+    if backend in (None, "auto"):
+        backend = "sqlite" if (Path(root) / SQLITE_DB_NAME).exists() else "pickle"
+    if backend == "pickle":
+        return ResultCache(root)
+    if backend == "sqlite":
+        from .cache_sqlite import SqliteResultCache
+
+        return SqliteResultCache(root)
+    raise ConfigurationError(
+        f"unknown cache backend {backend!r}; choose from {CACHE_BACKENDS}"
+    )
+
+
+def default_cache() -> Optional[CacheBackend]:
+    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` when unset.
+
+    ``$REPRO_CACHE_BACKEND`` (``pickle``/``sqlite``) forces a backend;
+    unset, the backend is auto-detected from the root's layout.
+    """
     root = os.environ.get(CACHE_DIR_ENV)
-    return ResultCache(root) if root else None
+    if not root:
+        return None
+    return open_cache(root, os.environ.get(CACHE_BACKEND_ENV) or None)

@@ -1,0 +1,372 @@
+"""Concurrent-safe sqlite result-cache backend.
+
+The pickle-per-file :class:`~repro.runtime.cache.ResultCache` is perfect
+for a single host's pool workers: atomic renames need no locks.  A
+*service* (``python -m repro serve``) has different needs — thousands of
+tiny entries, cheap ``stats``, an eviction policy, and many readers plus
+concurrent writers hammering one root.  :class:`SqliteResultCache` keeps
+the exact :class:`~repro.runtime.cache.CacheBackend` contract on top of
+one WAL-mode sqlite database:
+
+* **Keys and versioning are unchanged** — entries are keyed by the same
+  ``spec.digest()`` / ``task_digest()`` strings, which already mix in
+  :func:`~repro.runtime.cache.code_version`; the producing version is
+  stored per row (the analogue of the pickle wrapper tuple) so ``prune``
+  can drop entries from older code without knowing their keys.
+* **Concurrency** — WAL mode lets readers proceed under a writer; every
+  write is a single short transaction serialized by sqlite's own lock
+  (with a generous busy timeout), so "atomic put, last writer wins"
+  holds across processes, threads, and machines sharing a filesystem
+  that supports POSIX locks.
+* **Corrupt-entry-is-a-miss** — a garbage blob (or a torn database) is
+  reported as a miss exactly like a corrupt pickle file, never an
+  exception out of :meth:`get` (see
+  :data:`~repro.runtime.cache.CORRUPT_ENTRY_ERRORS`).
+* **Lifetime counters are race-free** — the pickle backend's
+  ``counters.json`` read-modify-write can lose concurrent increments;
+  here :meth:`flush_counters` is one ``UPDATE`` transaction, so the
+  lifetime totals are exact however many processes flush.
+* **LRU-ish eviction** — every hit bumps the row's ``last_access``;
+  :meth:`prune` can additionally evict least-recently-used entries down
+  to a byte budget (``max_bytes``), which a pile of pickle files cannot
+  do cheaply.
+
+:func:`migrate_pickle_cache` moves an existing directory-layout cache
+into the database in place; ``python -m repro cache migrate`` is the CLI
+entry point.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .cache import (
+    CORRUPT_ENTRY_ERRORS,
+    SQLITE_DB_NAME,
+    _ENTRY_MARKER,
+    ResultCache,
+    code_version,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key TEXT PRIMARY KEY,
+    version TEXT NOT NULL,
+    value BLOB NOT NULL,
+    nbytes INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    last_access REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS entries_last_access ON entries(last_access);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+#: How long a writer waits on sqlite's lock before giving up (seconds).
+BUSY_TIMEOUT = 30.0
+
+
+class SqliteResultCache:
+    """A :class:`~repro.runtime.cache.CacheBackend` over one WAL database.
+
+    Drop-in for :class:`~repro.runtime.cache.ResultCache`: same keys,
+    same miss semantics, same ``stats``/``prune``/``flush_counters``
+    surface (plus ``prune(max_bytes=...)`` for LRU eviction).  Safe to
+    share one root between processes; each process/thread lazily opens
+    its own connection (connections never survive a ``fork``).
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._flushed = {"hits": 0, "misses": 0, "writes": 0}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    @property
+    def db_path(self) -> Path:
+        return self.root / SQLITE_DB_NAME
+
+    def _connect(self) -> sqlite3.Connection:
+        """This thread's connection, (re)opened after a fork.
+
+        ``threading.local`` keys the connection by thread; the stored
+        pid guards against inheriting a parent's connection across
+        ``fork`` (sqlite connections must not cross processes).
+        """
+        conn: Optional[sqlite3.Connection] = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) == os.getpid():
+            return conn
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.db_path, timeout=BUSY_TIMEOUT)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        with conn:
+            conn.executescript(_SCHEMA)
+        self._local.conn = conn
+        self._local.pid = os.getpid()
+        return conn
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_local"] = None  # connections never cross pickling
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # The CacheBackend surface
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        try:
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT value FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            self.misses += 1
+            return False, None
+        if row is None:
+            self.misses += 1
+            return False, None
+        try:
+            value = pickle.loads(row[0])
+        except CORRUPT_ENTRY_ERRORS:
+            # Corrupt blob: a miss, and the row is dead weight — drop it
+            # best-effort so the slot is rewritten cleanly.
+            try:
+                with conn:
+                    conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+            except sqlite3.Error:
+                pass
+            self.misses += 1
+            return False, None
+        try:
+            with conn:
+                conn.execute(
+                    "UPDATE entries SET last_access = ? WHERE key = ?",
+                    (time.time(), key),
+                )
+        except sqlite3.Error:
+            pass  # LRU bookkeeping is advisory; the hit stands
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store in one transaction; concurrent writers of a key both win."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        now = time.time()
+        conn = self._connect()
+        with conn:
+            conn.execute(
+                "INSERT INTO entries (key, version, value, nbytes, created_at,"
+                " last_access) VALUES (?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET version = excluded.version,"
+                " value = excluded.value, nbytes = excluded.nbytes,"
+                " last_access = excluded.last_access",
+                (key, code_version(), blob, len(blob), now, now),
+            )
+        self.writes += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Same shape as the pickle backend's :meth:`stats` (backend-tagged)."""
+        entries = 0
+        size = 0
+        try:
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+            ).fetchone()
+            entries, size = int(row[0]), int(row[1])
+        except sqlite3.Error:
+            pass
+        persisted = self._read_counters()
+        return {
+            "root": str(self.root),
+            "backend": "sqlite",
+            "entries": entries,
+            "tmp_files": 0,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "lifetime_hits": persisted.get("hits", 0) + self.hits - self._flushed["hits"],
+            "lifetime_misses": persisted.get("misses", 0)
+            + self.misses
+            - self._flushed["misses"],
+            "lifetime_writes": persisted.get("writes", 0)
+            + self.writes
+            - self._flushed["writes"],
+        }
+
+    def prune(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Drop stale-version entries; optionally evict LRU to a byte budget.
+
+        Stale entries (``version != code_version()``) can never be hit
+        again and always go.  With ``max_bytes`` set, least-recently-used
+        current entries are then evicted until the stored bytes fit the
+        budget.  Returns ``{"removed", "kept", "freed_bytes",
+        "evicted"}``; ``removed`` includes the evicted entries.
+        """
+        current = code_version()
+        conn = self._connect()
+        removed = freed = evicted = 0
+        with conn:
+            row = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+                " WHERE version != ?",
+                (current,),
+            ).fetchone()
+            removed, freed = int(row[0]), int(row[1])
+            conn.execute("DELETE FROM entries WHERE version != ?", (current,))
+            if max_bytes is not None:
+                total = int(
+                    conn.execute(
+                        "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+                    ).fetchone()[0]
+                )
+                if total > max_bytes:
+                    for key, nbytes in conn.execute(
+                        "SELECT key, nbytes FROM entries ORDER BY last_access, key"
+                    ):
+                        conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                        total -= int(nbytes)
+                        freed += int(nbytes)
+                        evicted += 1
+                        if total <= max_bytes:
+                            break
+            kept = int(conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+        return {
+            "removed": removed + evicted,
+            "kept": kept,
+            "freed_bytes": freed,
+            "evicted": evicted,
+        }
+
+    def _read_counters(self) -> Dict[str, int]:
+        try:
+            conn = self._connect()
+            rows = conn.execute("SELECT name, value FROM counters").fetchall()
+        except sqlite3.Error:
+            return {}
+        return {str(name): int(value) for name, value in rows}
+
+    def flush_counters(self) -> None:
+        """Fold unflushed counter increments into the database — exactly.
+
+        One transaction per flush: unlike the pickle backend's
+        read-modify-write of ``counters.json``, concurrent flushers
+        cannot lose each other's increments, so lifetime totals across
+        any number of processes are precise, not just advisory.
+        """
+        deltas = {
+            "hits": self.hits - self._flushed["hits"],
+            "misses": self.misses - self._flushed["misses"],
+            "writes": self.writes - self._flushed["writes"],
+        }
+        if not any(deltas.values()):
+            return
+        conn = self._connect()
+        with conn:
+            for name, delta in deltas.items():
+                if delta:
+                    conn.execute(
+                        "INSERT INTO counters (name, value) VALUES (?, ?)"
+                        " ON CONFLICT(name) DO UPDATE SET"
+                        " value = value + excluded.value",
+                        (name, delta),
+                    )
+        self._flushed = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SqliteResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+
+def migrate_pickle_cache(
+    root: os.PathLike, destination: Optional[os.PathLike] = None
+) -> Dict[str, int]:
+    """Copy a pickle-per-file cache into a sqlite database, in place.
+
+    Reads every readable wrapper entry under ``root`` (the
+    :class:`~repro.runtime.cache.ResultCache` layout), inserts it into
+    the sqlite cache at ``destination`` (default: the same root) keeping
+    its stored code version, and folds the old ``counters.json`` into
+    the database's lifetime counters.  Existing database rows win over
+    pickle files with the same key (the database is assumed fresher);
+    unreadable or non-wrapper files are skipped and left on disk for
+    ``prune`` to sweep.  The pickle files themselves are not deleted —
+    the caller decides when to retire the old layout.  Returns
+    ``{"migrated", "skipped", "kept"}``.
+    """
+    source = ResultCache(root)
+    target = SqliteResultCache(destination if destination is not None else root)
+    migrated = skipped = kept = 0
+    conn = target._connect()
+    for path in source._entries():
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except CORRUPT_ENTRY_ERRORS:
+            skipped += 1
+            continue
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 3
+            or entry[0] != _ENTRY_MARKER
+        ):
+            skipped += 1
+            continue
+        blob = pickle.dumps(entry[2], protocol=pickle.HIGHEST_PROTOCOL)
+        now = time.time()
+        with conn:
+            inserted = conn.execute(
+                "INSERT INTO entries (key, version, value, nbytes, created_at,"
+                " last_access) VALUES (?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(key) DO NOTHING",
+                (path.stem, entry[1], blob, len(blob), now, now),
+            ).rowcount
+        if inserted:
+            migrated += 1
+        else:
+            kept += 1
+    legacy = source._read_counters()
+    if legacy:
+        with conn:
+            for name in ("hits", "misses", "writes"):
+                delta = int(legacy.get(name, 0))
+                if delta:
+                    conn.execute(
+                        "INSERT INTO counters (name, value) VALUES (?, ?)"
+                        " ON CONFLICT(name) DO UPDATE SET"
+                        " value = value + excluded.value",
+                        (name, delta),
+                    )
+        try:
+            source._counters_path().unlink()
+        except OSError:
+            pass
+    return {"migrated": migrated, "skipped": skipped, "kept": kept}

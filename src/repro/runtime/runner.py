@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ConfigurationError
 from ..core.tracing import RunResult
-from .cache import ResultCache, code_version
+from .cache import CacheBackend, code_version
 from .spec import RunSpec
 
 _SEED_SPAN = 2**63
@@ -193,7 +193,7 @@ class Runner:
     """
 
     jobs: int = 1
-    cache: Optional[ResultCache] = None
+    cache: Optional[CacheBackend] = None
     progress: bool = False
     executed: int = field(default=0, compare=False)
     batches: List[Dict[str, Any]] = field(default_factory=list, compare=False)
@@ -232,41 +232,51 @@ class Runner:
 
         deduped = len(fanout)
         task_seconds = 0.0
+        completed = 0
+        error: Optional[BaseException] = None
         if pending:
             reporter = (
                 _Progress(len(calls), cached + deduped, self.jobs)
                 if self.progress
                 else None
             )
-            if self.jobs > 1 and len(pending) > 1:
-                outcomes = self._map_pool([call for _, call in pending], reporter)
-            else:
-                outcomes = []
-                for _, call in pending:
-                    outcome = invoke_timed(call)
-                    outcomes.append(outcome)
-                    if reporter is not None:
-                        reporter.advance(outcome[0])
-            self.executed += len(pending)
-            for (index, call), (seconds, value) in zip(pending, outcomes):
-                task_seconds += seconds
-                results[index] = value
-                if self.cache is not None and call.cache_key is not None:
-                    self.cache.put(call.cache_key, value)
+            # Results are stored — and cached — as outcomes arrive, not
+            # after the whole batch: a task that fails mid-batch must not
+            # discard the completed work before it (a retry would
+            # re-execute results that were already in hand).  On an
+            # error, the partial batch is still recorded (with an
+            # ``"error"`` field) before re-raising, so telemetry never
+            # under-counts a batch that half-happened.
+            try:
+                for (index, call), (seconds, value) in zip(
+                    pending, self._outcomes([call for _, call in pending], reporter)
+                ):
+                    task_seconds += seconds
+                    results[index] = value
+                    completed += 1
+                    if self.cache is not None and call.cache_key is not None:
+                        self.cache.put(call.cache_key, value)
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+                error = exc
         elif self.progress and calls:
             _Progress(len(calls), cached + deduped, self.jobs)
+        # The erroring task itself did execute (it ran and raised).
+        executed = completed + (1 if error is not None else 0)
+        self.executed += executed
         for index, owner in fanout:
             results[index] = results[owner]
 
         wall = time.perf_counter() - started
         batch: Dict[str, Any] = {
             "tasks": len(calls),
-            "executed": len(pending),
+            "executed": executed,
             "cache_hits": cached,
             "deduped": deduped,
             "wall_seconds": wall,
             "task_seconds": task_seconds,
         }
+        if error is not None:
+            batch["error"] = repr(error)
         if self.cache is not None:
             batch["cache"] = {
                 "hits": self.cache.hits - counters_before[0],
@@ -275,25 +285,46 @@ class Runner:
             }
             self.cache.flush_counters()
         self.batches.append(batch)
+        if error is not None:
+            if completed < len(pending):
+                # Which submitted call failed — pending is consumed in
+                # order, so it is the first not-yet-completed one.
+                # run_specs uses this to raise the earliest-submitted
+                # error across the batched/non-batched split.
+                try:
+                    error._repro_call_index = pending[completed][0]  # type: ignore[attr-defined]
+                except (AttributeError, TypeError):  # pragma: no cover - exotic exc
+                    pass
+            raise error
         return results
+
+    def _outcomes(self, calls, reporter):
+        """Yield ``(seconds, value)`` per call as each completes, in order."""
+        if self.jobs > 1 and len(calls) > 1:
+            yield from self._map_pool(calls, reporter)
+            return
+        for call in calls:
+            outcome = invoke_timed(call)
+            if reporter is not None:
+                reporter.advance(outcome[0])
+            yield outcome
 
     def _map_pool(
         self, calls: List[TaskCall], reporter: Optional["_Progress"] = None
-    ) -> List[Tuple[float, Any]]:
+    ):
         import multiprocessing
 
         # ``pool.imap`` preserves submission order whatever the completion
         # order, which is half of the determinism contract (the other
         # half is that every task is a pure function of its arguments);
         # unlike ``pool.map`` it yields results as the head of the line
-        # finishes, which is what lets progress report mid-batch.
+        # finishes, which is what lets progress report mid-batch and lets
+        # :meth:`map` cache each result the moment it lands.
         with multiprocessing.Pool(processes=self.jobs) as pool:
-            outcomes: List[Tuple[float, Any]] = []
             for outcome in pool.imap(invoke_timed, calls, chunksize=1):
-                outcomes.append(outcome)
                 if reporter is not None:
                     reporter.advance(outcome[0])
-            return outcomes
+                yield outcome
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Aggregate sweep telemetry as a JSON-able dict.
@@ -348,6 +379,11 @@ class Runner:
         program stepping every run together) instead of one task each.
         Results are byte-identical to the per-spec path, cached under the
         same digests, and come back in submission order either way.
+
+        On failures the earliest-submitted spec's error is raised, even
+        when the failures straddle the batched/non-batched split: both
+        halves run to completion (so every completed result still lands
+        in the cache) before the winner is chosen by submission index.
         """
         specs = list(specs)
         batched = [index for index, spec in enumerate(specs) if spec.engine == "sync-batch"]
@@ -355,12 +391,23 @@ class Runner:
             return self.map(self._spec_calls(specs))
         results: List[Any] = [None] * len(specs)
         rest = [(index, spec) for index, spec in enumerate(specs) if spec.engine != "sync-batch"]
+        errors: List[Tuple[int, BaseException]] = []
         if rest:
-            for (index, _), value in zip(
-                rest, self.map(self._spec_calls([spec for _, spec in rest]))
-            ):
-                results[index] = value
-        self._run_batched([(index, specs[index]) for index in batched], results)
+            try:
+                values = self.map(self._spec_calls([spec for _, spec in rest]))
+            except Exception as exc:
+                call_index = getattr(exc, "_repro_call_index", 0)
+                errors.append((rest[call_index][0], exc))
+            else:
+                for (index, _), value in zip(rest, values):
+                    results[index] = value
+        failure = self._run_batched(
+            [(index, specs[index]) for index in batched], results
+        )
+        if failure is not None:
+            errors.append(failure)
+        if errors:
+            raise min(errors, key=lambda item: item[0])[1]
         return results
 
     def _spec_calls(self, specs: Sequence[RunSpec]) -> List[TaskCall]:
@@ -375,15 +422,18 @@ class Runner:
 
     def _run_batched(
         self, items: Sequence[Tuple[int, RunSpec]], results: List[Any]
-    ) -> None:
+    ) -> Optional[Tuple[int, BaseException]]:
         """Run ``sync-batch`` specs as grouped array programs.
 
         Mirrors :meth:`map`'s cache protocol and telemetry exactly: get
         before dispatch, put after, dedupe identical digests within the
         batch, keep ``executed`` truthful (one per spec actually run —
         the vectorized call is an implementation detail, not a task
-        count).  On a per-run failure the earliest submitted error is
-        raised, as the per-spec path would.
+        count).  On per-run failures the earliest submitted error is
+        returned as ``(submission_index, error)`` — not raised — so
+        :meth:`run_specs` can weigh it against the non-batch half's
+        error and raise whichever spec was submitted first.  Successful
+        runs of a failing batch are stored in the cache regardless.
         """
         from ..batch.engine import run_batch_outcomes
 
@@ -412,14 +462,14 @@ class Runner:
                 owner_of[key] = index
             pending.append((index, spec, key))
 
-        error: Optional[BaseException] = None
+        failure: Optional[Tuple[int, BaseException]] = None
         if pending:
             outcomes = run_batch_outcomes([spec for _, spec, _ in pending])
             self.executed += len(pending)
             for (index, spec, key), outcome in zip(pending, outcomes):
                 if isinstance(outcome, BaseException):
-                    if error is None:
-                        error = outcome
+                    if failure is None:
+                        failure = (index, outcome)
                     continue
                 results[index] = outcome
                 if key is not None:
@@ -436,6 +486,8 @@ class Runner:
             "wall_seconds": wall,
             "task_seconds": wall if pending else 0.0,
         }
+        if failure is not None:
+            batch["error"] = repr(failure[1])
         if self.cache is not None:
             batch["cache"] = {
                 "hits": self.cache.hits - counters_before[0],
@@ -444,8 +496,7 @@ class Runner:
             }
             self.cache.flush_counters()
         self.batches.append(batch)
-        if error is not None:
-            raise error
+        return failure
 
     def run_sweep(self, sweep: Sweep) -> List[RunResult]:
         return self.run_specs(sweep.specs)

@@ -214,6 +214,121 @@ class RunSpec:
             hasher.update(b"\n")
         return hasher.hexdigest()
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """This spec as plain JSON-able data (the gateway wire format).
+
+        The inverse of :meth:`from_json_dict`: the round trip preserves
+        equality and therefore :meth:`digest`.  Ring inputs and params
+        values go through a strict tagged encoding (JSON scalars pass
+        through, tuples become ``{"__t__": "tuple", "v": [...]}``);
+        anything that would not survive the round trip bit-for-bit is
+        rejected rather than silently degraded — a spec that decodes to
+        a different digest would poison the shared cache.
+        """
+        return {
+            "engine": self.engine,
+            "ring": {
+                "inputs": [_encode_json(value) for value in self.ring.inputs],
+                "orientations": list(self.ring.orientations),
+            },
+            "algorithm": self.algorithm,
+            "params": [[key, _encode_json(value)] for key, value in self.params],
+            "scheduler": self.scheduler,
+            "scheduler_seed": self.scheduler_seed,
+            "delay_bound": self.delay_bound,
+            "fault_profile": self.fault_profile,
+            "fault_seed": self.fault_seed,
+            "fault_horizon": self.fault_horizon,
+            "wakeup": list(self.wakeup) if self.wakeup is not None else None,
+            "budget": self.budget,
+            "keep_log": self.keep_log,
+            "record": self.record,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output.
+
+        Validates eagerly (unknown keys, malformed rings, non-decodable
+        values all raise :class:`~repro.core.errors.ConfigurationError`)
+        so a gateway can turn a bad submission into a 400 instead of a
+        worker crash.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"spec must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown RunSpec fields {unknown}")
+        for required in ("engine", "ring", "algorithm"):
+            if required not in data:
+                raise ConfigurationError(f"spec is missing the {required!r} field")
+        ring_data = data["ring"]
+        if (
+            not isinstance(ring_data, Mapping)
+            or "inputs" not in ring_data
+            or "orientations" not in ring_data
+            or set(ring_data) - {"inputs", "orientations"}
+        ):
+            raise ConfigurationError(
+                "spec 'ring' must be an object with exactly "
+                "'inputs' and 'orientations'"
+            )
+        ring = RingConfiguration(
+            tuple(_decode_json(value) for value in ring_data["inputs"]),
+            tuple(int(bit) for bit in ring_data["orientations"]),
+        )
+        raw_params = data.get("params") or ()
+        try:
+            params = tuple((str(key), _decode_json(value)) for key, value in raw_params)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                "spec 'params' must be a list of [key, value] pairs"
+            ) from None
+        wakeup = data.get("wakeup")
+        return cls(
+            engine=str(data["engine"]),
+            ring=ring,
+            algorithm=str(data["algorithm"]),
+            params=params,
+            scheduler=data.get("scheduler"),
+            scheduler_seed=data.get("scheduler_seed"),
+            delay_bound=data.get("delay_bound", 8),
+            fault_profile=data.get("fault_profile"),
+            fault_seed=data.get("fault_seed"),
+            fault_horizon=data.get("fault_horizon"),
+            wakeup=tuple(int(cycle) for cycle in wakeup) if wakeup is not None else None,
+            budget=data.get("budget"),
+            keep_log=bool(data.get("keep_log", False)),
+            record=bool(data.get("record", False)),
+        )
+
+
+def _encode_json(value: Any) -> Any:
+    """Strictly encode a ring input / param value for JSON transport."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__t__": "tuple", "v": [_encode_json(item) for item in value]}
+    raise ConfigurationError(
+        f"value {value!r} ({type(value).__name__}) is not JSON-transportable; "
+        "spec inputs/params must be scalars or (nested) tuples of scalars"
+    )
+
+
+def _decode_json(value: Any) -> Any:
+    """Invert :func:`_encode_json`; reject shapes it never produces."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        if value.get("__t__") == "tuple" and isinstance(value.get("v"), list):
+            return tuple(_decode_json(item) for item in value["v"])
+        raise ConfigurationError(f"undecodable tagged value {value!r}")
+    raise ConfigurationError(
+        f"undecodable value {value!r}; tuples must use the "
+        '{"__t__": "tuple", "v": [...]} tagging'
+    )
+
 
 def build_scheduler(spec: RunSpec) -> Any:
     """Instantiate the spec's scheduler (async engine only)."""

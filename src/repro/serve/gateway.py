@@ -1,0 +1,261 @@
+"""The gateway core: warm answers, a bounded cold queue, a Runner drain.
+
+The data path, independent of HTTP:
+
+1. :meth:`Gateway.submit` digests every spec of a batch, answers warm
+   digests straight from the shared cache (no execution, no queueing),
+   dedupes identical cold digests within the batch, and enqueues the
+   rest — or raises :class:`QueueFull` when the bounded queue cannot
+   take them (the HTTP layer turns that into ``429 Retry-After``).
+2. A single drainer task pops queued jobs in chunks and hands each chunk
+   to the existing :class:`~repro.runtime.runner.Runner` on an executor
+   thread; the runner fans the chunk over its worker processes exactly
+   like any local sweep (same determinism contract, same telemetry).
+3. Completed results are stored in the cache under their spec digest —
+   so the *next* tenant asking for the same spec is a warm answer — and
+   each job's future resolves, which is what the streaming HTTP response
+   awaits.
+
+Failures stay per-job: a failing spec resolves its future with a
+:class:`RunError` and is never cached; other jobs of the chunk are
+unaffected (see :mod:`repro.serve.worker`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from ..runtime.cache import CacheBackend
+from ..runtime.runner import Runner, TaskCall
+from ..runtime.spec import RunSpec
+from .worker import OK
+
+
+class QueueFull(RuntimeError):
+    """The bounded job queue cannot accept a submission right now.
+
+    Attributes:
+        pending: cold specs currently queued or running.
+        limit: the queue bound.
+        retry_after: advisory seconds before a retry is likely to fit.
+    """
+
+    def __init__(self, pending: int, limit: int, retry_after: int) -> None:
+        super().__init__(
+            f"job queue full ({pending} pending, limit {limit}); "
+            f"retry in ~{retry_after}s"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class RunError(RuntimeError):
+    """One submitted spec failed to execute (carries the worker's message)."""
+
+
+@dataclass
+class RunEntry:
+    """One spec of a submitted batch, as the stream renderer consumes it.
+
+    ``status`` is ``"cached"`` (warm answer, ``result`` already set) or
+    ``"queued"`` (``future`` resolves to the result, or to
+    :class:`RunError`).  Batch-internal duplicates share one future.
+    """
+
+    index: int
+    digest: str
+    status: str
+    result: Any = None
+    future: Optional["asyncio.Future[Any]"] = None
+
+
+@dataclass
+class _Job:
+    digest: str
+    spec: RunSpec
+    future: "asyncio.Future[Any]"
+
+
+@dataclass
+class Gateway:
+    """Ring-as-a-service core (see module docstring).
+
+    Attributes:
+        cache: shared result cache (any backend), or ``None`` to run
+            everything cold.
+        jobs: worker processes the drain runner fans chunks over.
+        queue_limit: max cold specs queued-or-running at once; beyond it
+            :meth:`submit` raises :class:`QueueFull`.
+        chunk: max jobs handed to the runner per drain round — small
+            enough to keep per-run status flowing, large enough to
+            amortize pool dispatch.
+    """
+
+    cache: Optional[CacheBackend] = None
+    jobs: int = 1
+    queue_limit: int = 256
+    chunk: int = 16
+    submitted: int = field(default=0, init=False)
+    completed: int = field(default=0, init=False)
+    failed: int = field(default=0, init=False)
+    warm_hits: int = field(default=0, init=False)
+    rejected: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.runner = Runner(jobs=self.jobs, cache=self.cache)
+        self._queue: Deque[_Job] = deque()
+        self._pending = 0
+        self._closed = False
+        self._wakeup: Optional[asyncio.Event] = None
+        self._drainer: Optional["asyncio.Task[None]"] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-drain"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the drainer task (call from the running event loop)."""
+        self._wakeup = asyncio.Event()
+        self._drainer = asyncio.get_running_loop().create_task(self._drain())
+
+    async def close(self) -> None:
+        """Stop accepting work, drain what is queued, release the pool."""
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._drainer is not None:
+            await self._drainer
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec]) -> List[RunEntry]:
+        """Admit a batch: warm answers now, cold jobs onto the queue.
+
+        Must be called from the event-loop thread.  All-or-nothing
+        backpressure: either every cold spec of the batch fits under
+        ``queue_limit`` or the whole submission is rejected with
+        :class:`QueueFull` — partial admission would leave the client
+        with an unresumable half-batch.
+        """
+        if self._closed:
+            raise RuntimeError("gateway is shutting down")
+        loop = asyncio.get_running_loop()
+        entries: List[RunEntry] = []
+        owners: Dict[str, "asyncio.Future[Any]"] = {}
+        fresh: List[_Job] = []
+        for index, spec in enumerate(specs):
+            digest = spec.digest()
+            if self.cache is not None:
+                hit, value = self.cache.get(digest)
+                if hit:
+                    self.warm_hits += 1
+                    entries.append(
+                        RunEntry(index=index, digest=digest, status="cached", result=value)
+                    )
+                    continue
+            future = owners.get(digest)
+            if future is None:
+                future = loop.create_future()
+                owners[digest] = future
+                fresh.append(_Job(digest=digest, spec=spec, future=future))
+            entries.append(
+                RunEntry(index=index, digest=digest, status="queued", future=future)
+            )
+        if self._pending + len(fresh) > self.queue_limit:
+            self.rejected += 1
+            retry_after = max(1, self._pending // max(1, self.jobs))
+            raise QueueFull(self._pending, self.queue_limit, retry_after)
+        for job in fresh:
+            self._queue.append(job)
+            self._pending += 1
+        self.submitted += len(specs)
+        if fresh and self._wakeup is not None:
+            self._wakeup.set()
+        return entries
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        assert self._wakeup is not None
+        while True:
+            if not self._queue:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            chunk = [
+                self._queue.popleft()
+                for _ in range(min(self.chunk, len(self._queue)))
+            ]
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._run_chunk, chunk
+                )
+            except Exception as exc:  # noqa: BLE001 - chunk-wide failure
+                outcomes = [("err", f"{type(exc).__name__}: {exc}")] * len(chunk)
+            for job, (tag, value) in zip(chunk, outcomes):
+                self._pending -= 1
+                if job.future.cancelled():
+                    continue
+                if tag == OK:
+                    self.completed += 1
+                    job.future.set_result(value)
+                else:
+                    self.failed += 1
+                    job.future.set_exception(RunError(value))
+
+    def _run_chunk(self, chunk: List[_Job]) -> List[Any]:
+        """Executor-thread body: one Runner batch, cache puts on success.
+
+        The task calls carry no ``cache_key`` — outcome tuples must not
+        be auto-cached under spec digests (an error outcome would poison
+        the slot) — so the gateway stores successful results itself.
+        The runner still records the chunk's telemetry, and ``map``
+        flushes the cache's lifetime counters.
+        """
+        calls = [
+            TaskCall(func="repro.serve.worker:execute_outcome", args=(job.spec,))
+            for job in chunk
+        ]
+        outcomes = self.runner.map(calls)
+        if self.cache is not None:
+            for job, (tag, value) in zip(chunk, outcomes):
+                if tag == OK:
+                    self.cache.put(job.digest, value)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue, counter, cache, and runner telemetry as JSON-able data."""
+        return {
+            "queue": {
+                "pending": self._pending,
+                "limit": self.queue_limit,
+                "chunk": self.chunk,
+            },
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "warm_hits": self.warm_hits,
+            "rejected": self.rejected,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "runner": self.runner.metrics_snapshot(),
+        }

@@ -1,0 +1,86 @@
+"""NDJSON line schemas shared by the HTTP layer and the client.
+
+Every line of a ``POST /runs`` response is one JSON object with a
+``type`` field:
+
+* ``{"type": "accepted", "runs": N, "cached": C, "queued": Q}`` — the
+  batch was admitted; exactly one, first.
+* ``{"type": "run", "index": i, "digest": d, "status": s, ...}`` — one
+  per submitted spec, in completion order (warm entries first).
+  ``status`` is ``"cached"`` / ``"done"`` / ``"error"``; successful
+  lines carry ``result_pickle`` (base64 of the result's pickle — the
+  *same bytes contract* as local execution: unpickling yields a result
+  pickle-equal to ``Runner.run_specs``) plus a small JSON ``summary``;
+  error lines carry ``error``.
+* ``{"type": "event", "index": i, "event": {...}}`` — the recorded
+  :mod:`repro.obs` stream of run ``i`` (``record=True`` specs), one
+  event per line in ``seq`` order, in the exact
+  :func:`repro.obs.export.event_to_json` JSONL format, emitted directly
+  after the run's ``run`` line.
+* ``{"type": "done", "runs": N, "failed": F}`` — exactly one, last.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any, Dict, Iterator, Optional
+
+from .gateway import RunEntry
+
+
+def encode_result(value: Any) -> str:
+    """Pickle + base64: the result bytes exactly as local execution pickles them."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_result(data: str) -> Any:
+    """Invert :func:`encode_result`."""
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+def _summary(value: Any) -> Dict[str, Any]:
+    """A small JSON-able glance at a result (the full result is the pickle)."""
+    stats = getattr(value, "stats", None)
+    return {
+        "n": getattr(value, "n", None),
+        "messages": getattr(stats, "messages", None),
+        "bits": getattr(stats, "bits", None),
+        "cycles": getattr(value, "cycles", None),
+    }
+
+
+def run_line(
+    entry: RunEntry, result: Any = None, error: Optional[str] = None
+) -> Dict[str, Any]:
+    """The per-run status line for one entry."""
+    line: Dict[str, Any] = {
+        "type": "run",
+        "index": entry.index,
+        "digest": entry.digest,
+    }
+    if error is not None:
+        line["status"] = "error"
+        line["error"] = error
+        return line
+    line["status"] = "cached" if entry.status == "cached" else "done"
+    line["result_pickle"] = encode_result(result)
+    line["summary"] = _summary(result)
+    return line
+
+
+def event_lines(entry: RunEntry, result: Any) -> Iterator[Dict[str, Any]]:
+    """The run's recorded obs events as ``event`` lines (maybe none)."""
+    events = getattr(result, "events", None)
+    if not events:
+        return
+    from ..obs.export import event_to_json
+
+    for event in events:
+        yield {"type": "event", "index": entry.index, "event": event_to_json(event)}
+
+
+def done_line(runs: int, failed: int) -> Dict[str, Any]:
+    return {"type": "done", "runs": runs, "failed": failed}

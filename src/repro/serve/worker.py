@@ -1,0 +1,28 @@
+"""Pool-worker entry point for the gateway.
+
+The gateway cannot let a failing spec raise out of
+:meth:`~repro.runtime.runner.Runner.map` — one tenant's bad spec must
+not abort the chunk it shares with other tenants' jobs, and an error
+must never be stored in the shared result cache under a spec digest.
+So gateway tasks return *outcomes*: ``("ok", result)`` or ``("err",
+message)`` tuples that always pickle back cleanly, and the gateway
+decides per job what to cache and what to report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..runtime.spec import RunSpec, execute
+
+#: Outcome tags.
+OK = "ok"
+ERR = "err"
+
+
+def execute_outcome(spec: RunSpec) -> Tuple[str, Any]:
+    """Run one spec, capturing failure as data instead of raising."""
+    try:
+        return (OK, execute(spec))
+    except Exception as exc:  # noqa: BLE001 - per-job outcome by design
+        return (ERR, f"{type(exc).__name__}: {exc}")

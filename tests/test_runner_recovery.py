@@ -1,0 +1,161 @@
+"""Regression tests for mid-batch failure recovery in the Runner (PR 8).
+
+Before the fix, ``Runner.map`` stored results and wrote the cache only
+*after* the whole batch succeeded: a task raising mid-batch discarded
+every completed result (a retry re-executed work already in hand) and
+the batch vanished from telemetry entirely.  ``Runner.run_specs`` had a
+sibling bug: with failures on both sides of the batched/non-batched
+split it raised whichever half happened to run first, not the
+earliest-submitted spec's error.
+
+The canonical regression (straight from the issue): fail task 3 of 5,
+then retry — tasks 1 and 2 must hit the cache, and the partial batch
+must have been recorded with an ``"error"`` field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RingConfiguration
+from repro.core.errors import NonTerminationError
+from repro.runtime import ResultCache, Runner, RunSpec, TaskCall
+
+
+def flaky(value: int, fail_on: int) -> int:
+    """Stub task: returns ``value * 10`` unless told to blow up on it."""
+    if value == fail_on:
+        raise RuntimeError(f"boom on {value}")
+    return value * 10
+
+
+def _flaky_calls(fail_on: int):
+    return [
+        TaskCall(
+            func="test_runner_recovery:flaky",
+            args=(value, fail_on),
+            cache_key=f"flaky-{value}",
+        )
+        for value in (1, 2, 3, 4, 5)
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["in-process", "pool"])
+def test_map_failure_keeps_completed_results_and_records_batch(jobs, tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = Runner(jobs=jobs, cache=cache)
+    with pytest.raises(RuntimeError, match="boom on 3"):
+        runner.map(_flaky_calls(fail_on=3))
+
+    # Tasks 1 and 2 completed before the failure and were cached at once.
+    assert cache.get("flaky-1") == (True, 10)
+    assert cache.get("flaky-2") == (True, 20)
+    assert cache.get("flaky-3") == (False, None)
+    # The failing task ran (it raised), so three tasks executed in total.
+    assert runner.executed == 3
+
+    # The partial batch was recorded, annotated with the error.
+    assert len(runner.batches) == 1
+    record = runner.batches[0]
+    assert record["tasks"] == 5
+    assert record["executed"] == 3
+    assert "boom on 3" in record["error"]
+    assert record["cache"]["writes"] == 2
+
+    # Retry (now healthy): tasks 1-2 come from the cache, 3-5 execute.
+    retry = Runner(jobs=jobs, cache=ResultCache(tmp_path))
+    results = retry.map(_flaky_calls(fail_on=-1))
+    assert results == [10, 20, 30, 40, 50]
+    assert retry.executed == 3
+    assert retry.batches[0]["cache_hits"] == 2
+    assert "error" not in retry.batches[0]
+
+
+def test_map_failure_annotates_submission_index(tmp_path):
+    runner = Runner(cache=ResultCache(tmp_path))
+    with pytest.raises(RuntimeError) as excinfo:
+        runner.map(_flaky_calls(fail_on=3))
+    # 0-based submission index of the failing call, as run_specs reads it.
+    assert excinfo.value._repro_call_index == 2
+
+
+def test_map_failure_index_accounts_for_cache_hits(tmp_path):
+    """The annotated index is within the *submitted* batch, hits included."""
+    cache = ResultCache(tmp_path)
+    cache.put("flaky-1", 10)
+    cache.put("flaky-2", 20)
+    runner = Runner(cache=cache)
+    with pytest.raises(RuntimeError) as excinfo:
+        runner.map(_flaky_calls(fail_on=3))
+    assert excinfo.value._repro_call_index == 2
+    assert runner.batches[0]["cache_hits"] == 2
+
+
+RING = RingConfiguration.oriented((1, 1, 0, 1))
+
+
+def _spec(engine: str, fail: bool = False, bit: int = 0) -> RunSpec:
+    """A sync/sync-batch spec; ``fail=True`` starves the cycle budget."""
+    inputs = (1, 1, bit, 1)
+    return RunSpec.make(
+        engine=engine,
+        ring=RingConfiguration.oriented(inputs),
+        algorithm="sync-and",
+        budget=1 if fail else None,
+    )
+
+
+class TestRunSpecsEarliestError:
+    def test_batched_failure_wins_when_submitted_first(self, tmp_path):
+        specs = [
+            _spec("sync-batch", fail=True),  # index 0: the earliest failure
+            _spec("sync"),  # index 1: completes before the sync failure
+            _spec("sync", fail=True, bit=1),  # index 2: also fails
+            _spec("sync-batch", bit=1),  # index 3: healthy batched spec
+        ]
+        runner = Runner(cache=ResultCache(tmp_path))
+        with pytest.raises(NonTerminationError) as excinfo:
+            runner.run_specs(specs)
+        # Both halves raised NonTerminationError; the winner must be the
+        # batched one (submission index 0), which — unlike the map-path
+        # error — carries no call-index annotation.
+        assert not hasattr(excinfo.value, "_repro_call_index")
+        # Both halves ran to completion before the winner was chosen:
+        # every spec that succeeded landed in the cache, every failing
+        # one did not.
+        assert runner.cache.get(specs[1].digest())[0]
+        assert runner.cache.get(specs[3].digest())[0]
+        assert not runner.cache.get(specs[0].digest())[0]
+        assert not runner.cache.get(specs[2].digest())[0]
+
+    def test_non_batched_failure_wins_when_submitted_first(self, tmp_path):
+        failing_sync = _spec("sync", fail=True)
+        failing_batch = _spec("sync-batch", fail=True, bit=1)
+        specs = [failing_sync, _spec("sync-batch"), failing_batch]
+        runner = Runner(cache=ResultCache(tmp_path))
+        with pytest.raises(NonTerminationError) as excinfo:
+            runner.run_specs(specs)
+        # The sync half's error (submission index 0) beats the batched
+        # failure at index 2.  The map path annotated its call index, so
+        # the raised object is the sync one — which still carries it.
+        assert getattr(excinfo.value, "_repro_call_index", None) == 0
+        # The healthy batched spec completed and was cached regardless.
+        assert runner.cache.get(specs[1].digest())[0]
+
+    def test_batched_half_still_runs_after_rest_failure(self, tmp_path):
+        """A rest-half crash must not abandon the batched half's work."""
+        specs = [_spec("sync", fail=True), _spec("sync-batch")]
+        runner = Runner(cache=ResultCache(tmp_path))
+        with pytest.raises(NonTerminationError):
+            runner.run_specs(specs)
+        assert runner.executed == 2  # both halves executed
+        retry = Runner(cache=ResultCache(tmp_path))
+        # The batched spec is warm on retry.
+        retry.run_specs([specs[1]])
+        assert retry.executed == 0
+
+    def test_all_success_path_unchanged(self, tmp_path):
+        specs = [_spec("sync"), _spec("sync-batch"), _spec("sync", bit=1)]
+        runner = Runner(cache=ResultCache(tmp_path))
+        results = runner.run_specs(specs)
+        assert [r.outputs for r in results] == [(0, 0, 0, 0), (0, 0, 0, 0), (1, 1, 1, 1)]

@@ -502,7 +502,12 @@ class TestCacheMaintenance:
         cache = ResultCache(tmp_path)
         cache.put("ab" + "0" * 62, {"x": 1})
         report = cache.prune()
-        assert report == {"removed": 0, "kept": 1, "freed_bytes": 0}
+        assert report == {
+            "removed": 0,
+            "kept": 1,
+            "freed_bytes": 0,
+            "tmp_removed": 0,
+        }
 
     def test_prune_removes_stale_and_foreign_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,233 @@
+"""End-to-end tests for ``repro.serve`` — the PR 8 tentpole.
+
+Everything here exercises the real stack: a live asyncio HTTP server on
+a background thread (:class:`ServerThread`), the stdlib blocking client,
+and a shared :class:`SqliteResultCache`.  The acceptance criteria under
+test, verbatim from the issue:
+
+* a RunSpec batch submitted over HTTP returns results byte-identical
+  (pickle-equal) to local ``Runner.run_specs`` on the same specs;
+* warm cache entries are answered without executing anything;
+* queue-full returns 429 with a Retry-After;
+* per-run failures come back as per-run errors, never poison the cache,
+  and never hide their batchmates' results.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pickle
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.core import RingConfiguration
+from repro.runtime import Runner, RunSpec, SqliteResultCache
+from repro.serve import (
+    ServeClientError,
+    ServerQueueFull,
+    ServerThread,
+    check_health,
+    fetch_stats,
+    submit_specs,
+)
+
+
+def _spec(bits, engine="sync", **kwargs) -> RunSpec:
+    return RunSpec.make(
+        engine=engine,
+        ring=RingConfiguration.oriented(tuple(bits)),
+        algorithm="sync-and",
+        **kwargs,
+    )
+
+
+def _raw_post(url: str, body: bytes, content_type="application/json"):
+    """POST raw bytes to /runs, return (status, headers, body)."""
+    parts = urlsplit(url)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+    try:
+        conn.request("POST", "/runs", body, {"Content-Type": content_type})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServerThread(cache=SqliteResultCache(tmp_path)) as srv:
+        yield srv
+
+
+class TestRoundTrip:
+    def test_results_pickle_equal_to_local_runner(self, server, tmp_path):
+        specs = [
+            _spec((1, 1, 0, 1)),
+            _spec((1, 1, 1, 1)),
+            _spec((0, 1, 0, 1, 1), engine="sync-batch"),
+            RunSpec.make(
+                engine="async",
+                ring=RingConfiguration.oriented((1, 1, 0, 1)),
+                algorithm="and",
+                scheduler="random",
+                scheduler_seed=3,
+            ),
+        ]
+        outcomes = submit_specs(server.url, specs)
+        local = Runner().run_specs(specs)
+        assert [o.status for o in outcomes] == ["done"] * len(specs)
+        assert [o.index for o in outcomes] == list(range(len(specs)))
+        for outcome, spec, expected in zip(outcomes, specs, local):
+            assert outcome.digest == spec.digest()
+            assert pickle.dumps(outcome.result) == pickle.dumps(expected)
+
+    def test_warm_entries_answered_without_executing(self, server):
+        specs = [_spec((1, 1, 0, 1)), _spec((1, 1, 1, 1))]
+        first = submit_specs(server.url, specs)
+        assert [o.status for o in first] == ["done", "done"]
+        executed_after_first = server.gateway.runner.executed
+        assert executed_after_first == 2
+
+        second = submit_specs(server.url, specs)
+        assert [o.status for o in second] == ["cached", "cached"]
+        assert server.gateway.runner.executed == executed_after_first
+        assert pickle.dumps(second[0].result) == pickle.dumps(first[0].result)
+
+        stats = fetch_stats(server.url)
+        assert stats["warm_hits"] == 2
+        assert stats["completed"] == 2
+
+    def test_in_batch_duplicates_execute_once(self, server):
+        spec = _spec((1, 0, 1))
+        outcomes = submit_specs(server.url, [spec, spec, spec])
+        assert [o.status for o in outcomes] == ["done"] * 3
+        assert server.gateway.runner.executed == 1
+        payloads = {pickle.dumps(o.result) for o in outcomes}
+        assert len(payloads) == 1
+
+    def test_recorded_runs_stream_their_events(self, server):
+        plain = _spec((1, 1, 0))
+        recorded = _spec((1, 1, 0), record=True)
+        outcomes = submit_specs(server.url, [plain, recorded])
+        assert not outcomes[0].events
+        assert outcomes[1].events
+        for event in outcomes[1].events:
+            assert isinstance(event, dict) and "kind" in event
+
+
+class TestBackpressure:
+    def test_queue_full_returns_429_with_retry_after(self, tmp_path):
+        specs = [_spec((1, 1, 0, 1)), _spec((1, 1, 1, 1)), _spec((1, 0, 0, 1))]
+        with ServerThread(cache=SqliteResultCache(tmp_path), queue_limit=2) as srv:
+            with pytest.raises(ServerQueueFull) as excinfo:
+                submit_specs(srv.url, specs)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            # All-or-nothing: the rejected batch queued nothing.
+            assert fetch_stats(srv.url)["queue"]["pending"] == 0
+            assert fetch_stats(srv.url)["rejected"] == 1
+            # A batch that fits is accepted afterwards.
+            ok = submit_specs(srv.url, specs[:2])
+            assert [o.status for o in ok] == ["done", "done"]
+
+    def test_warm_specs_bypass_the_queue(self, tmp_path):
+        """Backpressure counts cold specs only — warm answers always fit."""
+        warm = [_spec((1, 1, 0, 1)), _spec((1, 1, 1, 1))]
+        with ServerThread(cache=SqliteResultCache(tmp_path), queue_limit=2) as srv:
+            submit_specs(srv.url, warm)  # populate the cache
+            # 2 warm + 2 cold fits a limit of 2: only cold specs queue.
+            batch = warm + [_spec((0, 0, 1)), _spec((0, 1, 1))]
+            outcomes = submit_specs(srv.url, batch)
+            assert [o.status for o in outcomes] == ["cached", "cached", "done", "done"]
+
+
+class TestErrorIsolation:
+    def test_failing_spec_reports_error_without_hiding_batchmates(self, server):
+        good = _spec((1, 1, 0, 1))
+        bad = _spec((1, 1, 1, 1), budget=1)  # NonTerminationError at run time
+        tail = _spec((0, 1, 1))
+        outcomes = submit_specs(server.url, [good, bad, tail])
+        assert [o.status for o in outcomes] == ["done", "error", "done"]
+        assert "NonTerminationError" in outcomes[1].error
+        assert outcomes[1].result is None
+        assert outcomes[0].ok and outcomes[2].ok
+
+    def test_errors_are_never_cached(self, server):
+        bad = _spec((1, 1, 1, 1), budget=1)
+        first = submit_specs(server.url, [bad])
+        second = submit_specs(server.url, [bad])
+        # Still "error", not "cached": the failure never took the slot.
+        assert first[0].status == "error"
+        assert second[0].status == "error"
+        assert server.gateway.runner.executed == 2
+        assert fetch_stats(server.url)["failed"] == 2
+
+
+class TestHttpSurface:
+    def test_health_and_stats(self, server):
+        assert check_health(server.url)
+        stats = fetch_stats(server.url)
+        assert stats["queue"]["limit"] == 256
+        assert stats["cache"]["backend"] == "sqlite"
+        assert stats["runner"]["jobs"] == 1
+
+    def test_malformed_json_is_400(self, server):
+        status, _, body = _raw_post(server.url, b"{not json")
+        assert status == 400
+        assert b"json" in body.lower()
+
+    def test_invalid_spec_is_400_with_position(self, server):
+        good = _spec((1, 1, 0)).to_json_dict()
+        bad = dict(good)
+        bad["engine"] = "warp-drive"
+        payload = json.dumps({"specs": [good, bad]}).encode()
+        status, _, body = _raw_post(server.url, payload)
+        assert status == 400
+        message = body.decode()
+        assert "1" in message  # names the offending position
+        # Nothing was admitted for the valid half.
+        assert fetch_stats(server.url)["submitted"] == 0
+
+    def test_specs_must_be_a_list(self, server):
+        status, _, _ = _raw_post(server.url, json.dumps({"specs": "nope"}).encode())
+        assert status == 400
+
+    def test_unknown_path_and_method(self, server):
+        parts = urlsplit(server.url)
+        conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+        conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+        try:
+            conn.request("DELETE", "/runs")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_client_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="http://host:port"):
+            submit_specs("ftp://nope", [_spec((1, 0))])
+
+
+class TestLifecycle:
+    def test_cache_survives_server_restarts(self, tmp_path):
+        spec = _spec((1, 1, 0, 1))
+        with ServerThread(cache=SqliteResultCache(tmp_path)) as srv:
+            assert submit_specs(srv.url, [spec])[0].status == "done"
+        with ServerThread(cache=SqliteResultCache(tmp_path)) as srv:
+            outcome = submit_specs(srv.url, [spec])[0]
+            assert outcome.status == "cached"
+            assert srv.gateway.runner.executed == 0
+
+    def test_pool_path_matches_in_process(self, tmp_path):
+        specs = [_spec((1, 1, 0, 1)), _spec((1, 1, 1, 1)), _spec((0, 1, 1))]
+        with ServerThread(cache=SqliteResultCache(tmp_path / "a"), jobs=2) as srv:
+            pooled = submit_specs(srv.url, specs)
+        local = Runner().run_specs(specs)
+        for outcome, expected in zip(pooled, local):
+            assert pickle.dumps(outcome.result) == pickle.dumps(expected)

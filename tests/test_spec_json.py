@@ -1,0 +1,168 @@
+"""Tests for the RunSpec JSON wire format (PR 8 gateway transport).
+
+The contract: ``RunSpec.from_json_dict(spec.to_json_dict())`` is the
+identity — field-equal and therefore *digest*-equal, because the gateway
+caches under ``spec.digest()`` and a spec that decoded to a different
+digest would poison the shared cache.  Anything that cannot make the
+round trip bit-for-bit is rejected with
+:class:`~repro.core.errors.ConfigurationError` at encode or decode time,
+never silently degraded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RingConfiguration
+from repro.core.errors import ConfigurationError
+from repro.runtime import RunSpec
+
+RING = RingConfiguration.oriented((1, 0, 1, 1, 0))
+
+
+def _roundtrip(spec: RunSpec) -> RunSpec:
+    # Through actual JSON text, not just the dict: the wire is strings.
+    return RunSpec.from_json_dict(json.loads(json.dumps(spec.to_json_dict())))
+
+
+class TestRoundTrip:
+    def test_minimal_spec(self):
+        spec = RunSpec.make(engine="sync", ring=RING, algorithm="sync-and")
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_sync_fields_populated(self):
+        spec = RunSpec.make(
+            engine="sync",
+            ring=RING,
+            algorithm="sync-and",
+            params={"threshold": 2, "label": "x", "ratio": 0.5, "flag": True},
+            wakeup=(0, 2, 1, 0, 3),
+            budget=10_000,
+            keep_log=True,
+            record=True,
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_async_fields_populated(self):
+        spec = RunSpec.make(
+            engine="async",
+            ring=RING,
+            algorithm="async-and",
+            scheduler="bounded-delay",
+            scheduler_seed=1234,
+            delay_bound=5,
+            budget=10_000,
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_fault_coordinates(self):
+        spec = RunSpec.make(
+            engine="async",
+            ring=RING,
+            algorithm="async-and",
+            scheduler="random",
+            scheduler_seed=7,
+            fault_profile="crash",
+            fault_seed=99,
+            fault_horizon=50,
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_tuple_valued_inputs_and_params(self):
+        """Nested tuples survive via the explicit tagging (JSON has no tuple)."""
+        ring = RingConfiguration.oriented(((1, "a"), (0, "b"), (1, (2, 3))))
+        spec = RunSpec.make(
+            engine="sync",
+            ring=ring,
+            algorithm="sync-and",
+            params={"shape": (1, (2, "x"), None)},
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.ring.inputs == ring.inputs  # tuples, not lists
+        assert clone.params_dict["shape"] == (1, (2, "x"), None)
+        assert clone.digest() == spec.digest()
+
+    def test_wire_is_pure_json(self):
+        spec = RunSpec.make(
+            engine="sync", ring=RING, algorithm="sync-and", params={"k": (1, 2)}
+        )
+        text = json.dumps(spec.to_json_dict())
+        assert '"__t__"' in text  # tuples travel tagged, not as bare lists
+
+
+class TestEncodeRejections:
+    def test_non_transportable_param_value(self):
+        spec = RunSpec.make(
+            engine="sync", ring=RING, algorithm="sync-and", params={"bad": [1, 2]}
+        )
+        with pytest.raises(ConfigurationError, match="not JSON-transportable"):
+            spec.to_json_dict()
+
+    def test_non_transportable_ring_input(self):
+        ring = RingConfiguration.oriented((1, 0, {"x": 1}))
+        spec = RunSpec.make(engine="sync", ring=ring, algorithm="sync-and")
+        with pytest.raises(ConfigurationError, match="not JSON-transportable"):
+            spec.to_json_dict()
+
+
+class TestDecodeRejections:
+    def _base(self):
+        return RunSpec.make(
+            engine="sync", ring=RING, algorithm="sync-and"
+        ).to_json_dict()
+
+    def test_not_an_object(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            RunSpec.from_json_dict([1, 2, 3])
+
+    def test_unknown_field(self):
+        data = self._base()
+        data["frobnicate"] = 1
+        with pytest.raises(ConfigurationError, match="unknown RunSpec fields"):
+            RunSpec.from_json_dict(data)
+
+    @pytest.mark.parametrize("missing", ["engine", "ring", "algorithm"])
+    def test_missing_required_field(self, missing):
+        data = self._base()
+        del data[missing]
+        with pytest.raises(ConfigurationError, match=f"missing the '{missing}'"):
+            RunSpec.from_json_dict(data)
+
+    def test_malformed_ring(self):
+        data = self._base()
+        data["ring"] = {"inputs": [1, 0]}  # no orientations
+        with pytest.raises(ConfigurationError, match="'ring'"):
+            RunSpec.from_json_dict(data)
+        data["ring"] = {"inputs": [1], "orientations": [1], "extra": 1}
+        with pytest.raises(ConfigurationError, match="'ring'"):
+            RunSpec.from_json_dict(data)
+
+    def test_malformed_params(self):
+        data = self._base()
+        data["params"] = [["key"]]  # not a pair
+        with pytest.raises(ConfigurationError, match="'params'"):
+            RunSpec.from_json_dict(data)
+
+    def test_bare_list_value_rejected(self):
+        """Untagged lists are ambiguous (list vs tuple) — never guessed at."""
+        data = self._base()
+        data["params"] = [["shape", [1, 2]]]
+        with pytest.raises(ConfigurationError, match="undecodable"):
+            RunSpec.from_json_dict(data)
+
+    def test_unknown_tag_rejected(self):
+        data = self._base()
+        data["params"] = [["shape", {"__t__": "set", "v": [1]}]]
+        with pytest.raises(ConfigurationError, match="undecodable"):
+            RunSpec.from_json_dict(data)
