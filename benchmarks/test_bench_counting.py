@@ -1,0 +1,53 @@
+"""E19/E20: counting on dynamic and content-oblivious topologies.
+
+Paper claims: history-tree counting on a 1-interval-connected dynamic
+network terminates in O(n) rounds (Di Luna–Viglietta, arXiv:2204.02128,
+bound 3n − 2); beep-circulation counting on an oriented leader ring
+costs exactly 2n rounds, messages and bits under content-oblivious
+delivery (Chalopin et al., arXiv:2603.28260).  These rows mirror the
+``bench --suite dynamic`` artifact (BENCH_dynamic.json) statistically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import BoundCheck, growth_exponent
+from repro.perf.dynamic import dynamic_workload_spec
+from repro.runtime.spec import execute
+
+DYNAMIC_SWEEP = (4, 8, 12, 16)
+OBLIVIOUS_SWEEP = (8, 32, 128)
+
+
+def test_e19_dynamic_counting_linear_rounds(record_bound, benchmark):
+    rounds = []
+    for n in DYNAMIC_SWEEP:
+        result = execute(dynamic_workload_spec("dynamic_counting", n))
+        assert all(out == n for out in result.outputs)
+        record_bound(BoundCheck("E19 dynamic rounds", n, result.cycles, 3 * n, "upper"))
+        record_bound(
+            BoundCheck(
+                "E19 dynamic messages",
+                n,
+                result.stats.messages,
+                2 * n * result.cycles,
+                "upper",
+            )
+        )
+        rounds.append(result.cycles)
+    exponent = growth_exponent(DYNAMIC_SWEEP, rounds)
+    assert exponent < 1.3  # rounds are linear in n, not n log n or n²
+    spec = dynamic_workload_spec("dynamic_counting", 8)
+    benchmark(lambda: execute(spec))
+
+
+def test_e20_oblivious_counting_exact_2n(record_bound, benchmark):
+    for n in OBLIVIOUS_SWEEP:
+        result = execute(dynamic_workload_spec("oblivious_counting", n))
+        assert all(out == n for out in result.outputs)
+        for kind in ("upper", "lower"):
+            record_bound(BoundCheck("E20 beep rounds", n, result.cycles, 2 * n, kind))
+            record_bound(
+                BoundCheck("E20 beep bits", n, result.stats.bits, 2 * n, kind)
+            )
+    spec = dynamic_workload_spec("oblivious_counting", 32)
+    benchmark(lambda: execute(spec))

@@ -89,6 +89,43 @@ assert auto["violations"] == 0, f"sync corpus violations: {auto['violations']}"
 print(f"sync corpus parity: {auto['cases']} cases byte-identical, 0 violations")
 EOF
 
+echo "== topology-adversary fuzz smoke (fixed seeds, dynamic + oblivious) =="
+# The fault-free corpus must carry the topology-layer counting targets,
+# and they must survive seeded adversarial rewiring sweeps: every
+# processor outputs the true ring size on every case, or the run fails.
+python - <<'EOF'
+from repro.faults import run_sync_corpus
+from repro.faults.registry import default_sync_targets, sync_target_by_name
+
+names = {t.name for t in default_sync_targets()}
+assert {"dynamic-counting", "oblivious-counting"} <= names, names
+assert sync_target_by_name("dynamic-counting").topologies
+assert sync_target_by_name("oblivious-counting").oblivious
+
+targets = (
+    sync_target_by_name("dynamic-counting"),
+    sync_target_by_name("oblivious-counting"),
+)
+cases = 0
+for seed in (20240501, 20240502):
+    report = run_sync_corpus(seed=seed, targets=targets)
+    assert report["violations"] == 0, report["campaigns"]
+    cases += report["cases"]
+print(f"topology fuzz smoke: {cases} adversarial cases, 0 violations")
+EOF
+
+echo "== dynamic bench smoke (counting bounds, quick) =="
+python -m repro bench --suite dynamic --quick --output BENCH_dynamic_smoke.json
+python - <<'EOF'
+import json
+
+with open("BENCH_dynamic_smoke.json") as handle:
+    payload = json.load(handle)
+assert payload["schema"] == 2 and payload["suite"] == "dynamic-counting"
+assert payload["bounds"]["ok"], payload["bounds"]["violations"]
+EOF
+rm -f BENCH_dynamic_smoke.json
+
 echo "== symmetry analysis benchmarks =="
 python -m pytest benchmarks/test_bench_symmetry.py -q
 

@@ -183,31 +183,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import (
         render_analysis_table,
         render_batch_table,
+        render_dynamic_table,
         render_obs_table,
         render_table,
         run_analysis_bench,
         run_batch_bench,
         run_bench,
+        run_dynamic_bench,
         run_obs_bench,
         write_analysis_bench,
         write_batch_bench,
         write_bench,
+        write_dynamic_bench,
         write_obs_bench,
     )
 
     suites = (
-        ("simulators", "analysis", "obs", "batch")
+        ("simulators", "analysis", "obs", "batch", "dynamic")
         if args.suite == "all"
         else (args.suite,)
     )
     if args.output is not None and len(suites) > 1:
         print("--output needs a single suite (not --suite all)", file=sys.stderr)
         return 2
-    if args.sizes and ("analysis" in suites or "batch" in suites):
+    if args.sizes and not set(suites) <= {"simulators", "obs"}:
         print(
             "--sizes only applies to the simulators/obs suites (analysis "
-            "workloads have shape constraints like n = 3^k; the batch "
-            "suite's grid is fixed so speedups stay comparable)",
+            "workloads have shape constraints like n = 3^k; the batch and "
+            "dynamic suites' grids are fixed so speedups and bound checks "
+            "stay comparable)",
             file=sys.stderr,
         )
         return 2
@@ -236,6 +240,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             records = run_batch_bench(quick=args.quick, repeats=args.repeats)
             path = write_batch_bench(records, args.output, quick=args.quick)
             print(render_batch_table(records))
+        elif suite == "dynamic":
+            records = run_dynamic_bench(quick=args.quick, repeats=args.repeats)
+            path = write_dynamic_bench(records, args.output, quick=args.quick)
+            print(render_dynamic_table(records))
+            if not all(record.within_bounds for record in records):
+                print("dynamic suite: complexity bounds violated", file=sys.stderr)
+                return 1
         else:
             records = run_analysis_bench(
                 quick=args.quick, repeats=args.repeats, runner=runner
@@ -537,11 +548,12 @@ def main(argv=None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulators", "analysis", "obs", "batch", "all"),
+        choices=("simulators", "analysis", "obs", "batch", "dynamic", "all"),
         default="simulators",
         help="simulator engines, symmetry/fooling analysis paths, "
         "observability overhead (recorder off vs on), batch-engine "
-        "throughput vs the generator, or all of them",
+        "throughput vs the generator, counting on dynamic/oblivious "
+        "topologies (paper-bound checks), or all of them",
     )
     bench.add_argument("--quick", action="store_true", help="trimmed sweeps (CI smoke)")
     bench.add_argument(

@@ -1,0 +1,312 @@
+"""History-tree counting in anonymous dynamic networks (ROADMAP item 3).
+
+A reproduction, at reduced constants, of the Di Luna–Viglietta program
+(arXiv:2204.02128): anonymous processors on an adversarially rewired
+1-interval-connected network — here the dynamic rings and paths of
+:mod:`repro.topology.dynamic` — count themselves in a linear number of
+rounds, anchored by a single distinguished *leader* (input truthy; every
+other input falsy).
+
+Every round each processor broadcasts its **history tree** on both ports.
+A node's class at level ``t`` is the anonymity type of its ``t``-round
+history: two nodes share it iff level ``t − 1`` classes and the multisets
+of neighbor classes they observed at round ``t`` coincide.  The tree a
+node carries is the union of everything it has heard — by 1-interval
+connectivity a class reaches every node within ``n − 1`` rounds of being
+created, so the leader's tree is complete at any level ``n − 1`` rounds
+old.
+
+Counting is solving for class cardinalities.  Writing ``x_A`` for the
+number of nodes in class ``A``, three families of integer equations hold:
+
+* *anchor* — the leader's own chain has ``x = 1`` at every level;
+* *partition* — a class is the disjoint union of its children:
+  ``x_X = Σ x_A`` over the children ``A`` of ``X``;
+* *red edges* — messages are conserved: for classes ``X ≠ Y`` at level
+  ``t − 1``, the ``X``-nodes heard exactly as many ``Y``-messages at
+  round ``t`` as ``Y``-nodes heard ``X``-messages, i.e.
+  ``Σ_{A: parent=X} x_A·m_A[Y] = Σ_{B: parent=Y} x_B·m_B[X]`` where
+  ``m_A[Y]`` is ``A``'s observation multiplicity of ``Y``.
+
+The leader propagates these constraints to a fixpoint each round
+(solving every equation left with a single unknown — integer, positive,
+exact division, else the round is rejected).  Once the levels that are
+old enough to be certifiably complete yield the same total ``c`` on a
+small window of consecutive levels, the leader accepts ``c`` and floods
+a termination token ``(c, t_end)`` with ``t_end = now + c``: relays
+reach everyone within ``c − 1 ≥ n − 1`` rounds, and *all* processors
+halt at round ``t_end`` outputting ``c``.
+
+Where Di Luna–Viglietta prove termination in ``3n − 2`` rounds via a
+finer analysis of stabilized trees, this implementation uses the
+conservative solvable-window rule above; measured rounds stay linear in
+``n`` (asserted by ``BENCH_dynamic.json``), the message size polynomial.
+The algorithm never reads ``self.n`` — the ring size is genuinely
+computed, not assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..sync.process import Out, SyncProcess
+
+#: Number of consecutive certifiably-complete levels that must agree on
+#: the same total before the leader accepts it.
+_WINDOW = 2
+
+
+class _Store:
+    """A process's interned history tree.
+
+    Classes are stored once each and addressed by small local ids;
+    identity is structural — ``(level, parent id, observation multiset)``
+    — so decoding a peer's tree into this store unifies shared history
+    automatically.  The wire format indexes classes positionally per
+    level, which keeps payloads self-contained and intern order (and
+    with it the whole run) independent of ``PYTHONHASHSEED``.
+    """
+
+    def __init__(self) -> None:
+        self.defs: List[Tuple[Any, ...]] = []  # id -> (level, parent, obs) | (0, tag)
+        self.levels: List[List[int]] = []  # level -> ids, discovery order
+        self.slot: List[int] = []  # id -> index within its level
+        self._index: Dict[Tuple[Any, ...], int] = {}
+
+    def _add(self, level: int, key: Tuple[Any, ...]) -> int:
+        cid = self._index.get(key)
+        if cid is not None:
+            return cid
+        cid = len(self.defs)
+        self.defs.append(key)
+        self._index[key] = cid
+        if level == len(self.levels):
+            self.levels.append([])
+        self.slot.append(len(self.levels[level]))
+        self.levels[level].append(cid)
+        return cid
+
+    def intern0(self, tag: Any) -> int:
+        """The level-0 class of a node labeled ``tag`` (leader flag)."""
+        return self._add(0, (0, tag))
+
+    def intern(self, level: int, parent: int, obs: Tuple[Tuple[int, int], ...]) -> int:
+        """The class at ``level`` with the given parent and observations."""
+        return self._add(level, (level, parent, obs))
+
+    def encode(self) -> Tuple[Tuple[Any, ...], ...]:
+        """The whole tree, one tuple per level, classes as slot indices."""
+        out = []
+        for level, ids in enumerate(self.levels):
+            if level == 0:
+                out.append(tuple(self.defs[cid][1] for cid in ids))
+                continue
+            row = []
+            for cid in ids:
+                _, parent, obs = self.defs[cid]
+                row.append(
+                    (
+                        self.slot[parent],
+                        tuple((self.slot[c], m) for c, m in obs),
+                    )
+                )
+            out.append(tuple(row))
+        return tuple(out)
+
+    def decode(self, payload: Tuple[Tuple[Any, ...], ...]) -> List[List[int]]:
+        """Merge a peer's encoded tree; returns its slot→id map per level."""
+        maps: List[List[int]] = []
+        for level, row in enumerate(payload):
+            if level == 0:
+                maps.append([self.intern0(tag) for tag in row])
+                continue
+            prev = maps[level - 1]
+            ids = []
+            for parent_slot, obs in row:
+                mapped = sorted((prev[c], m) for c, m in obs)
+                ids.append(self.intern(level, prev[parent_slot], tuple(mapped)))
+            maps.append(ids)
+        return maps
+
+
+def _propagate(
+    store: _Store,
+    chain: List[int],
+    max_level: int,
+    strict: bool,
+) -> Optional[Dict[int, int]]:
+    """Pin class sizes by constraint propagation over levels ``<= max_level``.
+
+    Solves, to a fixpoint, every anchor/partition/red-edge equation that
+    is down to a single unknown.  In ``strict`` mode any inconsistency —
+    a non-positive, non-integer, or contradictory deduction — rejects
+    the whole attempt (returns ``None``): on certifiably complete levels
+    the equations are exact, so a contradiction means the completeness
+    assumption was wrong.  In non-strict mode (used on the still-growing
+    top of the tree, merely to extract a candidate count) inconsistent
+    equations are skipped.
+    """
+    # Equations as (constant, ((coef, var), ...)) asserting
+    # constant + sum(coef * x_var) == 0, built fresh each attempt so no
+    # stale deduction survives new information.
+    equations: List[List[Tuple[int, int]]] = []
+    children: Dict[int, List[int]] = {}
+    pair_terms: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for level in range(1, min(max_level, len(store.levels) - 1) + 1):
+        for cid in store.levels[level]:
+            _, parent, obs = store.defs[cid]
+            children.setdefault(parent, []).append(cid)
+            for other, mult in obs:
+                if other == parent:
+                    continue
+                key = (parent, other) if parent < other else (other, parent)
+                sign = 1 if parent < other else -1
+                pair_terms.setdefault(key, []).append((sign * mult, cid))
+    for parent, kids in children.items():
+        equations.append([(-1, parent)] + [(1, kid) for kid in kids])
+    equations.extend(pair_terms.values())
+
+    sizes: Dict[int, int] = {}
+    for level, cid in enumerate(chain):
+        if level > max_level:
+            break
+        sizes[cid] = 1
+
+    progress = True
+    while progress:
+        progress = False
+        for eq in equations:
+            total = 0
+            unknown: Optional[Tuple[int, int]] = None
+            dead = False
+            for coef, var in eq:
+                value = sizes.get(var)
+                if value is None:
+                    if unknown is not None:
+                        dead = True
+                        break
+                    unknown = (coef, var)
+                else:
+                    total += coef * value
+            if dead:
+                continue
+            if unknown is None:
+                if total != 0 and strict:
+                    return None
+                continue
+            coef, var = unknown
+            if total % coef != 0:
+                if strict:
+                    return None
+                continue
+            value = -total // coef
+            if value < 1:
+                if strict:
+                    return None
+                continue
+            sizes[var] = value
+            progress = True
+    return sizes
+
+
+def _level_totals(
+    store: _Store, sizes: Dict[int, int], max_level: int
+) -> Dict[int, int]:
+    """Totals of the fully-sized levels ``<= max_level``."""
+    totals: Dict[int, int] = {}
+    for level in range(min(max_level, len(store.levels) - 1) + 1):
+        ids = store.levels[level]
+        if all(cid in sizes for cid in ids):
+            totals[level] = sum(sizes[cid] for cid in ids)
+    return totals
+
+
+def _try_accept(store: _Store, chain: List[int], top: int) -> Optional[int]:
+    """The leader's acceptance test; returns the count or ``None``.
+
+    First a non-strict pass over the whole tree extracts a candidate
+    ``c``; then a strict pass restricted to levels at least ``c − 1``
+    rounds old — complete at the leader by 1-interval connectivity if
+    ``c >= n`` — must re-derive the same total on the last
+    :data:`_WINDOW` fully-sized levels without any inconsistency.
+    """
+    sizes = _propagate(store, chain, top, strict=False)
+    assert sizes is not None  # non-strict never rejects
+    totals = _level_totals(store, sizes, top)
+    for candidate in sorted(set(totals.values()), reverse=True):
+        cut = top - (candidate - 1)
+        if cut < 1:
+            continue
+        strict_sizes = _propagate(store, chain, cut, strict=True)
+        if strict_sizes is None:
+            continue
+        strict_totals = _level_totals(store, strict_sizes, cut)
+        solved = sorted(strict_totals)
+        if len(solved) < _WINDOW:
+            continue
+        window = solved[-_WINDOW:]
+        if window[-1] - window[0] != _WINDOW - 1:
+            continue  # the window must be consecutive levels
+        if any(strict_totals[level] != candidate for level in window):
+            continue
+        return candidate
+    return None
+
+
+class DynamicCounting(SyncProcess):
+    """One processor of the history-tree counting algorithm.
+
+    Requires exactly one leader (truthy input) and a simultaneous start;
+    runs on any of this repo's topologies — the adversarial dynamic
+    ring/path is the intended one, the static ring a special case.
+    """
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 1:
+            raise ConfigurationError("counting needs n >= 1")
+
+    def run(self):
+        store = _Store()
+        chain = [store.intern0(1 if self.input else 0)]
+        leader = bool(self.input)
+        done: Optional[Tuple[int, int]] = None  # (count, halt round)
+        cycle = 0
+        while True:
+            if done is not None:
+                count, t_end = done
+                if cycle >= t_end:
+                    return count
+                payload: Any = ("D", count, t_end)
+            else:
+                payload = ("T", store.encode(), tuple(store.slot[c] for c in chain))
+            received = yield Out(left=payload, right=payload)
+            cycle += 1
+            tops: List[int] = []
+            for _port, message in received.items():
+                if message[0] == "D":
+                    if done is None:
+                        done = (message[1], message[2])
+                elif done is None:
+                    maps = store.decode(message[1])
+                    their_chain = message[2]
+                    if len(their_chain) != len(chain):
+                        raise ProtocolError(
+                            "history chains out of step; dynamic counting "
+                            "needs a simultaneous start"
+                        )
+                    tops.append(maps[len(their_chain) - 1][their_chain[-1]])
+            if done is not None:
+                if cycle >= done[1]:
+                    return done[0]
+                continue
+            counts: Dict[int, int] = {}
+            for top_id in tops:
+                counts[top_id] = counts.get(top_id, 0) + 1
+            obs = tuple(sorted(counts.items()))
+            chain.append(store.intern(len(chain), chain[-1], obs))
+            if leader:
+                accepted = _try_accept(store, chain, len(chain) - 1)
+                if accepted is not None:
+                    done = (accepted, cycle + accepted)

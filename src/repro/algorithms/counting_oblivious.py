@@ -1,0 +1,86 @@
+"""Content-oblivious ring counting by beep circulation (ROADMAP item 3).
+
+The synchronous specialization of the Chalopin–Chang–Di Luna–Zhou
+content-oblivious model (arXiv:2603.28260): only message *presence*
+crosses the wire — run under ``RunSpec.message_mode="oblivious"``, where
+the engine strips every payload to ``None`` at the delivery boundary and
+charges one bit (a beep) per message.  The algorithm below is honest to
+the model by construction: it never reads a payload, only
+:meth:`In.has`, so plain and oblivious delivery produce identical
+outputs.
+
+On a uniformly oriented ring with a single leader (truthy input), the
+leader injects one beep rightward; every processor relays each beep it
+hears on its left port to its right port one cycle later, so the beep
+circulates with period exactly ``n``.  The leader's relay of the
+returning beep *is* the second circulation, giving every processor two
+left-arrivals exactly ``n`` cycles apart — each outputs the gap and
+halts after relaying the second beep (the leader absorbs it instead, so
+the ring quiesces).  ``2n`` rounds, ``2n`` messages, ``2n`` bits: the
+``Θ(n)`` counting bound, with no dependence on ``self.n``.
+
+Unlike the unoriented static ring of the paper — where counting is
+impossible without a leader and orientation must be computed — both a
+leader and an orientation are *assumed* here, exactly as in the source
+model's ring sections.  A beep arriving on the right port means the ring
+is not uniformly oriented; the processor fails loudly rather than
+miscounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.message import Port
+from ..sync.process import Out, SyncProcess
+
+
+class ObliviousCounting(SyncProcess):
+    """One processor of the beep-circulation counting algorithm."""
+
+    def __init__(self, input_value: Any, n: int) -> None:
+        super().__init__(input_value, n)
+        if n < 1:
+            raise ConfigurationError("counting needs n >= 1")
+
+    def run(self):
+        leader = bool(self.input)
+        t = -1
+        first: Optional[int] = None
+        if leader:
+            out = Out(right=True)  # the injected beep, cycle 0
+        elif self.wake_inbox:
+            # Woken by the beep itself: it arrived the cycle before our
+            # first emission, so it counts as local time -1 and the
+            # relay goes out immediately.
+            if any(port is Port.RIGHT for port, _ in self.wake_inbox):
+                raise ProtocolError(
+                    "beep arrived on the right port; oblivious counting "
+                    "needs a uniformly oriented ring"
+                )
+            first = -1
+            out = Out(right=True)
+        else:
+            out = Out()
+        while True:
+            received = yield out
+            t += 1  # `received` holds the arrivals of local cycle t
+            if received.has(Port.RIGHT):
+                raise ProtocolError(
+                    "beep arrived on the right port; oblivious counting "
+                    "needs a uniformly oriented ring"
+                )
+            if not received.has(Port.LEFT):
+                out = Out()
+                continue
+            if first is None:
+                first = t
+                out = Out(right=True)  # relay the first passage
+                continue
+            count = t - first
+            if not leader:
+                # Relay the second passage onward, then halt; the leader
+                # absorbs it instead, so exactly 2n beeps ever cross.
+                yield Out(right=True)
+            return count

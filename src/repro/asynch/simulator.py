@@ -46,6 +46,7 @@ from ..core.errors import NonTerminationError, SimulationError
 from ..core.message import Envelope, Port, bit_length
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
+from ..topology.base import static_route_table
 from .adversary import Action, Adversary
 from .process import AsyncFactory, AsyncProcess, Context
 from .schedulers import ChannelId, PendingView, RoundRobinScheduler, Scheduler
@@ -69,6 +70,7 @@ class _Engine:
         keep_log: bool,
         recorder: Optional["Recorder"] = None,
         channel_keys: str = "cid",
+        oblivious: bool = False,
     ):
         self.config = config
         self.n = config.n
@@ -86,12 +88,16 @@ class _Engine:
         # adversary per receiver in-port ("port") — each matches that
         # engine's own FIFO discipline.
         self.cid_keys = channel_keys == "cid"
-        # Each (sender, port) always maps to the same channel; resolve the
-        # routing once instead of per send.
-        self.routes: List[Dict[Port, Tuple[int, Port, int]]] = [
-            {port: config.route(i, port) for port in (Port.LEFT, Port.RIGHT)}
-            for i in range(self.n)
-        ]
+        # Content-oblivious delivery: payloads stripped to None on the
+        # wire, one bit (a beep) per message.
+        self.oblivious = oblivious
+        # Each (sender, port) always maps to the same channel; the static
+        # route table is the topology layer's, resolved once per run.
+        # (The asynchronous engines are static-ring only: the dynamic
+        # adversary's rounds have no meaning without a global clock.)
+        self.routes: List[Dict[Port, Tuple[int, Port, int]]] = static_route_table(
+            config
+        )
 
     def invoke_start(self, i: int, etime: int = 0) -> List[Tuple[Port, Any]]:
         if self.recorder is not None:
@@ -115,8 +121,18 @@ class _Engine:
                 self.recorder.halt(i, etime, ctx._output)
         return ctx._sends
 
-    def record(self, sender: int, out_port: Port, payload: Any, time: int) -> Tuple[int, Port, int]:
+    def record(
+        self, sender: int, out_port: Port, payload: Any, time: int
+    ) -> Tuple[int, Port, int, Any]:
+        """Account one send; returns the route plus the *wire* payload.
+
+        Under content-oblivious delivery the payload is stripped to
+        ``None`` here — the boundary where the message leaves its sender
+        — so the log, the recorder, and the receiver all see the beep.
+        """
         receiver, in_port, step = self.routes[sender][out_port]
+        if self.oblivious:
+            payload = None
         if self.keep_log:
             self.stats.record(
                 Envelope(
@@ -142,7 +158,7 @@ class _Engine:
                 time,
                 channel=channel,
             )
-        return receiver, in_port, step
+        return receiver, in_port, step, payload
 
     def check_all_halted(self) -> None:
         """Quiescence check: everyone halted, crashed processors excused."""
@@ -164,6 +180,7 @@ def run_asynchronous(
     keep_log: bool = False,
     adversary: Optional[Adversary] = None,
     recorder: Optional["Recorder"] = None,
+    oblivious: bool = False,
 ) -> RunResult:
     """Run an asynchronous computation under an arbitrary schedule.
 
@@ -190,7 +207,9 @@ def run_asynchronous(
             halted, or the scheduler chose a channel with no pending
             message (the error names the scheduler class).
     """
-    engine = _Engine(config, factory, keep_log, recorder, channel_keys="cid")
+    engine = _Engine(
+        config, factory, keep_log, recorder, channel_keys="cid", oblivious=oblivious
+    )
     n = config.n
     budget = max_events if max_events is not None else default_event_budget(n)
     scheduler = scheduler or RoundRobinScheduler()
@@ -210,7 +229,9 @@ def run_asynchronous(
 
     def dispatch(sender: int, sends: List[Tuple[Port, Any]], time: int) -> None:
         for out_port, payload in sends:
-            receiver, in_port, step = engine.record(sender, out_port, payload, time)
+            receiver, in_port, step, payload = engine.record(
+                sender, out_port, payload, time
+            )
             cid: ChannelId = (sender, receiver, step)
             queue = queues[cid]
             if not queue:
@@ -299,6 +320,7 @@ def run_async_synchronized(
     max_cycles: Optional[int] = None,
     keep_log: bool = False,
     recorder: Optional["Recorder"] = None,
+    oblivious: bool = False,
 ) -> RunResult:
     """Run under the synchronizing adversary of Theorem 5.1.
 
@@ -315,7 +337,9 @@ def run_async_synchronized(
     one receiver's in-port, deliveries happen in global send order, so the
     recorder keys its FIFO mirror by ``(receiver, in_port)``.
     """
-    engine = _Engine(config, factory, keep_log, recorder, channel_keys="port")
+    engine = _Engine(
+        config, factory, keep_log, recorder, channel_keys="port", oblivious=oblivious
+    )
     n = config.n
     budget = max_cycles if max_cycles is not None else 8 * n + 64
 
@@ -334,7 +358,9 @@ def run_async_synchronized(
     def dispatch(sender: int, sends: List[Tuple[Port, Any]], cycle: int) -> None:
         nonlocal pending_count
         for out_port, payload in sends:
-            receiver, in_port, _ = engine.record(sender, out_port, payload, cycle)
+            receiver, in_port, _, payload = engine.record(
+                sender, out_port, payload, cycle
+            )
             inflight[receiver][in_port].append(payload)
             pending_count += 1
 

@@ -46,6 +46,7 @@ from ..core.tracing import RunResult, TraceStats
 from ..runtime.registry import SYNC, algorithm
 from ..sync.simulator import default_cycle_budget
 from ..sync.wakeup import WakeupSchedule
+from ..topology.arrays import batch_gather_indices
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.spec import RunSpec
@@ -84,6 +85,11 @@ def _validate(spec: "RunSpec") -> Any:
         raise ConfigurationError(
             "the sync-batch engine supports neither keep_log nor record; "
             "use engine='sync' for logged or recorded runs"
+        )
+    if spec.topology is not None or spec.message_mode != "plain":
+        raise ConfigurationError(
+            "the batch engine is static-ring, plain-payload only; dynamic "
+            "topologies and content-oblivious delivery run on engine='sync'"
         )
     entry = algorithm(spec.algorithm)
     if entry.kind != SYNC:
@@ -232,50 +238,17 @@ class _Batch:
         self.program: "BatchProgram" = program(self)
 
     def _build_routing(self) -> None:
-        """Invert :meth:`RingConfiguration.route` into gather tables.
+        """Invert the static-ring routing into gather tables.
 
         ``srcL[b, r]`` is the flat index into the ``(2, B, N)`` emission
         buffers of the one (sender, out-port) whose message lands on
-        ``r``'s LEFT port; ``srcR`` likewise for RIGHT.  The math is
-        ``route``'s, vectorized: a sender's RIGHT port faces physical
-        ``+1`` iff its orientation bit is 1, and a message traveling
-        ``+1`` lands on the receiver's LEFT iff *the receiver's* bit
-        is 1.  Padding cells index their own (never set) emission slot.
+        ``r``'s LEFT port; ``srcR`` likewise for RIGHT.  The math lives
+        in the topology layer (:func:`repro.topology.arrays.\
+batch_gather_indices`) — the vectorized sibling of the scalar
+        :func:`repro.topology.base.static_arrival_table` the generator
+        engine uses.  Padding cells index their own (never set) slot.
         """
-        B, N = self.B, self.N
-        D = np.zeros((B, N), dtype=np.int64)
-        for b, ring in enumerate(self.rings):
-            D[b, : ring.n] = np.fromiter(
-                ring.orientations, dtype=np.int64, count=ring.n
-            )
-        idx = np.arange(N, dtype=np.int64)[None, :]
-        nv = self.n[:, None]
-        step_right = np.where(D == 1, 1, -1)  # physical direction of RIGHT port
-        recv_left = (idx - step_right) % nv  # LEFT port faces the other way
-        recv_right = (idx + step_right) % nv
-        # Arrival side at the receiver: traveling +1 lands on LEFT iff
-        # D(receiver) == 1; traveling -1 lands on LEFT iff D(receiver) == 0.
-        arrL_on_left = np.take_along_axis(D, recv_left, axis=1) == np.where(
-            step_right == 1, 0, 1
-        )
-        arrR_on_left = np.take_along_axis(D, recv_right, axis=1) == np.where(
-            step_right == 1, 1, 0
-        )
-
-        base = (np.arange(B, dtype=np.int64) * N)[:, None]
-        sender_flat = base + idx
-        BN = B * N
-        self.srcL = sender_flat.copy()
-        self.srcR = sender_flat.copy()
-        for out_offset, recv, on_left in (
-            (0, recv_left, arrL_on_left),
-            (BN, recv_right, arrR_on_left),
-        ):
-            recv_flat = base + recv
-            mask = on_left & self.alive
-            self.srcL.reshape(-1)[recv_flat[mask]] = out_offset + sender_flat[mask]
-            mask = ~on_left & self.alive
-            self.srcR.reshape(-1)[recv_flat[mask]] = out_offset + sender_flat[mask]
+        self.srcL, self.srcR = batch_gather_indices(self.rings, self.n, self.alive)
 
     # ------------------------------------------------------------------
 

@@ -287,7 +287,14 @@ class EquivalenceEngine:
         return None
 
 
-@lru_cache(maxsize=64)
+#: Distinct configuration tuples the module-level engine cache retains.
+#: LRU-bounded: a long-lived process sweeping thousands of rings (the
+#: fuzzer, the gateway) evicts cold engines instead of growing without
+#: limit — each engine can hold large level tables.
+_ENGINE_CACHE_SIZE = 64
+
+
+@lru_cache(maxsize=_ENGINE_CACHE_SIZE)
 def _cached_engine(configs: Tuple[RingConfiguration, ...]) -> EquivalenceEngine:
     return EquivalenceEngine(configs)
 
@@ -297,7 +304,20 @@ def engine_for(*configs: RingConfiguration) -> EquivalenceEngine:
 
     Configurations compare by value, so equal rings share an engine —
     and with it every level table and radius query computed so far.
+    The cache keeps at most :data:`_ENGINE_CACHE_SIZE` engines (LRU);
+    :func:`engine_cache_info` exposes its state and
+    :func:`clear_engine_cache` empties it.
     """
     if not configs:
         raise ValueError("need at least one configuration")
     return _cached_engine(configs)
+
+
+def engine_cache_info():
+    """The engine cache's ``functools`` statistics (hits, size, bound)."""
+    return _cached_engine.cache_info()
+
+
+def clear_engine_cache() -> None:
+    """Drop every cached engine (tests; releasing memory in daemons)."""
+    _cached_engine.cache_clear()

@@ -60,6 +60,7 @@ from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult
 from ..runtime.runner import Runner, TaskCall, derive_seed, task_digest
 from ..runtime.spec import RunSpec
+from ..topology import TopologySpec
 from .registry import (
     FuzzTarget,
     SyncFuzzTarget,
@@ -417,6 +418,22 @@ def _sync_case(
         raw = [rng.randint(0, 2 * n) for _ in range(n)]
         base = min(raw)  # schedules are normalized: min wake time is 0
         kwargs["wakeup"] = tuple(value - base for value in raw)
+    if target.topologies or target.oblivious:
+        # Dynamic topologies and oblivious delivery are generator-engine
+        # only, so these cases never consult the batch program; both
+        # ``engine`` values build the very same spec, which is what keeps
+        # the auto-vs-sync parity check byte-identical.
+        if target.topologies:
+            kwargs["topology"] = TopologySpec(
+                kind="dynamic-ring",
+                seed=rng.randint(0, 2**31 - 1),
+                path_rate=0.3,
+            )
+        if target.oblivious:
+            kwargs["message_mode"] = "oblivious"
+        return config, RunSpec.make(
+            engine="sync", ring=config, algorithm=target.name, **kwargs
+        )
     spec = RunSpec.make(
         engine="sync-batch", ring=config, algorithm=target.name, **kwargs
     )

@@ -157,6 +157,14 @@ class SyncFuzzTarget:
     Cases execute as :class:`~repro.runtime.spec.RunSpec` batches through
     :meth:`Runner.run_specs`, which routes every spec the vectorized
     engine supports through one struct-of-arrays call.
+
+    ``topologies`` puts each case on a seeded
+    :class:`~repro.topology.dynamic.TopologyAdversary` — the fuzzed input
+    is then the rewiring seed as much as the ring — and ``oblivious``
+    runs cases under content-oblivious delivery
+    (``RunSpec.message_mode="oblivious"``).  Either flag forces the
+    generator engine (the vectorized engine is static-ring, plain-payload
+    only), and neither combines with ``wakeups``.
     """
 
     name: str
@@ -164,6 +172,8 @@ class SyncFuzzTarget:
     sizes: Tuple[int, ...]
     check: SyncChecker
     wakeups: bool = False
+    topologies: bool = False
+    oblivious: bool = False
     description: str = ""
 
 
@@ -175,6 +185,13 @@ def _int_ring(n: int, rng: random.Random) -> RingConfiguration:
 def _zeros_ring(n: int, rng: random.Random) -> RingConfiguration:
     del rng
     return RingConfiguration.oriented((0,) * n)
+
+
+def _leader_ring(n: int, rng: random.Random) -> RingConfiguration:
+    """Clockwise ring with a single leader (1) at a random position."""
+    inputs = [0] * n
+    inputs[rng.randrange(n)] = 1
+    return RingConfiguration.oriented(tuple(inputs))
 
 
 def _check_sync_and(config: RingConfiguration, result: Any) -> Any:
@@ -212,6 +229,13 @@ def _check_common_start(config: RingConfiguration, result: Any) -> Any:
     del config
     if len(set(result.outputs)) != 1:
         return f"processors disagree on the start cycle: {result.outputs!r}"
+    return None
+
+
+def _check_count(config: RingConfiguration, result: Any) -> Any:
+    """Every processor must output the true ring size."""
+    if any(out != config.n for out in result.outputs):
+        return f"outputs {result.outputs!r} != ring size ({config.n})"
     return None
 
 
@@ -260,6 +284,24 @@ def default_sync_targets() -> Tuple[SyncFuzzTarget, ...]:
             sizes=(2, 5, 9, 16),
             check=_check_leader,
             description="round-synchronized Chang-Roberts election",
+        ),
+        SyncFuzzTarget(
+            name="dynamic-counting",
+            make_config=_leader_ring,
+            sizes=(2, 3, 5, 8),
+            check=_check_count,
+            topologies=True,
+            description="history-tree counting under a seeded topology "
+            "adversary (arXiv:2204.02128)",
+        ),
+        SyncFuzzTarget(
+            name="oblivious-counting",
+            make_config=_leader_ring,
+            sizes=(2, 3, 5, 9, 16),
+            check=_check_count,
+            oblivious=True,
+            description="content-oblivious beep-circulation counting "
+            "(arXiv:2603.28260)",
         ),
     )
 

@@ -7,10 +7,13 @@ vs naive → ``BENCH_analysis.json``); ``python -m repro bench --suite
 obs`` runs :func:`run_obs_bench` (recorder-off vs recorder-on →
 ``BENCH_obs.json``); ``python -m repro bench --suite batch`` runs
 :func:`run_batch_bench` (vectorized batch engine vs the generator →
-``BENCH_batch.json``).  All artifacts carry the git commit and a UTC
-timestamp (schema v2), so throughput is tracked PR over PR; see
-:mod:`repro.perf.bench`, :mod:`repro.perf.analysis`,
-:mod:`repro.perf.obs` and :mod:`repro.perf.batch` for the workload
+``BENCH_batch.json``); ``python -m repro bench --suite dynamic`` runs
+:func:`run_dynamic_bench` (counting on dynamic/oblivious topologies,
+with paper-bound checks → ``BENCH_dynamic.json``).  All artifacts carry
+the git commit and a UTC timestamp (schema v2), so throughput is
+tracked PR over PR; see :mod:`repro.perf.bench`,
+:mod:`repro.perf.analysis`, :mod:`repro.perf.obs`,
+:mod:`repro.perf.batch` and :mod:`repro.perf.dynamic` for the workload
 definitions.
 """
 
@@ -46,6 +49,15 @@ from .bench import (
     workload_spec,
     write_bench,
 )
+from .dynamic import (
+    DYNAMIC_FILENAME,
+    DynamicBenchRecord,
+    dynamic_workload_spec,
+    measure_dynamic,
+    render_dynamic_table,
+    run_dynamic_bench,
+    write_dynamic_bench,
+)
 from .obs import (
     OBS_FILENAME,
     ObsRecord,
@@ -62,32 +74,39 @@ __all__ = [
     "AnalysisWorkload",
     "BATCH_FILENAME",
     "BENCH_FILENAME",
+    "DYNAMIC_FILENAME",
     "OBS_FILENAME",
     "SCHEMA_VERSION",
     "BatchBenchRecord",
     "BenchRecord",
+    "DynamicBenchRecord",
     "ObsRecord",
     "Workload",
     "analysis_speedups",
     "default_analysis_workloads",
     "default_workloads",
+    "dynamic_workload_spec",
     "measure",
     "measure_analysis",
     "measure_batch",
+    "measure_dynamic",
     "measure_obs",
     "overhead_summary",
     "profile_radius",
     "render_analysis_table",
     "render_batch_table",
+    "render_dynamic_table",
     "render_obs_table",
     "render_table",
     "run_analysis_bench",
     "run_batch_bench",
     "run_bench",
+    "run_dynamic_bench",
     "run_obs_bench",
     "workload_spec",
     "write_analysis_bench",
     "write_batch_bench",
     "write_bench",
+    "write_dynamic_bench",
     "write_obs_bench",
 ]

@@ -1,0 +1,220 @@
+"""The counting-algorithm suite behind ``python -m repro bench --suite dynamic``.
+
+The topology layer's two counting algorithms come with paper-backed
+complexity bounds, so their benchmark doubles as a regression check on
+both speed *and* asymptotics:
+
+* ``dynamic_counting`` — history-tree counting on a seeded adversarial
+  dynamic ring/path (:mod:`repro.algorithms.counting_dynamic`).  Di
+  Luna–Viglietta (arXiv:2204.02128) terminate within ``3n - 2`` rounds;
+  this reproduction's conservative acceptance rule is measured at
+  ``~2.25n``, so every record asserts ``rounds <= 3n`` and, since a
+  processor sends on at most two wired ports per round,
+  ``messages <= 2n * rounds``.
+* ``oblivious_counting`` — beep circulation on an oriented static ring
+  under content-oblivious delivery
+  (:mod:`repro.algorithms.counting_oblivious`).  The cost is not a bound
+  but an identity: exactly ``2n`` rounds, ``2n`` messages and ``2n``
+  bits (one beep each), asserted exactly.
+
+Records land in ``BENCH_dynamic.json`` (the shared schema-v2 envelope)
+with a ``bounds`` extra summarizing the check, so CI can fail on an
+asymptotic regression without re-running anything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.ring import RingConfiguration
+from ..runtime.spec import RunSpec, execute
+from ..topology import TopologySpec
+from .bench import write_payload
+
+#: Default output file, written to the current working directory.
+DYNAMIC_FILENAME = "BENCH_dynamic.json"
+
+_SEED = 0x10F0
+
+
+def _leader_ring(n: int) -> RingConfiguration:
+    """An oriented ring with the single leader at position 0."""
+    return RingConfiguration.oriented((1,) + (0,) * (n - 1))
+
+
+def dynamic_workload_spec(name: str, n: int) -> RunSpec:
+    """The :class:`RunSpec` a named suite workload runs at size ``n``.
+
+    Exposed so the benchmark regression tests can rerun the exact specs
+    this suite measures.
+    """
+    if name == "dynamic_counting":
+        return RunSpec.make(
+            engine="sync",
+            ring=_leader_ring(n),
+            algorithm="dynamic-counting",
+            topology=TopologySpec(kind="dynamic-ring", seed=_SEED + n, path_rate=0.3),
+        )
+    if name == "dynamic_counting_churn":
+        # Partial churn: half the rounds reuse the previous layout, the
+        # adversary is lazier but no less adversarial in the bound.
+        return RunSpec.make(
+            engine="sync",
+            ring=_leader_ring(n),
+            algorithm="dynamic-counting",
+            topology=TopologySpec(
+                kind="dynamic-ring", seed=_SEED + n, churn=0.5, path_rate=0.3
+            ),
+        )
+    if name == "oblivious_counting":
+        return RunSpec.make(
+            engine="sync",
+            ring=_leader_ring(n),
+            algorithm="oblivious-counting",
+            message_mode="oblivious",
+        )
+    raise KeyError(f"unknown workload {name!r}")
+
+
+@dataclass(frozen=True)
+class DynamicBenchRecord:
+    """One (workload, n) measurement with its complexity-bound verdict.
+
+    ``rounds`` is the engine cycle count; ``round_bound`` /
+    ``message_bound`` are the paper-derived ceilings the run must stay
+    under (for the oblivious workload they are exact targets, and
+    ``exact`` is set).  ``within_bounds`` is the verdict CI keys on.
+    """
+
+    workload: str
+    n: int
+    repeats: int
+    seconds: float
+    rounds: int
+    messages: int
+    bits: int
+    round_bound: int
+    message_bound: int
+    exact: bool
+    within_bounds: bool
+
+
+def _bounds(workload: str, n: int, rounds: int) -> Tuple[int, int, bool]:
+    if workload == "oblivious_counting":
+        return 2 * n, 2 * n, True
+    return 3 * n, 2 * n * rounds, False
+
+
+def measure_dynamic(workload: str, n: int, repeats: int = 1) -> DynamicBenchRecord:
+    """Run one workload at one size, keeping the best wall time."""
+    spec = dynamic_workload_spec(workload, n)
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = execute(spec)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    if any(out != n for out in result.outputs):
+        raise AssertionError(
+            f"{workload} at n={n} output {result.outputs!r}, expected all {n}"
+        )
+    rounds = result.cycles or 0
+    round_bound, message_bound, exact = _bounds(workload, n, rounds)
+    if exact:
+        ok = (
+            rounds == round_bound
+            and result.stats.messages == message_bound
+            and result.stats.bits == message_bound
+        )
+    else:
+        ok = rounds <= round_bound and result.stats.messages <= message_bound
+    return DynamicBenchRecord(
+        workload=workload,
+        n=n,
+        repeats=max(1, repeats),
+        seconds=best,
+        rounds=rounds,
+        messages=result.stats.messages,
+        bits=result.stats.bits,
+        round_bound=round_bound,
+        message_bound=message_bound,
+        exact=exact,
+        within_bounds=ok,
+    )
+
+
+#: Workload name -> (full sweep, quick sweep).  The dynamic-counting
+#: sizes stay modest: history-tree payloads grow polynomially, and the
+#: bound being checked is linear, so n=16 already separates O(n) from
+#: O(n log n).
+_GRID: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...]], ...] = (
+    ("dynamic_counting", (4, 8, 12, 16), (4, 8)),
+    ("dynamic_counting_churn", (4, 8, 12, 16), (4,)),
+    ("oblivious_counting", (8, 32, 128, 256), (8, 32)),
+)
+
+
+def run_dynamic_bench(
+    quick: bool = False, repeats: Optional[int] = None
+) -> List[DynamicBenchRecord]:
+    """Run the suite; ``quick`` trims sweeps for CI smoke runs."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    records = []
+    for workload, sizes, quick_sizes in _GRID:
+        for n in quick_sizes if quick else sizes:
+            records.append(measure_dynamic(workload, n, repeats=repeats))
+    return records
+
+
+def render_dynamic_table(records: Sequence[DynamicBenchRecord]) -> str:
+    """A human-readable summary of a dynamic bench run."""
+    lines = [
+        f"{'workload':<24} {'n':>5} {'rounds':>7} {'bound':>6} {'msgs':>8} "
+        f"{'seconds':>9} {'ok':>3}",
+        "-" * 68,
+    ]
+    for record in records:
+        lines.append(
+            f"{record.workload:<24} {record.n:>5} {record.rounds:>7} "
+            f"{record.round_bound:>6} {record.messages:>8} "
+            f"{record.seconds:>9.4f} {'yes' if record.within_bounds else 'NO':>3}"
+        )
+    return "\n".join(lines)
+
+
+def write_dynamic_bench(
+    records: Sequence[DynamicBenchRecord],
+    path: Union[str, Path, None] = None,
+    quick: bool = False,
+) -> Path:
+    """Serialize a dynamic bench run to JSON (schema v2 envelope)."""
+    target = Path(path) if path is not None else Path(DYNAMIC_FILENAME)
+    ratios: Dict[str, float] = {}
+    for record in records:
+        ratio = record.rounds / record.n
+        if ratio > ratios.get(record.workload, 0.0):
+            ratios[record.workload] = ratio
+    return write_payload(
+        records,
+        target,
+        suite="dynamic-counting",
+        quick=quick,
+        extras={
+            "bounds": {
+                "ok": all(record.within_bounds for record in records),
+                "violations": [
+                    {"workload": record.workload, "n": record.n}
+                    for record in records
+                    if not record.within_bounds
+                ],
+                "max_rounds_per_n": {
+                    name: ratios[name] for name in sorted(ratios)
+                },
+            },
+        },
+    )

@@ -1,7 +1,8 @@
 """Experiment runner: regenerate every paper-vs-measured record.
 
 One function per experiment of DESIGN.md's index (E1–E15 plus the
-extension ablations E16–E18); :func:`run_all` executes them and
+extension ablations E16–E18 and the topology-layer counting
+reproductions E19–E20); :func:`run_all` executes them and
 :func:`render_markdown` formats the result as the table EXPERIMENTS.md
 carries.  The CLI exposes this as ``python -m repro report`` (with
 ``--output EXPERIMENTS.md`` to regenerate the file in place and
@@ -10,7 +11,7 @@ carries.  The CLI exposes this as ``python -m repro report`` (with
 Each experiment declares its full and quick sweep exactly once, in
 :data:`EXPERIMENT_SWEEPS`; :func:`run_all` builds one task per
 experiment and executes the batch through a
-:class:`repro.runtime.runner.Runner`, so the 18 experiments run in
+:class:`repro.runtime.runner.Runner`, so the 20 experiments run in
 parallel under ``jobs > 1`` with byte-identical output for every job
 count.  Sizes are chosen so the whole sweep finishes in a couple of
 minutes on one core.
@@ -70,8 +71,9 @@ from .lowerbounds import (
 )
 from .batch import supports_batch
 from .core.tracing import RunResult
+from .perf.dynamic import dynamic_workload_spec
 from .runtime.runner import Runner, TaskCall, task_digest
-from .runtime.spec import RunSpec
+from .runtime.spec import RunSpec, execute
 
 
 @dataclass
@@ -150,6 +152,8 @@ EXPERIMENT_SWEEPS: Dict[str, ExperimentSweep] = {
     "E16": ExperimentSweep((16, 32, 64), (16,)),
     "E17": ExperimentSweep((32, 64, 128), (32,)),
     "E18": ExperimentSweep((16, 32), (16,)),
+    "E19": ExperimentSweep((4, 8, 12, 16), (4, 8)),
+    "E20": ExperimentSweep((8, 32, 128), (8, 32)),
 }
 
 
@@ -532,8 +536,56 @@ def experiment_e18(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
     return record
 
 
+# ----------------------------------------------------------------------
+# E19–E20 (topology-layer counting: related-work reproductions)
+# ----------------------------------------------------------------------
+
+
+def experiment_e19(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E19", sizes)
+    record = ExperimentRecord(
+        "E19",
+        "Dynamic-network counting (history trees)",
+        "O(n) rounds on 1-interval-connected dynamic rings "
+        "(arXiv:2204.02128 proves 3n−2); ≤ 2n messages per round",
+        notes="seeded topology adversary (`repro.topology`), leader at "
+        "position 0; mirrors `bench --suite dynamic`",
+    )
+    for n in sizes:
+        result = execute(dynamic_workload_spec("dynamic_counting", n))
+        assert all(out == n for out in result.outputs)
+        record.rows.append(BoundCheck("E19 rounds", n, result.cycles, 3 * n, "upper"))
+        record.rows.append(
+            BoundCheck(
+                "E19 msgs", n, result.stats.messages, 2 * n * result.cycles, "upper"
+            )
+        )
+    return record
+
+
+def experiment_e20(sizes: Optional[Sequence[int]] = None) -> ExperimentRecord:
+    sizes = _sweep("E20", sizes)
+    record = ExperimentRecord(
+        "E20",
+        "Content-oblivious counting (beep circulation)",
+        "exactly 2n rounds, 2n messages, 2n bits on an oriented "
+        "single-leader ring (arXiv:2603.28260, synchronous case)",
+        notes="runs under `message_mode=\"oblivious\"`: payloads are "
+        "stripped at the delivery boundary, so bits == beeps",
+    )
+    for n in sizes:
+        result = execute(dynamic_workload_spec("oblivious_counting", n))
+        assert all(out == n for out in result.outputs)
+        for kind in ("upper", "lower"):
+            record.rows.append(BoundCheck("E20 rounds", n, result.cycles, 2 * n, kind))
+            record.rows.append(
+                BoundCheck("E20 bits", n, result.stats.bits, 2 * n, kind)
+            )
+    return record
+
+
 #: Experiment ids in index order (the keys of both registries below).
-EXPERIMENT_IDS: Tuple[str, ...] = tuple(f"E{i}" for i in range(1, 19))
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(f"E{i}" for i in range(1, 21))
 
 _EXPERIMENT_FUNCS: Dict[str, Callable[..., ExperimentRecord]] = {
     "E1": experiment_e1,
@@ -554,6 +606,8 @@ _EXPERIMENT_FUNCS: Dict[str, Callable[..., ExperimentRecord]] = {
     "E16": experiment_e16,
     "E17": experiment_e17,
     "E18": experiment_e18,
+    "E19": experiment_e19,
+    "E20": experiment_e20,
 }
 
 #: All experiment functions in index order (kept for compatibility).
@@ -580,7 +634,7 @@ def run_all(
     """Run every experiment through the runtime layer, in index order.
 
     ``quick`` selects the trimmed sweeps for smoke tests; ``jobs`` fans
-    the 18 experiments across a process pool.  Results come back in
+    the 20 experiments across a process pool.  Results come back in
     index order no matter how workers interleave, so output is
     byte-identical for every job count.
     """

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..algorithms.async_input_distribution import AsyncInputDistribution
+from ..algorithms.counting_dynamic import DynamicCounting
+from ..algorithms.counting_oblivious import ObliviousCounting
 from ..algorithms.functions import AND
 from ..algorithms.leader_election import (
     ChangRoberts,
@@ -283,6 +285,20 @@ for _entry in (
         description="round-synchronized Chang-Roberts election "
         "(labeled baseline)",
         batch_program=_batch_chang_roberts_sync,
+    ),
+    AlgorithmEntry(
+        name="dynamic-counting",
+        kind=SYNC,
+        build=_returning(DynamicCounting),
+        description="history-tree counting on dynamic networks "
+        "(Di Luna-Viglietta, arXiv:2204.02128; one leader)",
+    ),
+    AlgorithmEntry(
+        name="oblivious-counting",
+        kind=SYNC,
+        build=_returning(ObliviousCounting),
+        description="content-oblivious beep-circulation counting "
+        "(Chalopin et al., arXiv:2603.28260; oriented, one leader)",
     ),
 ):
     register(_entry)

@@ -28,6 +28,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..core.errors import ConfigurationError
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult
+from ..topology.spec import TopologySpec, build_topology
 from .cache import code_version
 from .registry import ASYNC, SYNC, algorithm
 
@@ -42,6 +43,16 @@ SYNC_ENGINES = ("sync", "sync-batch")
 
 #: Scheduler names resolvable by :func:`build_scheduler` (async engine).
 SCHEDULERS = ("round-robin", "random", "greedy", "bounded-delay")
+
+#: Message modes: ``"plain"`` carries payloads; ``"oblivious"`` strips
+#: them at the delivery boundary — only presence (a beep, one bit)
+#: crosses the wire (Chalopin et al., content-oblivious computation).
+MESSAGE_MODES = ("plain", "oblivious")
+
+#: Fields added after the seed corpus was digested, omitted from
+#: :meth:`RunSpec.canonical` at their defaults: every pre-existing
+#: static-ring spec keeps its canonical form — and its cache slot.
+_OMIT_AT_DEFAULT = {"topology": None, "message_mode": "plain"}
 
 
 @dataclass(frozen=True)
@@ -81,6 +92,15 @@ class RunSpec:
             asynchronous engine.  Off by default: recording is the one
             spec knob that changes no outputs or counters, only the
             attached stream.
+        topology: a :class:`~repro.topology.TopologySpec` for a
+            dynamically rewired substrate (engine ``"sync"`` only), or
+            ``None`` — the default — for the paper's static ring.  The
+            ring still supplies the inputs; a dynamic adversary redraws
+            arrangement and port orientations every round.
+        message_mode: ``"plain"`` (default) or ``"oblivious"`` —
+            content-oblivious delivery, where payloads are stripped at
+            the delivery boundary and each message costs one bit (a
+            beep).  Any engine but ``sync-batch``.
     """
 
     engine: str
@@ -97,6 +117,8 @@ class RunSpec:
     budget: Optional[int] = None
     keep_log: bool = False
     record: bool = False
+    topology: Optional[TopologySpec] = None
+    message_mode: str = "plain"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -156,6 +178,26 @@ class RunSpec:
                 "the sync-batch engine supports neither keep_log nor record; "
                 "use engine='sync' for logged or recorded runs"
             )
+        if self.topology is not None:
+            if not isinstance(self.topology, TopologySpec):
+                raise ConfigurationError(
+                    f"topology must be a TopologySpec, got {self.topology!r}"
+                )
+            if self.engine != "sync":
+                raise ConfigurationError(
+                    "dynamic topologies run on the generator engine only "
+                    f"(engine='sync'), not {self.engine!r}"
+                )
+        if self.message_mode not in MESSAGE_MODES:
+            raise ConfigurationError(
+                f"unknown message_mode {self.message_mode!r}; choose from "
+                f"{MESSAGE_MODES}"
+            )
+        if self.message_mode != "plain" and self.engine == "sync-batch":
+            raise ConfigurationError(
+                "the sync-batch engine is plain-payload only; run "
+                "content-oblivious specs on engine='sync'"
+            )
         params = tuple(sorted(self.params))
         keys = [key for key, _ in params]
         if len(set(keys)) != len(keys):
@@ -198,20 +240,38 @@ class RunSpec:
         out = []
         for f in fields(self):
             value = getattr(self, f.name)
+            # Fields added after the original corpus was digested are
+            # omitted at their defaults, so pre-existing specs keep
+            # their canonical form — and their cache slots.
+            if f.name in _OMIT_AT_DEFAULT and value == _OMIT_AT_DEFAULT[f.name]:
+                continue
             if isinstance(value, RingConfiguration):
                 value = (value.inputs, value.orientations)
             out.append((f.name, repr(value)))
         return tuple(out)
 
-    def digest(self) -> str:
-        """Content address of this spec under the current code version."""
+    def structural_digest(self) -> str:
+        """Content address of the spec's fields alone.
+
+        Unlike :meth:`digest` this does not mix in the package's
+        :func:`~repro.runtime.cache.code_version`, so it is stable
+        across source edits — the invariant the golden-digest regression
+        test pins: a refactor that changes any structural digest would
+        silently invalidate every cache entry.
+        """
         hasher = hashlib.sha256()
-        hasher.update(code_version().encode())
         for name, value in self.canonical():
             hasher.update(name.encode())
             hasher.update(b"=")
             hasher.update(value.encode())
             hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def digest(self) -> str:
+        """Content address of this spec under the current code version."""
+        hasher = hashlib.sha256()
+        hasher.update(code_version().encode())
+        hasher.update(self.structural_digest().encode())
         return hasher.hexdigest()
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -243,6 +303,10 @@ class RunSpec:
             "budget": self.budget,
             "keep_log": self.keep_log,
             "record": self.record,
+            "topology": (
+                self.topology.to_json_dict() if self.topology is not None else None
+            ),
+            "message_mode": self.message_mode,
         }
 
     @classmethod
@@ -286,6 +350,12 @@ class RunSpec:
                 "spec 'params' must be a list of [key, value] pairs"
             ) from None
         wakeup = data.get("wakeup")
+        topology_data = data.get("topology")
+        topology = (
+            TopologySpec.from_json_dict(topology_data)
+            if topology_data is not None
+            else None
+        )
         return cls(
             engine=str(data["engine"]),
             ring=ring,
@@ -301,6 +371,8 @@ class RunSpec:
             budget=data.get("budget"),
             keep_log=bool(data.get("keep_log", False)),
             record=bool(data.get("record", False)),
+            topology=topology,
+            message_mode=str(data.get("message_mode", "plain")),
         )
 
 
@@ -412,11 +484,17 @@ def execute(spec: RunSpec) -> RunResult:
     factory = entry.factory(**spec.params_dict)
     recorder = build_recorder(spec)
 
+    oblivious = spec.message_mode == "oblivious"
     if spec.engine == "sync":
         from ..sync.simulator import run_synchronous
         from ..sync.wakeup import WakeupSchedule
 
         wakeup = WakeupSchedule(spec.wakeup) if spec.wakeup is not None else None
+        topology = (
+            build_topology(spec.ring.n, spec.topology)
+            if spec.topology is not None
+            else None
+        )
         result = run_synchronous(
             spec.ring,
             factory,
@@ -424,6 +502,8 @@ def execute(spec: RunSpec) -> RunResult:
             max_cycles=spec.budget,
             keep_log=spec.keep_log,
             recorder=recorder,
+            topology=topology,
+            oblivious=oblivious,
         )
     elif spec.engine == "async-synchronized":
         from ..asynch.simulator import run_async_synchronized
@@ -434,6 +514,7 @@ def execute(spec: RunSpec) -> RunResult:
             max_cycles=spec.budget,
             keep_log=spec.keep_log,
             recorder=recorder,
+            oblivious=oblivious,
         )
     else:
         from ..asynch.simulator import run_asynchronous
@@ -446,6 +527,7 @@ def execute(spec: RunSpec) -> RunResult:
             keep_log=spec.keep_log,
             adversary=build_adversary(spec),
             recorder=recorder,
+            oblivious=oblivious,
         )
     if recorder is not None:
         result = replace(result, events=tuple(recorder.events))

@@ -18,14 +18,24 @@ the engine enforces this for waking processors exactly as for awake ones.
 Processor indices exist only inside this engine; algorithms are built by a
 single factory from ``(input, n)``, so the ring stays anonymous.
 
+Routing is owned by the :mod:`repro.topology` layer: the engine asks the
+topology for the round's arrival table.  The default —
+:class:`~repro.topology.StaticRing` — is time-invariant, so the table is
+resolved once up front exactly as before; a dynamic topology is consulted
+per cycle.  A send on a port the round's graph leaves unconnected (a
+Hamiltonian-path endpoint) is a no-op: nothing crossed a link, so nothing
+is counted.  With ``oblivious=True`` payloads are stripped to ``None`` at
+the delivery boundary — only message *presence* crosses the wire, and
+every message costs exactly one bit (a beep).
+
 This engine is a hot path (every synchronous bound is checked by running
 it), so the loop keeps a live halted counter instead of scanning, reuses
-the per-cycle arrival buffers instead of reallocating them, resolves port
-routing once up front, and skips :class:`~repro.core.message.Envelope`
-construction unless a log is requested.  Delivered :class:`In` objects are
-allocated fresh only for processors that actually received something; the
-shared empty ``In`` handed out otherwise must be treated as read-only
-(processes only ever read their inbox).
+the per-cycle arrival buffers instead of reallocating them, and skips
+:class:`~repro.core.message.Envelope` construction unless a log is
+requested.  Delivered :class:`In` objects are allocated fresh only for
+processors that actually received something; the shared empty ``In``
+handed out otherwise must be treated as read-only (processes only ever
+read their inbox).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from ..core.errors import NonTerminationError, SimulationError
 from ..core.message import Envelope, Port, bit_length
 from ..core.ring import RingConfiguration
 from ..core.tracing import RunResult, TraceStats
+from ..topology.base import StaticRing, Topology
 from .process import ABSENT, In, Out, ProcessGen, SyncProcess
 from .wakeup import WakeupSchedule
 
@@ -69,6 +80,8 @@ def run_synchronous(
     max_cycles: Optional[int] = None,
     keep_log: bool = False,
     recorder: Optional["Recorder"] = None,
+    topology: Optional[Topology] = None,
+    oblivious: bool = False,
 ) -> RunResult:
     """Run one synchronous computation to completion.
 
@@ -81,6 +94,13 @@ def run_synchronous(
         recorder: optional :class:`repro.obs.events.Recorder` receiving
             the typed event stream (cycle-stamped); ``None`` — the
             default — records nothing and costs nothing.
+        topology: the communication substrate; ``None`` — the default —
+            is the static ring of ``config``.  A dynamic topology's
+            orientation bits replace the ring's for the whole run (the
+            adversary re-draws ports every round).
+        oblivious: content-oblivious delivery — payloads are stripped to
+            ``None`` at the delivery boundary, and each message counts
+            one bit (a beep) in the trace.
 
     Returns:
         A :class:`repro.core.tracing.RunResult` with per-processor outputs,
@@ -94,6 +114,12 @@ def run_synchronous(
     wakeup = wakeup or WakeupSchedule.simultaneous(n)
     if wakeup.n != n:
         raise SimulationError(f"schedule covers {wakeup.n} processors, ring has {n}")
+    if topology is None:
+        topology = StaticRing(config)
+    elif topology.n != n:
+        raise SimulationError(
+            f"topology covers {topology.n} processors, ring has {n}"
+        )
 
     processes: List[SyncProcess] = [factory(config.inputs[i], n) for i in range(n)]
     gens: List[Optional[ProcessGen]] = [None] * n
@@ -107,11 +133,10 @@ def run_synchronous(
     stats = TraceStats(keep_log=keep_log)
     budget = max_cycles if max_cycles is not None else default_cycle_budget(n)
 
-    # Routing never changes during a run: resolve each (sender, port) once.
-    arrival: List[Dict[Port, Tuple[int, Port]]] = [
-        {port: config.arrival_port(i, port) for port in (Port.LEFT, Port.RIGHT)}
-        for i in range(n)
-    ]
+    # Static routing never changes during a run: resolve the table once.
+    # A dynamic topology is asked again at the top of every cycle.
+    arrival = topology.arrival_table(0)
+    rewired = not topology.is_static
 
     # Reused across cycles: per-receiver arrival buffers plus the list of
     # receivers that actually got something (so resetting is O(arrivals),
@@ -167,10 +192,20 @@ def run_synchronous(
             emissions.append((i, out))
 
         # --- half-step 2: delivery ------------------------------------
+        if rewired:
+            arrival = topology.arrival_table(cycle)
         for sender, out in emissions:
             sender_routes = arrival[sender]
             for port, payload in out.sends():
-                receiver, in_port = sender_routes[port]
+                dest = sender_routes[port]
+                if dest is None:
+                    # The round's graph left this port dangling (a
+                    # path endpoint): nothing crossed a link, so the
+                    # send is a no-op and nothing is counted.
+                    continue
+                receiver, in_port = dest
+                if oblivious:
+                    payload = None
                 if keep_log:
                     stats.record(
                         Envelope(

@@ -1,0 +1,54 @@
+"""``repro.topology`` — the pluggable communication substrate.
+
+The paper's model hardwires a static anonymous ring; this package makes
+the substrate a first-class, swappable layer so the modern descendants of
+the paper — counting in anonymous *dynamic* networks (Di Luna–Viglietta,
+arXiv:2204.02128) and *content-oblivious* ring computation (Chalopin et
+al., arXiv:2603.28260) — can run on the same engines.  See
+``docs/topology.md`` for the model semantics and the engine support
+matrix.
+
+Layout:
+
+* :mod:`~repro.topology.base` — the :class:`Topology` protocol (per-round
+  port→neighbor arrival tables) and :class:`StaticRing`, which reproduces
+  the pre-refactor engines byte-identically.
+* :mod:`~repro.topology.dynamic` — :class:`TopologyAdversary` (seeded
+  per-round churn over 1-interval-connected ring/path layouts) and
+  :class:`DynamicTopology`.
+* :mod:`~repro.topology.spec` — :class:`TopologySpec`, the frozen
+  plain-data form a :class:`~repro.runtime.spec.RunSpec` carries, and
+  :func:`build_topology`.
+* :mod:`~repro.topology.arrays` — the batch engine's vectorized gather
+  form of the static routing (imported lazily; needs numpy).
+
+The content-oblivious *message mode* is a delivery-boundary concern, not
+a graph concern, so it lives in the engines (``RunSpec.message_mode``):
+payloads are stripped to ``None`` as they cross the wire and every
+message costs exactly one bit — a beep.
+"""
+
+from .base import (
+    ArrivalTable,
+    RouteTable,
+    StaticRing,
+    Topology,
+    static_arrival_table,
+    static_route_table,
+)
+from .dynamic import DynamicTopology, TopologyAdversary
+from .spec import TOPOLOGY_KINDS, TopologySpec, build_topology
+
+__all__ = [
+    "ArrivalTable",
+    "RouteTable",
+    "StaticRing",
+    "Topology",
+    "static_arrival_table",
+    "static_route_table",
+    "DynamicTopology",
+    "TopologyAdversary",
+    "TOPOLOGY_KINDS",
+    "TopologySpec",
+    "build_topology",
+]

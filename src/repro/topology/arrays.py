@@ -1,0 +1,69 @@
+"""Vectorized static-ring routing for the batch engine.
+
+The struct-of-arrays engine (:mod:`repro.batch.engine`) inverts the
+routing once into dense gather tables; the inversion is the same
+orientation math as :func:`repro.topology.base.static_arrival_table`,
+vectorized over a whole batch of rings.  It lives here so every
+expression of "who receives a send" — scalar, per-round, or array-form —
+is owned by the topology layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.ring import RingConfiguration
+
+
+def batch_gather_indices(
+    rings: Sequence[RingConfiguration],
+    n: np.ndarray,
+    alive: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert :meth:`RingConfiguration.route` into gather tables.
+
+    ``srcL[b, r]`` is the flat index into the engine's ``(2, B, N)``
+    emission buffers of the one (sender, out-port) whose message lands on
+    ``r``'s LEFT port; ``srcR`` likewise for RIGHT.  The math is
+    ``route``'s, vectorized: a sender's RIGHT port faces physical ``+1``
+    iff its orientation bit is 1, and a message traveling ``+1`` lands on
+    the receiver's LEFT iff *the receiver's* bit is 1.  Padding cells
+    index their own (never set) emission slot.
+    """
+    B, N = alive.shape
+    D = np.zeros((B, N), dtype=np.int64)
+    for b, ring in enumerate(rings):
+        D[b, : ring.n] = np.fromiter(
+            ring.orientations, dtype=np.int64, count=ring.n
+        )
+    idx = np.arange(N, dtype=np.int64)[None, :]
+    nv = n[:, None]
+    step_right = np.where(D == 1, 1, -1)  # physical direction of RIGHT port
+    recv_left = (idx - step_right) % nv  # LEFT port faces the other way
+    recv_right = (idx + step_right) % nv
+    # Arrival side at the receiver: traveling +1 lands on LEFT iff
+    # D(receiver) == 1; traveling -1 lands on LEFT iff D(receiver) == 0.
+    arrL_on_left = np.take_along_axis(D, recv_left, axis=1) == np.where(
+        step_right == 1, 0, 1
+    )
+    arrR_on_left = np.take_along_axis(D, recv_right, axis=1) == np.where(
+        step_right == 1, 1, 0
+    )
+
+    base = (np.arange(B, dtype=np.int64) * N)[:, None]
+    sender_flat = base + idx
+    BN = B * N
+    srcL = sender_flat.copy()
+    srcR = sender_flat.copy()
+    for out_offset, recv, on_left in (
+        (0, recv_left, arrL_on_left),
+        (BN, recv_right, arrR_on_left),
+    ):
+        recv_flat = base + recv
+        mask = on_left & alive
+        srcL.reshape(-1)[recv_flat[mask]] = out_offset + sender_flat[mask]
+        mask = ~on_left & alive
+        srcR.reshape(-1)[recv_flat[mask]] = out_offset + sender_flat[mask]
+    return srcL, srcR

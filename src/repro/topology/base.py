@@ -1,0 +1,81 @@
+"""The ``Topology`` protocol and its static-ring implementation.
+
+The synchronous engine asks one question per round: where does a message
+sent by processor ``i`` out port ``p`` land?  A topology answers with a
+per-round *arrival table* — ``table[i][port]`` is ``(receiver, in_port)``,
+or ``None`` when the port faces no neighbor that round (a send on an
+unconnected port is a no-op: nothing crossed a link, so nothing is
+counted).
+
+:class:`StaticRing` wraps a :class:`~repro.core.ring.RingConfiguration`
+and returns one table for every round — the exact table the engines
+precomputed inline before this layer existed, so static-ring runs are
+byte-identical to the pre-refactor engines.  Dynamic topologies live in
+:mod:`repro.topology.dynamic`; the batch engine's vectorized form of the
+same routing math is in :mod:`repro.topology.arrays`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..core.message import Port
+from ..core.ring import RingConfiguration
+
+#: Per-sender routing for one round: ``table[i][port]`` is the landing
+#: ``(receiver, in_port)`` of a send, or ``None`` for a dangling port.
+ArrivalTable = List[Dict[Port, Optional[Tuple[int, Port]]]]
+
+#: Full static routing with the physical step, as the async engines use:
+#: ``table[i][port]`` is ``(receiver, in_port, step)``.
+RouteTable = List[Dict[Port, Tuple[int, Port, int]]]
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """What an engine needs from a communication substrate."""
+
+    #: Number of processors (must match the ring the engine runs).
+    n: int
+
+    #: ``True`` when :meth:`arrival_table` is round-independent; engines
+    #: hoist the single table out of the hot loop in that case.
+    is_static: bool
+
+    def arrival_table(self, cycle: int) -> ArrivalTable:
+        """The routing for round ``cycle`` (pure in ``cycle``)."""
+        ...
+
+
+def static_arrival_table(config: RingConfiguration) -> ArrivalTable:
+    """The time-invariant arrival table of a static ring.
+
+    Exactly the per-(sender, port) resolution the synchronous engine did
+    inline: every port is wired, so no entry is ever ``None``.
+    """
+    return [
+        {port: config.arrival_port(i, port) for port in (Port.LEFT, Port.RIGHT)}
+        for i in range(config.n)
+    ]
+
+
+def static_route_table(config: RingConfiguration) -> RouteTable:
+    """The time-invariant full route table (with physical steps)."""
+    return [
+        {port: config.route(i, port) for port in (Port.LEFT, Port.RIGHT)}
+        for i in range(config.n)
+    ]
+
+
+class StaticRing:
+    """The paper's ring as a :class:`Topology` — one table, every round."""
+
+    is_static = True
+
+    def __init__(self, config: RingConfiguration) -> None:
+        self.config = config
+        self.n = config.n
+        self._table = static_arrival_table(config)
+
+    def arrival_table(self, cycle: int) -> ArrivalTable:
+        return self._table

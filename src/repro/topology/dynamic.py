@@ -1,0 +1,134 @@
+"""Seeded per-round churn: the dynamic-ring adversary.
+
+The dynamic-network model (Di Luna–Viglietta, arXiv:2204.02128) lets an
+adversary rewire the communication graph every round, subject to
+1-interval connectivity: each round's graph, taken alone, is connected.
+With two ports per processor the expressible graphs are exactly the
+Hamiltonian cycles (dynamic rings) and Hamiltonian paths (one ring edge
+cut) over the ``n`` processors — the natural dynamic generalization of
+the paper's static ring.
+
+:class:`TopologyAdversary` chooses each round's layout — an arrangement
+of the processors on a cycle, fresh per-processor port orientations, and
+optionally a cut edge — as a pure function of ``(seed, round)``, so runs
+replay identically in every process, on every worker of a pool, for
+every ``PYTHONHASHSEED`` (seeding hashes a string key through
+``random.Random``, the same construction as
+:func:`repro.runtime.runner.derive_seed`).  :class:`DynamicTopology`
+turns the chosen layouts into the arrival tables the synchronous engine
+consumes.  The fuzzer drives the same adversary across seeds (see
+:func:`repro.faults.registry.default_sync_targets`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.message import Port
+from .base import ArrivalTable
+
+#: One round's communication graph: the processors arranged on a cycle
+#: (``order[k]`` sits at position ``k``), per-round orientation bits
+#: (processor ``u``'s RIGHT port faces position ``+1`` iff ``bits[u]``),
+#: and the cut position (the edge from position ``cut`` to ``cut + 1`` is
+#: removed, making a Hamiltonian path) or ``None`` for a full cycle.
+Layout = Tuple[Tuple[int, ...], Tuple[int, ...], Optional[int]]
+
+
+class TopologyAdversary:
+    """Chooses each round's 1-interval-connected layout from a seed."""
+
+    def __init__(
+        self, n: int, seed: int, churn: float = 1.0, path_rate: float = 0.0
+    ) -> None:
+        self.n = n
+        self.seed = seed
+        self.churn = churn
+        self.path_rate = path_rate
+        self._cache: Dict[int, Layout] = {}
+
+    def _rng(self, cycle: int) -> random.Random:
+        # String-keyed seeding: a pure function of (seed, cycle),
+        # independent of PYTHONHASHSEED (Random hashes the key itself).
+        return random.Random(f"topology|{self.seed}|{cycle}")
+
+    def _draw(self, rng: random.Random) -> Layout:
+        order = list(range(self.n))
+        rng.shuffle(order)
+        bits = tuple(rng.randrange(2) for _ in range(self.n))
+        cut: Optional[int] = None
+        # n == 1 has no edge to cut; n >= 2 may lose one ring edge and
+        # stay connected (a Hamiltonian path).
+        if self.n > 1 and self.path_rate > 0 and rng.random() < self.path_rate:
+            cut = rng.randrange(self.n)
+        return tuple(order), bits, cut
+
+    def layout(self, cycle: int) -> Layout:
+        """Round ``cycle``'s graph — pure in ``(seed, cycle)``.
+
+        With ``churn < 1`` a round may keep the previous round's layout;
+        the recursion is memoized so out-of-order queries still agree.
+        """
+        cached = self._cache.get(cycle)
+        if cached is not None:
+            return cached
+        rng = self._rng(cycle)
+        if cycle == 0 or self.churn >= 1.0 or rng.random() < self.churn:
+            chosen = self._draw(rng)
+        else:
+            chosen = self.layout(cycle - 1)
+        self._cache[cycle] = chosen
+        return chosen
+
+
+class DynamicTopology:
+    """Arrival tables for an adversarially rewired ring (or path)."""
+
+    is_static = False
+
+    def __init__(self, adversary: TopologyAdversary) -> None:
+        self.adversary = adversary
+        self.n = adversary.n
+        self._cycle: Optional[int] = None
+        self._table: Optional[ArrivalTable] = None
+
+    def arrival_table(self, cycle: int) -> ArrivalTable:
+        if cycle == self._cycle:
+            assert self._table is not None
+            return self._table
+        table = _layout_arrival_table(self.n, self.adversary.layout(cycle))
+        self._cycle, self._table = cycle, table
+        return table
+
+
+def _layout_arrival_table(n: int, layout: Layout) -> ArrivalTable:
+    """Expand one round's layout into the engine's arrival table.
+
+    The port math is :meth:`RingConfiguration.route`'s, applied to the
+    round's arrangement: a sender's RIGHT port faces physical ``+1``
+    (increasing position) iff its round bit is 1, and a message traveling
+    ``+1`` lands on the receiver's LEFT iff *the receiver's* bit is 1.
+    A static layout (identity order, cut ``None``) therefore reproduces
+    the static ring's table exactly.
+    """
+    order, bits, cut = layout
+    table: ArrivalTable = [dict() for _ in range(n)]
+    for k in range(n):
+        sender = order[k]
+        for step in (+1, -1):
+            # The edge traversed is the one between positions
+            # min(k, k+step) and min(k, k+step)+1 (mod n); a cut edge
+            # leaves the port dangling for the round.
+            edge = k if step == +1 else (k - 1) % n
+            out_port = (
+                Port.RIGHT if (step == +1) == (bits[sender] == 1) else Port.LEFT
+            )
+            if cut is not None and edge == cut:
+                table[sender][out_port] = None
+                continue
+            receiver = order[(k + step) % n]
+            faces_plus = Port.RIGHT if bits[receiver] == 1 else Port.LEFT
+            in_port = faces_plus.opposite if step == +1 else faces_plus
+            table[sender][out_port] = (receiver, in_port)
+    return table

@@ -15,7 +15,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import RingConfiguration
-from repro.core.equivalence import EquivalenceEngine, engine_for
+from repro.core.equivalence import (
+    EquivalenceEngine,
+    clear_engine_cache,
+    engine_cache_info,
+    engine_for,
+)
 from repro.core.neighborhood import (
     naive_neighborhood_counts,
     naive_occurrences,
@@ -216,3 +221,33 @@ class TestStabilization:
         """Figure 1 configuration: profile matches the oracle exactly."""
         ring = RingConfiguration.two_half_rings(6)
         assert symmetry_profile(ring, 15) == naive_symmetry_profile(ring, 15)
+
+
+class TestEngineCacheBounded:
+    """The module-level engine cache must stay bounded under ring churn."""
+
+    def test_cache_reuses_equal_configs(self):
+        clear_engine_cache()
+        ring = ring_from_seed(6, 0b101010, 0b111000)
+        assert engine_for(ring) is engine_for(ring)
+        info = engine_cache_info()
+        assert info.currsize == 1
+        assert info.hits >= 1
+
+    def test_cache_stays_bounded_under_churn(self):
+        """Sweeping many more distinct rings than the bound must not grow
+        the cache past its maxsize (the gateway/fuzzer leak scenario)."""
+        clear_engine_cache()
+        bound = engine_cache_info().maxsize
+        assert bound is not None
+        for seed in range(3 * bound):
+            ring = RingConfiguration.oriented((seed, seed + 1, 0))
+            engine_for(ring)
+        info = engine_cache_info()
+        assert info.currsize <= bound
+        assert info.misses >= 3 * bound
+
+    def test_clear_empties_the_cache(self):
+        engine_for(RingConfiguration.oriented((1, 2, 3)))
+        clear_engine_cache()
+        assert engine_cache_info().currsize == 0

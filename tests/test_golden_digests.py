@@ -1,0 +1,214 @@
+"""Golden structural digests: the spec-identity regression net.
+
+A :class:`RunSpec`'s cache key is ``sha256(code_version + structural
+digest)``; ``code_version`` rotates with every source edit by design, so
+the part of spec identity that must stay stable PR over PR is
+:meth:`RunSpec.structural_digest` — a pure function of the spec's
+canonical field serialization.  If any value below changes, every cache
+entry, recorded fuzz case, and cross-session artifact keyed by that spec
+shape is silently orphaned: that is a breaking change and must be
+deliberate (update the constant *and* say so in the PR).
+
+The pinned set covers every engine (sync, sync-batch, async,
+async-synchronized) and every spec knob that feeds the digest: params,
+schedulers and seeds, fault profiles, wakeup schedules, budgets,
+keep_log/record, oriented and unoriented rings.  All specs here are
+static-ring — the shapes that existed before the topology layer — so
+this test is also the proof that adding ``topology``/``message_mode``
+did not move a single pre-existing cache slot.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ring import RingConfiguration
+from repro.runtime.spec import RunSpec
+from repro.topology import TopologySpec
+
+#: (name -> structural digest) — update only on a deliberate format break.
+GOLDEN = {
+    "sync_and_sync": "f18b13016c0f86981fb45e5b1a5c7df7aaac901760cbed9f5017be4906566785",
+    "sync_and_batch": "586e53cad8a442039f3950d4050dfea1157d631667444f50e0c858a23d728fa5",
+    "sync_and_unoriented": "cb85f66a27eb80c07abb9c9f2b6bfb7b98666d9a1bea768dd68c55a0c0d9829e",
+    "fig2_sync": "fc9a461ea92383b76d9ef83b98e91eb2a2bba4bad7357ced315792e82096ba4c",
+    "fig2_batch": "0c0525fdce5f7838977068ab60d7931b4d973af0267caccdc65c95fae32b7a0c",
+    "fig2_uni_sync": "6a9193142612dee59e133f2eaec935d1295d8ef7d4af578dca6dbdfcf5ebf985",
+    "quasi_orientation_batch": "d53235c81b727526b284b3a3901671f09631f52babaf649218699e537de71190",
+    "start_sync_wakeup": "8dc9c792aba43fdd378784796ad9fc7bfd582c392d7839af02571471db07b4b1",
+    "start_sync_batch": "5f4d7bd3e7dea2cbddf6a1311cf459672a47f509d161254fa9d826a722d8e12c",
+    "chang_roberts_sync_batch": "61b81056d163f61e94cac8dedbb89dd222234516e41cab564780e92c4274649e",
+    "sync_and_record": "00de0014790cf96620d2ef7a3605d4989db387a0f53de5c82bb3a5a768467e42",
+    "sync_and_keep_log": "dbc9611bc6f6df770a12edadc81b3662ed5e938b95f896e1b72072f747ba0113",
+    "sync_and_budget": "c5b6ee0de3d10827656fe56f67f885d08085c0b9a2241fe67702a9f16d427628",
+    "async_input_distribution": "9563247036c7e0c9ffe15b749b2f50149d97689561ceaf769f711aba668d461d",
+    "async_input_distribution_oriented": "2d0219889908558d0cc09ea75916e23f9b677f6a40dfc5c1a1e8dca0c1913e4d",
+    "async_and_random_scheduler": "dfb27bab9ab024b6d061507edfaf76b61ec01adcb7aaff64b473e59d67f9ff5f",
+    "async_orientation": "6d39e56f40987e469705e16bcda49600d0bcd7af8cbb4e059e3fb2341e0b5d15",
+    "async_chang_roberts_faults": "d97108cd78682733c341d0720d434a6a600a55d35fa1582c44a3436a947dc00f",
+    "async_franklin": "6de9629c4c2a6a8ff508c80a1d6dfcc7c05449b8d13f80a8c9300615f3854fc9",
+    "async_synchronized": "fe295d8a5f6ace7ef5d9dfa0e5a3622b34415df56c58e2ef3dcea00bf9d5bae3",
+}
+
+
+def _ring(n: int, seed: int = 0, oriented: bool = True) -> RingConfiguration:
+    return RingConfiguration.random(n, random.Random(seed), oriented=oriented)
+
+
+def _labeled(n: int) -> RingConfiguration:
+    return RingConfiguration.oriented(tuple(range(1, n + 1)))
+
+
+def golden_specs() -> dict:
+    """The pinned spec set, rebuilt fresh (same coordinates every run)."""
+    return {
+        "sync_and_sync": RunSpec.make(
+            engine="sync", ring=_ring(8), algorithm="sync-and"
+        ),
+        "sync_and_batch": RunSpec.make(
+            engine="sync-batch", ring=_ring(8), algorithm="sync-and"
+        ),
+        "sync_and_unoriented": RunSpec.make(
+            engine="sync", ring=_ring(9, 3, oriented=False), algorithm="sync-and"
+        ),
+        "fig2_sync": RunSpec.make(
+            engine="sync", ring=_ring(8, 1), algorithm="fig2-input-distribution"
+        ),
+        "fig2_batch": RunSpec.make(
+            engine="sync-batch", ring=_ring(8, 1), algorithm="fig2-input-distribution"
+        ),
+        "fig2_uni_sync": RunSpec.make(
+            engine="sync", ring=_ring(8, 1), algorithm="fig2-unidirectional"
+        ),
+        "quasi_orientation_batch": RunSpec.make(
+            engine="sync-batch",
+            ring=_ring(7, 2, oriented=False),
+            algorithm="quasi-orientation",
+        ),
+        "start_sync_wakeup": RunSpec.make(
+            engine="sync",
+            ring=RingConfiguration.oriented((0,) * 6),
+            algorithm="start-sync",
+            wakeup=(0, 2, 1, 3, 0, 2),
+        ),
+        "start_sync_batch": RunSpec.make(
+            engine="sync-batch",
+            ring=RingConfiguration.oriented((0,) * 6),
+            algorithm="start-sync",
+            wakeup=(0, 2, 1, 3, 0, 2),
+        ),
+        "chang_roberts_sync_batch": RunSpec.make(
+            engine="sync-batch", ring=_labeled(8), algorithm="chang-roberts-sync"
+        ),
+        "sync_and_record": RunSpec.make(
+            engine="sync", ring=_ring(8), algorithm="sync-and", record=True
+        ),
+        "sync_and_keep_log": RunSpec.make(
+            engine="sync", ring=_ring(8), algorithm="sync-and", keep_log=True
+        ),
+        "sync_and_budget": RunSpec.make(
+            engine="sync", ring=_ring(8), algorithm="sync-and", budget=10_000
+        ),
+        "async_input_distribution": RunSpec.make(
+            engine="async",
+            ring=_ring(7, 4, oriented=False),
+            algorithm="input-distribution",
+            scheduler="round-robin",
+        ),
+        "async_input_distribution_oriented": RunSpec.make(
+            engine="async",
+            ring=_ring(7, 4),
+            algorithm="input-distribution",
+            params={"assume_oriented": True},
+            scheduler="round-robin",
+        ),
+        "async_and_random_scheduler": RunSpec.make(
+            engine="async",
+            ring=_ring(6, 5, oriented=False),
+            algorithm="and",
+            scheduler="random",
+            scheduler_seed=11,
+        ),
+        "async_orientation": RunSpec.make(
+            engine="async",
+            ring=_ring(7, 6, oriented=False),
+            algorithm="orientation",
+            scheduler="round-robin",
+        ),
+        "async_chang_roberts_faults": RunSpec.make(
+            engine="async",
+            ring=_labeled(6),
+            algorithm="chang-roberts",
+            scheduler="round-robin",
+            fault_profile="drop",
+            fault_seed=3,
+            fault_horizon=32,
+        ),
+        "async_franklin": RunSpec.make(
+            engine="async", ring=_labeled(6), algorithm="franklin", scheduler="round-robin"
+        ),
+        "async_synchronized": RunSpec.make(
+            engine="async-synchronized",
+            ring=_ring(7, 4),
+            algorithm="input-distribution",
+            params={"assume_oriented": True},
+        ),
+    }
+
+
+class TestGoldenDigests:
+    def test_every_golden_digest_matches(self):
+        specs = golden_specs()
+        assert specs.keys() == GOLDEN.keys()
+        mismatches = {
+            name: (spec.structural_digest(), GOLDEN[name])
+            for name, spec in specs.items()
+            if spec.structural_digest() != GOLDEN[name]
+        }
+        assert not mismatches, (
+            "structural digests moved — a spec-format break; see module "
+            f"docstring before repinning: {mismatches!r}"
+        )
+
+    def test_digests_are_pairwise_distinct(self):
+        assert len(set(GOLDEN.values())) == len(GOLDEN)
+
+    def test_digest_composes_code_version_and_structure(self):
+        """The cache key is code_version x structure — and only that."""
+        import hashlib
+
+        from repro.runtime.cache import code_version
+
+        spec = golden_specs()["sync_and_sync"]
+        expected = hashlib.sha256(
+            (code_version() + spec.structural_digest()).encode()
+        ).hexdigest()
+        assert spec.digest() == expected
+
+
+class TestTopologyFieldsAreDigestNeutral:
+    """The new fields must not perturb any pre-existing spec identity."""
+
+    def test_canonical_omits_defaults(self):
+        spec = golden_specs()["sync_and_sync"]
+        keys = {key for key, _ in spec.canonical()}
+        assert "topology" not in keys
+        assert "message_mode" not in keys
+
+    def test_explicit_defaults_equal_omitted(self):
+        base = golden_specs()["sync_and_sync"]
+        explicit = base.with_(topology=None, message_mode="plain")
+        assert explicit.structural_digest() == base.structural_digest()
+
+    def test_non_default_values_do_change_the_digest(self):
+        base = golden_specs()["sync_and_sync"]
+        dynamic = base.with_(
+            topology=TopologySpec(kind="dynamic-ring", seed=7, path_rate=0.3)
+        )
+        oblivious = base.with_(message_mode="oblivious")
+        digests = {
+            base.structural_digest(),
+            dynamic.structural_digest(),
+            oblivious.structural_digest(),
+        }
+        assert len(digests) == 3

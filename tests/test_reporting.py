@@ -54,7 +54,7 @@ class TestRendering:
 
     def test_quick_run_is_green(self):
         records = run_all(quick=True)
-        assert len(records) == 18
+        assert len(records) == 20
         assert all(record.ok for record in records)
 
 
